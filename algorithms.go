@@ -1,0 +1,52 @@
+package hipa
+
+import "hipa/internal/algorithms"
+
+// AlgoConfig configures the parallel substrate for the extension algorithms
+// (SpMV, PageRank-Delta, BFS) — the paper's §6 future work, implemented on
+// the same hierarchical partitioning as the HiPa engine.
+type AlgoConfig = algorithms.Config
+
+// SpMV computes y[v] = Σ_{u→v} x[u] (adjacency-matrix transpose product)
+// with partition-centric scatter-gather.
+func SpMV(g *Graph, x []float32, cfg AlgoConfig) ([]float32, error) {
+	return algorithms.SpMV(g, x, cfg)
+}
+
+// SpMVIterate applies SpMV k times.
+func SpMVIterate(g *Graph, x []float32, k int, cfg AlgoConfig) ([]float32, error) {
+	return algorithms.SpMVIterate(g, x, k, cfg)
+}
+
+// DeltaOptions configures PageRankDelta.
+type DeltaOptions = algorithms.DeltaOptions
+
+// DeltaResult reports a PageRankDelta run.
+type DeltaResult = algorithms.DeltaResult
+
+// PageRankDelta computes PageRank incrementally, propagating only deltas
+// above Epsilon. With Epsilon = 0 it equals standard PageRank.
+func PageRankDelta(g *Graph, o DeltaOptions) (*DeltaResult, error) {
+	return algorithms.PageRankDelta(g, o)
+}
+
+// BFSResult reports a breadth-first search.
+type BFSResult = algorithms.BFSResult
+
+// BFS runs a level-synchronous parallel breadth-first search from source.
+func BFS(g *Graph, source VertexID, cfg AlgoConfig) (*BFSResult, error) {
+	return algorithms.BFS(g, source, cfg)
+}
+
+// WeightedSpMV computes y[v] = Σ w(u,v)·x[u] with weights given per edge in
+// CSR order. Weighted updates cannot share compressed messages, so this
+// kernel runs partition-centric but pull-based.
+func WeightedSpMV(g *Graph, x, weights []float32, cfg AlgoConfig) ([]float32, error) {
+	return algorithms.WeightedSpMV(g, x, weights, cfg)
+}
+
+// PersonalizedPageRank computes PageRank with restarts concentrated on the
+// given source vertices.
+func PersonalizedPageRank(g *Graph, sources []VertexID, iterations int, damping float64, cfg AlgoConfig) ([]float32, error) {
+	return algorithms.PersonalizedPageRank(g, sources, iterations, damping, cfg)
+}

@@ -1,0 +1,87 @@
+// Command hipabench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
+//	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
+//
+// Every experiment prints an aligned text table matching the corresponding
+// paper artifact (see DESIGN.md §3 for the index). The divisor scales both
+// the datasets and the simulated machine, preserving the paper's
+// cache-to-working-set ratios; partition sizes in the output are labelled at
+// paper scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hipa/internal/gen"
+	"hipa/internal/harness"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, ablation")
+		divisor  = flag.Int("divisor", gen.DefaultDivisor, "scale divisor for datasets and machine capacities")
+		iters    = flag.Int("iters", 20, "PageRank iterations per timed run")
+		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: full catalog)")
+		seed     = flag.Uint64("seed", 0xC0FFEE, "simulated OS scheduler seed")
+		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation and node-scaling experiments")
+		format   = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	cfg := harness.NewConfig()
+	cfg.Divisor = *divisor
+	cfg.Iterations = *iters
+	cfg.SchedSeed = *seed
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	type experiment struct {
+		name string
+		run  func() (*harness.Table, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (*harness.Table, error) { _, t, err := harness.Table1(cfg); return t, err }},
+		{"table2", func() (*harness.Table, error) { _, t, err := harness.Table2(cfg); return t, err }},
+		{"overhead", func() (*harness.Table, error) { _, t, err := harness.Overhead(cfg); return t, err }},
+		{"fig5", func() (*harness.Table, error) { _, t, err := harness.Fig5(cfg); return t, err }},
+		{"fig6", func() (*harness.Table, error) { _, t, err := harness.Fig6(cfg); return t, err }},
+		{"fig7", func() (*harness.Table, error) { _, t, err := harness.Fig7(cfg); return t, err }},
+		{"table3", func() (*harness.Table, error) { _, t, err := harness.Table3(cfg); return t, err }},
+		{"singlenode", func() (*harness.Table, error) { _, t, err := harness.SingleNode(cfg); return t, err }},
+		{"nodescaling", func() (*harness.Table, error) { _, t, err := harness.NodeScaling(cfg, *ablGraph); return t, err }},
+		{"ablation", func() (*harness.Table, error) { _, t, err := harness.Ablations(cfg, *ablGraph); return t, err }},
+	}
+
+	ran := false
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
+		ran = true
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hipabench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		render := t.Render
+		if *format == "csv" {
+			render = t.RenderCSV
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "hipabench: render: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "hipabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

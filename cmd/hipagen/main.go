@@ -1,0 +1,93 @@
+// Command hipagen generates graphs and writes them in the binary HGR1
+// format (or as a text edge list).
+//
+// Usage:
+//
+//	hipagen -out g.bin -dataset journal -divisor 256        # catalog analog
+//	hipagen -out g.bin -rmat 20 -edgefactor 16 -seed 7      # Graph500 R-MAT
+//	hipagen -out g.bin -vertices 100000 -edges 1500000 \
+//	        -outalpha 2.1 -inalpha 0.9                      # power law
+//	hipagen -out g.txt -format edgelist -vertices 1000 -edges 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "", "output file (required)")
+		format     = flag.String("format", "binary", "output format: binary or edgelist")
+		dataset    = flag.String("dataset", "", "catalog dataset name (journal, pld, wiki, kron, twitter, mpi)")
+		divisor    = flag.Int("divisor", gen.DefaultDivisor, "catalog scale divisor")
+		rmat       = flag.Int("rmat", 0, "R-MAT scale (2^scale vertices)")
+		edgeFactor = flag.Int("edgefactor", 16, "R-MAT edges per vertex")
+		vertices   = flag.Int("vertices", 0, "power-law/uniform vertex count")
+		edges      = flag.Int64("edges", 0, "power-law/uniform edge count")
+		outAlpha   = flag.Float64("outalpha", 2.1, "power-law out-degree exponent (>1)")
+		inAlpha    = flag.Float64("inalpha", 0.9, "power-law in-popularity exponent (>=0, 0 = uniform destinations)")
+		uniform    = flag.Bool("uniform", false, "generate a uniform random graph instead of power law")
+		seed       = flag.Uint64("seed", 42, "generator seed")
+		withIn     = flag.Bool("with-in", false, "also store the in-edge (CSC) form")
+	)
+	flag.Parse()
+	if *out == "" {
+		fail("missing -out")
+	}
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *dataset != "":
+		g, err = gen.GenerateByName(*dataset, *divisor)
+	case *rmat > 0:
+		cfg := gen.DefaultRMAT(*rmat, *seed)
+		cfg.EdgeFactor = *edgeFactor
+		g, err = gen.RMAT(cfg)
+	case *uniform:
+		g, err = gen.Uniform(*vertices, *edges, *seed)
+	case *vertices > 0:
+		g, err = gen.PowerLaw(gen.PowerLawConfig{
+			Vertices: *vertices, Edges: *edges,
+			OutAlpha: *outAlpha, InAlpha: *inAlpha,
+			Seed: *seed, HotShuffle: true,
+		})
+	default:
+		fail("choose one of -dataset, -rmat, -vertices (+ optionally -uniform)")
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	if *withIn {
+		g.BuildIn()
+	}
+
+	switch *format {
+	case "binary":
+		err = graph.SaveBinary(*out, g)
+	case "edgelist":
+		var f *os.File
+		if f, err = os.Create(*out); err == nil {
+			err = graph.WriteEdgeList(f, g)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	default:
+		fail("unknown -format " + *format)
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges\n", *out, g.NumVertices(), g.NumEdges())
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "hipagen:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command hipainfo reports graph statistics and the hierarchical
+// partitioning a graph would receive on a machine: per-node partition/edge
+// assignment, per-thread groups, intra/inter-edge locality, compression
+// ratio, and the NUMA page placement of the attribute arrays.
+//
+// Usage:
+//
+//	hipainfo -graph g.bin [-machine skylake] [-divisor 1]
+//	         [-partition 256K] [-threads 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/machine"
+	"hipa/internal/memsim"
+	"hipa/internal/partition"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "binary HGR1 graph file (or use -dataset)")
+		dataset   = flag.String("dataset", "", "generate a catalog analog instead of loading")
+		divisor   = flag.Int("divisor", gen.DefaultDivisor, "scale divisor")
+		preset    = flag.String("machine", "skylake", "machine preset")
+		partSize  = flag.String("partition", "", "partition size (default 256K scaled)")
+		threads   = flag.Int("threads", 0, "threads (0 = all logical cores)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	switch {
+	case *graphPath != "":
+		g, err = graph.LoadBinary(*graphPath)
+	case *dataset != "":
+		g, err = gen.GenerateByName(*dataset, *divisor)
+	default:
+		fail("need -graph or -dataset")
+	}
+	if err != nil {
+		fail(err.Error())
+	}
+
+	mk, ok := machine.Presets[*preset]
+	if !ok {
+		fail("unknown machine preset " + *preset)
+	}
+	m := mk()
+	if *dataset != "" {
+		m = machine.Scaled(m, *divisor)
+	}
+	pb := 256 << 10
+	if *dataset != "" {
+		pb /= *divisor
+		if pb < 16 {
+			pb = 16
+		}
+	}
+	if *partSize != "" {
+		if pb, err = parseSize(*partSize); err != nil {
+			fail(err.Error())
+		}
+	}
+	th := *threads
+	if th == 0 {
+		th = m.LogicalCores()
+	}
+
+	stats := graph.ComputeStats(g)
+	fmt.Printf("graph      : %d vertices, %d edges, avg out-degree %.2f, max %d, %d dangling\n",
+		stats.NumVertices, stats.NumEdges, stats.AvgOutDegree, stats.MaxOutDegree, stats.Dangling)
+	fmt.Printf("skew       : top 10%% of vertices own %.1f%% of out-edges\n", 100*gen.DegreeSkew(g, 0.10))
+	fmt.Printf("machine    : %s\n", m)
+
+	h, err := partition.Build(g, partition.Config{
+		PartitionBytes: pb,
+		BytesPerVertex: 4,
+		NumNodes:       m.NUMANodes,
+		GroupsPerNode:  th / m.NUMANodes,
+	})
+	if err != nil {
+		fail(err.Error())
+	}
+	fmt.Printf("partitions : %d of %dB (%d vertices each); node edge balance %.3f, group balance %.3f\n",
+		h.NumPartitions(), pb, h.VerticesPerPartition, h.EdgeBalance(), h.GroupEdgeBalance())
+	for _, na := range h.Nodes {
+		fmt.Printf("  node %d   : partitions [%d,%d) vertices [%d,%d) edges %d\n",
+			na.Node, na.PartStart, na.PartEnd, na.VertexLow, na.VertexHigh, na.EdgeCount)
+	}
+
+	loc := partition.ComputeEdgeLocality(g, h)
+	fmt.Printf("locality   : %d intra / %d inter edges (%.0f / %.0f per partition)\n",
+		loc.IntraEdges, loc.InterEdges, loc.IntraPerPartition, loc.InterPerPartition)
+
+	lay, err := layout.Build(g, h, true)
+	if err != nil {
+		fail(err.Error())
+	}
+	ratio := 1.0
+	if lay.NumMessages() > 0 {
+		ratio = float64(lay.InterEdges) / float64(lay.NumMessages())
+	}
+	fmt.Printf("compression: %d inter-edges -> %d messages (%.2f edges/message, %d blocks, bin %dB)\n",
+		lay.InterEdges, lay.NumMessages(), ratio, len(lay.Blocks), lay.BinBytes())
+
+	// NUMA placement of the rank array under HiPa's sliced policy.
+	space := memsim.NewSpace(m)
+	ranks := space.MustAlloc("ranks", int64(g.NumVertices())*4, memsim.Sliced{Bounds: h.RankBoundsBytes(4)})
+	pages := ranks.PagesOnNode(m.NUMANodes)
+	fmt.Printf("placement  : rank array %dB across %v pages per node (sliced by partition ownership)\n",
+		ranks.Size, pages)
+}
+
+func parseSize(s string) (int, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "hipainfo:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,115 @@
+package hipa
+
+import (
+	"hipa/internal/engines/common"
+	"hipa/internal/engines/gpop"
+	hipaengine "hipa/internal/engines/hipa"
+	"hipa/internal/engines/polymer"
+	"hipa/internal/engines/ppr"
+	"hipa/internal/engines/vpr"
+	"hipa/internal/graph"
+)
+
+// Engine is one PageRank implementation. All five engines compute the same
+// damped PageRank with dangling-mass redistribution and produce identical
+// rank vectors (to float32 precision).
+type Engine = common.Engine
+
+// Options configures an engine run. The zero value selects the paper's
+// defaults: the Skylake testbed, the engine's tuned thread count and
+// partition size, 20 iterations, damping 0.85.
+type Options = common.Options
+
+// Result is the outcome of an engine run: the rank vector, real wall-clock
+// timings, the simulated-machine performance report (Model), and the
+// simulated scheduler statistics (Sched).
+type Result = common.Result
+
+// The five implementations evaluated in the paper (§4.1).
+var (
+	// HiPa is the paper's contribution: hierarchical NUMA- and cache-aware
+	// partitioning with thread-data pinning (Algorithm 2).
+	HiPa Engine = hipaengine.Engine{}
+	// PPR is p-PR, the hand-optimized NUMA-oblivious partition-centric
+	// baseline (PCPM re-implementation).
+	PPR Engine = ppr.Engine{}
+	// VPR is v-PR, the hand-optimized pull-based vertex-centric baseline.
+	VPR Engine = vpr.Engine{}
+	// GPOP is the partition-centric framework baseline (1MB partitions,
+	// per-partition state, frontier disabled for PageRank).
+	GPOP Engine = gpop.Engine{}
+	// Polymer is the NUMA-aware vertex-centric framework baseline.
+	Polymer Engine = polymer.Engine{}
+)
+
+// Engines returns all five engines in the paper's reporting order.
+func Engines() []Engine { return []Engine{HiPa, PPR, VPR, GPOP, Polymer} }
+
+// ReferencePageRank is the sequential float64 ground-truth implementation
+// used to validate every engine.
+func ReferencePageRank(g *Graph, iterations int, damping float64) []float64 {
+	return common.ReferencePageRank(g, iterations, damping)
+}
+
+// RankSum returns the sum of a rank vector (≈1 for a correct run).
+func RankSum(ranks []float32) float64 { return common.RankSum(ranks) }
+
+// TopK returns the k highest-ranked vertices in descending rank order.
+func TopK(ranks []float32, k int) []VertexID {
+	if k > len(ranks) {
+		k = len(ranks)
+	}
+	idx := make([]VertexID, len(ranks))
+	for i := range idx {
+		idx[i] = graph.VertexID(i)
+	}
+	// Partial selection sort is fine for small k; sort fully otherwise.
+	if k*len(ranks) > 1<<22 {
+		sortByRank(idx, ranks)
+		return idx[:k]
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if ranks[idx[j]] > ranks[idx[best]] {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+func sortByRank(idx []VertexID, ranks []float32) {
+	// Simple heap-free quicksort by descending rank.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for lo < hi {
+			p := ranks[idx[(lo+hi)/2]]
+			i, j := lo, hi
+			for i <= j {
+				for ranks[idx[i]] > p {
+					i++
+				}
+				for ranks[idx[j]] < p {
+					j--
+				}
+				if i <= j {
+					idx[i], idx[j] = idx[j], idx[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j
+			}
+		}
+	}
+	if len(idx) > 1 {
+		qs(0, len(idx)-1)
+	}
+}

@@ -1,0 +1,3 @@
+module hipa
+
+go 1.22

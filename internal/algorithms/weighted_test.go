@@ -1,0 +1,240 @@
+package algorithms
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+)
+
+// refWeightedSpMV is the sequential ground truth.
+func refWeightedSpMV(g *graph.Graph, x, w []float32) []float32 {
+	y := make([]float32, g.NumVertices())
+	off := g.OutOffsets()
+	adj := g.OutEdges()
+	for u := 0; u < g.NumVertices(); u++ {
+		for i := off[u]; i < off[u+1]; i++ {
+			y[adj[i]] += w[i] * x[u]
+		}
+	}
+	return y
+}
+
+func TestWeightedSpMVMatchesReference(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 800, Edges: 10000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(7, 8))
+	x := make([]float32, g.NumVertices())
+	for i := range x {
+		x[i] = rng.Float32()
+	}
+	w := make([]float32, g.NumEdges())
+	for i := range w {
+		w[i] = rng.Float32() * 3
+	}
+	got, err := WeightedSpMV(g, x, w, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refWeightedSpMV(g, x, w)
+	for v := range want {
+		if math.Abs(float64(got[v]-want[v])) > 1e-2*(1+math.Abs(float64(want[v]))) {
+			t.Fatalf("y[%d] = %f, want %f", v, got[v], want[v])
+		}
+	}
+}
+
+func TestWeightedSpMVUnitWeightsEqualSpMV(t *testing.T) {
+	g, err := gen.Uniform(500, 6000, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float32, g.NumVertices())
+	for i := range x {
+		x[i] = float32(i % 7)
+	}
+	ones := make([]float32, g.NumEdges())
+	for i := range ones {
+		ones[i] = 1
+	}
+	a, err := WeightedSpMV(g, x, ones, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpMV(g, x, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a {
+		if math.Abs(float64(a[v]-b[v])) > 1e-3 {
+			t.Fatalf("unit-weighted [%d] = %f vs unweighted %f", v, a[v], b[v])
+		}
+	}
+}
+
+func TestWeightedSpMVErrors(t *testing.T) {
+	g, _ := gen.Uniform(10, 20, 1)
+	w := make([]float32, g.NumEdges())
+	if _, err := WeightedSpMV(g, make([]float32, 3), w, testCfg()); err == nil {
+		t.Error("expected error for x length mismatch")
+	}
+	if _, err := WeightedSpMV(g, make([]float32, 10), w[:5], testCfg()); err == nil {
+		t.Error("expected error for weight length mismatch")
+	}
+}
+
+// Property: multi-edges keep distinct weights (each CSR slot counted once).
+func TestPropertyWeightedSpMVMultiEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 21))
+		n := rng.IntN(60) + 2
+		b := graph.NewBuilder(n)
+		for i := 0; i < rng.IntN(300); i++ {
+			// Small vertex range forces plenty of duplicate edges.
+			b.AddEdge(graph.VertexID(rng.IntN(n)), graph.VertexID(rng.IntN(n)))
+		}
+		g := b.Build()
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.IntN(5))
+		}
+		w := make([]float32, g.NumEdges())
+		for i := range w {
+			w[i] = float32(rng.IntN(4))
+		}
+		got, err := WeightedSpMV(g, x, w, testCfg())
+		if err != nil {
+			return false
+		}
+		want := refWeightedSpMV(g, x, w)
+		for v := range want {
+			if math.Abs(float64(got[v]-want[v])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersonalizedPageRank(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 1000, Edges: 12000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []graph.VertexID{7}
+	ranks, err := PersonalizedPageRank(g, src, 30, 0.85, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mass conserved.
+	var sum float64
+	for _, r := range ranks {
+		sum += float64(r)
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Fatalf("personalized rank sum = %f", sum)
+	}
+	// The source dominates its own personalized ranking.
+	for v, r := range ranks {
+		if graph.VertexID(v) != 7 && float64(r) > float64(ranks[7]) {
+			// Allowed only for extremely central hubs; the source's restart
+			// mass should usually win. Check it is at least top-5.
+			top := 0
+			for _, r2 := range ranks {
+				if r2 > ranks[7] {
+					top++
+				}
+			}
+			if top > 5 {
+				t.Fatalf("source rank %g ranked below %d vertices", ranks[7], top)
+			}
+			break
+		}
+	}
+	// Sequential reference for personalized PR.
+	ref := refPersonalized(g, src, 30, 0.85)
+	for v := range ref {
+		if math.Abs(ref[v]-float64(ranks[v])) > 1e-4 {
+			t.Fatalf("rank[%d] = %g, want %g", v, ranks[v], ref[v])
+		}
+	}
+}
+
+func refPersonalized(g *graph.Graph, sources []graph.VertexID, iters int, d float64) []float64 {
+	n := g.NumVertices()
+	tele := make([]float64, n)
+	for _, s := range sources {
+		tele[s] += 1 / float64(len(sources))
+	}
+	rank := append([]float64(nil), tele...)
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			deg := g.OutDegree(graph.VertexID(v))
+			if deg == 0 {
+				dangling += rank[v]
+				continue
+			}
+			c := rank[v] / float64(deg)
+			for _, dst := range g.OutNeighbors(graph.VertexID(v)) {
+				next[dst] += c
+			}
+		}
+		restart := (1 - d) + d*dangling
+		for v := 0; v < n; v++ {
+			rank[v] = restart*tele[v] + d*next[v]
+		}
+	}
+	return rank
+}
+
+func TestPersonalizedPageRankErrors(t *testing.T) {
+	g, _ := gen.Uniform(10, 30, 2)
+	if _, err := PersonalizedPageRank(g, nil, 5, 0.85, testCfg()); err == nil {
+		t.Error("expected error for no sources")
+	}
+	if _, err := PersonalizedPageRank(g, []graph.VertexID{99}, 5, 0.85, testCfg()); err == nil {
+		t.Error("expected error for bad source")
+	}
+	if _, err := PersonalizedPageRank(g, []graph.VertexID{0}, 0, 0.85, testCfg()); err == nil {
+		t.Error("expected error for zero iterations")
+	}
+	if _, err := PersonalizedPageRank(g, []graph.VertexID{0}, 5, 2, testCfg()); err == nil {
+		t.Error("expected error for bad damping")
+	}
+}
+
+// Uniform personalization over ALL vertices equals standard PageRank.
+func TestPersonalizedUniformEqualsStandard(t *testing.T) {
+	g, err := gen.Uniform(300, 3000, 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]graph.VertexID, g.NumVertices())
+	for i := range all {
+		all[i] = graph.VertexID(i)
+	}
+	got, err := PersonalizedPageRank(g, all, 15, 0.85, testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := common.ReferencePageRank(g, 15, 0.85)
+	for v := range ref {
+		if math.Abs(ref[v]-float64(got[v])) > 1e-4 {
+			t.Fatalf("uniform personalization [%d] = %g, want %g", v, got[v], ref[v])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Package common holds the engine interface, options, result types, and the
+// shared numerical and concurrency infrastructure used by all five PageRank
+// implementations (HiPa, p-PR, v-PR, GPOP-like, Polymer-like).
+//
+// Every engine computes the same damped PageRank with dangling-mass
+// redistribution:
+//
+//	rank'(v) = (1-d)/|V| + d·( Σ_{u→v} rank(u)/outdeg(u) + S/|V| )
+//
+// where S is the summed rank of dangling (outdeg-0) vertices. Initial ranks
+// are 1/|V|; the rank vector sums to 1 after every iteration. Rank storage
+// is float32 (the paper's 4-byte values); global reductions use float64.
+//
+// Each engine produces two timings: the real wall-clock of its parallel Go
+// execution on the host, and a modelled execution time from
+// internal/perfmodel driven by the engine's actual data-structure event
+// counts on the simulated machine. Paper-shape comparisons use the model;
+// the wall clock documents that the implementations really run in parallel.
+package common
+
+import (
+	"fmt"
+	"runtime"
+
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+	"hipa/internal/perfmodel"
+	"hipa/internal/sched"
+)
+
+// DefaultIterations matches the paper's timed runs (§4.1).
+const DefaultIterations = 20
+
+// DefaultDamping is the standard PageRank damping factor.
+const DefaultDamping = 0.85
+
+// DefaultPartitionBytes is the paper's tuned partition size on Skylake.
+const DefaultPartitionBytes = 256 << 10
+
+// Options configures an engine run.
+type Options struct {
+	// Machine is the simulated machine; nil selects the Skylake preset.
+	Machine *machine.Machine
+	// Threads is the number of worker threads; 0 selects the engine's paper
+	// default (all 40 logical cores for HiPa/v-PR/Polymer, 20 for p-PR and
+	// GPOP).
+	Threads int
+	// Iterations of PageRank; 0 means DefaultIterations.
+	Iterations int
+	// Damping factor; 0 means DefaultDamping.
+	Damping float64
+	// Tolerance enables convergence-based early termination: the run stops
+	// once the L∞ rank change of an iteration falls below it (checked at
+	// the iteration barrier), or after Iterations, whichever first. 0 runs
+	// exactly Iterations iterations (the paper's fixed-20 methodology).
+	Tolerance float64
+	// PartitionBytes for partition-centric engines; 0 means the engine
+	// default (256KB; 1MB for GPOP, per its authors' instruction §4.1).
+	PartitionBytes int
+	// NoCompress disables inter-edge compression (ablation).
+	NoCompress bool
+	// VertexBalanced switches NUMA partitioning to the naive vertex split
+	// (ablation, HiPa only).
+	VertexBalanced bool
+	// FCFS forces first-come-first-serve partition scheduling instead of
+	// thread-data pinning (ablation, HiPa only).
+	FCFS bool
+	// SchedSeed seeds the simulated OS scheduler.
+	SchedSeed uint64
+	// GoParallelism caps real goroutines; 0 means min(Threads, GOMAXPROCS).
+	GoParallelism int
+}
+
+// WithDefaults fills zero fields. defaultThreads is engine-specific.
+func (o Options) WithDefaults(defaultThreads int) Options {
+	if o.Machine == nil {
+		o.Machine = machine.SkylakeSilver4210()
+	}
+	if o.Threads == 0 {
+		o.Threads = defaultThreads
+	}
+	if o.Iterations == 0 {
+		o.Iterations = DefaultIterations
+	}
+	if o.Damping == 0 {
+		o.Damping = DefaultDamping
+	}
+	if o.PartitionBytes == 0 {
+		o.PartitionBytes = DefaultPartitionBytes
+	}
+	if o.GoParallelism == 0 {
+		o.GoParallelism = o.Threads
+		if p := runtime.GOMAXPROCS(0); p < o.GoParallelism {
+			o.GoParallelism = p
+		}
+	}
+	if o.SchedSeed == 0 {
+		o.SchedSeed = 0xC0FFEE
+	}
+	return o
+}
+
+// Validate rejects unusable option combinations.
+func (o Options) Validate() error {
+	if o.Threads < 1 {
+		return fmt.Errorf("engines: need at least 1 thread, got %d", o.Threads)
+	}
+	if o.Iterations < 1 {
+		return fmt.Errorf("engines: need at least 1 iteration, got %d", o.Iterations)
+	}
+	if o.Damping <= 0 || o.Damping >= 1 {
+		return fmt.Errorf("engines: damping must be in (0,1), got %g", o.Damping)
+	}
+	if o.PartitionBytes < 4 {
+		return fmt.Errorf("engines: partition bytes %d too small", o.PartitionBytes)
+	}
+	if o.Tolerance < 0 {
+		return fmt.Errorf("engines: negative tolerance %g", o.Tolerance)
+	}
+	return nil
+}
+
+// Result is the outcome of one engine run.
+type Result struct {
+	Engine     string
+	Ranks      []float32
+	Iterations int
+	Threads    int
+
+	// WallSeconds is the real elapsed time of the iterations (excluding
+	// preprocessing).
+	WallSeconds float64
+	// PrepSeconds is the real elapsed preprocessing time (partitioning,
+	// layout, placement — the paper's "overhead", §4.2 — excluding graph
+	// loading).
+	PrepSeconds float64
+
+	// Model is the simulated-machine estimate (time, MApE, LLC traffic).
+	Model *perfmodel.Report
+	// Sched is the simulated scheduler activity (spawns, migrations).
+	Sched sched.Stats
+}
+
+// Engine is one PageRank implementation.
+type Engine interface {
+	// Name returns the paper's name for the implementation.
+	Name() string
+	// Run executes PageRank on g.
+	Run(g *graph.Graph, o Options) (*Result, error)
+}
+
+// RankSum returns the sum of ranks (should be ~1).
+func RankSum(ranks []float32) float64 {
+	var s float64
+	for _, r := range ranks {
+		s += float64(r)
+	}
+	return s
+}
+
+// MaxAbsDiff returns the L∞ distance between two rank vectors.
+func MaxAbsDiff(a, b []float32) float64 {
+	if len(a) != len(b) {
+		return 1e308
+	}
+	var m float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

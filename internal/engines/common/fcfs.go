@@ -1,0 +1,67 @@
+package common
+
+import (
+	"sync/atomic"
+
+	"hipa/internal/partition"
+)
+
+// RunFCFS executes the NUMA-oblivious scatter-gather model (Algorithm 1):
+// every phase of every iteration is its own parallel region with a fresh
+// pool of `threads` workers, and partitions are claimed first-come-first-
+// serve from a shared atomic counter. This is the execution style of p-PR
+// and GPOP. With tolerance > 0 the loop stops once the L∞ rank change
+// falls below it; the performed iteration count is returned.
+func RunFCFS(s *SGState, iterations, threads int, tolerance float64) int {
+	P := s.Hier.NumPartitions()
+	for it := 0; it < iterations; it++ {
+		var next atomic.Int64
+		RunThreads(threads, func(tid int) {
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= P {
+					return
+				}
+				s.ScatterPartition(p, tid)
+			}
+		})
+		s.ReduceDangling()
+		next.Store(0)
+		RunThreads(threads, func(tid int) {
+			for {
+				p := int(next.Add(1)) - 1
+				if p >= P {
+					return
+				}
+				s.GatherPartition(p, tid)
+			}
+		})
+		if res := s.MaxResidual(); tolerance > 0 && res < tolerance {
+			return it + 1
+		}
+	}
+	return iterations
+}
+
+// ModelFCFSAssignment models the steady-state outcome of first-come-first-
+// serve partition claiming for the analytic cost model: dynamic scheduling
+// approximates a greedy least-loaded assignment, so each partition (in
+// order) goes to the thread with the least accumulated edge work. With many
+// small partitions this is near-perfectly balanced; with fewer partitions
+// than threads (GPOP's 1MB partitions on a small graph) the imbalance the
+// paper observes emerges naturally.
+func ModelFCFSAssignment(h *partition.Hierarchy, threads int) []int32 {
+	out := make([]int32, h.NumPartitions())
+	load := make([]int64, threads)
+	for p, part := range h.Partitions {
+		best := 0
+		for t := 1; t < threads; t++ {
+			if load[t] < load[best] {
+				best = t
+			}
+		}
+		out[p] = int32(best)
+		load[best] += part.EdgeCount + 1
+	}
+	return out
+}

@@ -1,0 +1,407 @@
+package common
+
+import (
+	"fmt"
+
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/machine"
+	"hipa/internal/partition"
+	"hipa/internal/perfmodel"
+)
+
+// Cycle cost constants for the analytic model. They set the compute
+// component of the estimate (absolute scale); the memory components come
+// from the machine parameters.
+const (
+	// CyclesPerEdge covers the add/multiply plus index arithmetic of one
+	// edge traversal.
+	CyclesPerEdge = 5.0
+	// CyclesPerMessage covers encoding/decoding one compressed inter-edge
+	// message.
+	CyclesPerMessage = 4.0
+	// CyclesPerVertex covers the per-vertex rank recomputation.
+	CyclesPerVertex = 10.0
+	// AtomicPenaltyCycles is the extra cost of an atomic read-modify-write
+	// on a contended line (the Polymer-style frameworks' push updates).
+	AtomicPenaltyCycles = 12.0
+	// WorkingSetSlack scales a partition's vertex bytes to its full cache
+	// working set: vertex subset + resident part of the edge subset + the
+	// scatter buffer must co-reside in L2 (§4.5: "the size of a vertex
+	// subset is supposed to be smaller than the L2 cache size, so that the
+	// edge subset and buffer are co-located").
+	WorkingSetSlack = 1.5
+)
+
+// PartitionModelSpec feeds BuildPartitionModel with everything the analytic
+// model needs about a partition-centric run (HiPa, p-PR, GPOP).
+type PartitionModelSpec struct {
+	Machine *machine.Machine
+	Hier    *partition.Hierarchy
+	Lay     *layout.Layout
+	Lookup  *partition.LookupTable
+
+	// ThreadNode[t] is the NUMA node thread t runs on; ThreadShared[t]
+	// reports whether its hyper-thread sibling is also active. Both come
+	// from the scheduler simulation.
+	ThreadNode   []int
+	ThreadShared []bool
+	// PartThread[p] is the thread that processes partition p (the pinned
+	// assignment for HiPa, or the modelled average assignment for FCFS
+	// engines).
+	PartThread []int32
+
+	// NUMAAware marks data placed on the owning node (HiPa); otherwise
+	// arrays are effectively interleaved across nodes and a 1/NUMANodes
+	// fraction of traffic is local.
+	NUMAAware bool
+
+	Iterations int
+	// ExtraBytesPerPartition models per-partition framework state streamed
+	// each phase (GPOP's Flags/State fields, §4.5).
+	ExtraBytesPerPartition int64
+	// ExtraCyclesPerEdge models framework bookkeeping on the edge path
+	// (GPOP's generality layer; 0 for the hand-coded engines).
+	ExtraCyclesPerEdge float64
+	// WorkingSetSlack overrides the default WorkingSetSlack factor when
+	// non-zero. Pinned threads over the contiguous per-group layout (§3.4)
+	// keep a tight resident set (default 1.5×); FCFS threads hop across
+	// non-contiguous partitions and keep more live bin pages resident, so
+	// the oblivious engines pass a larger factor — this is the L2
+	// contention that makes them degrade past the physical core count
+	// (§3.3.1, Fig. 6).
+	WorkingSetSlack float64
+}
+
+// BuildPartitionModel classifies the memory events of a partition-centric
+// scatter-gather run and returns the per-thread costs plus the barrier
+// count. Event counts are exact (driven by the real layout); placement
+// classification is exact for NUMA-aware runs and expectation-based for
+// interleaved ones.
+func BuildPartitionModel(s PartitionModelSpec) ([]perfmodel.ThreadCost, int64, error) {
+	if len(s.ThreadNode) == 0 {
+		return nil, 0, fmt.Errorf("common: no threads in model spec")
+	}
+	if len(s.PartThread) != s.Hier.NumPartitions() {
+		return nil, 0, fmt.Errorf("common: PartThread has %d entries for %d partitions", len(s.PartThread), s.Hier.NumPartitions())
+	}
+	nThreads := len(s.ThreadNode)
+	m := s.Machine
+	costs := make([]perfmodel.ThreadCost, nThreads)
+	for t, nd := range s.ThreadNode {
+		costs[t].Node = nd
+		costs[t].PhysShared = s.ThreadShared[t]
+	}
+	// LLC demand counts only *active* threads (those owning at least one
+	// partition); a huge partition size can leave most threads idle.
+	active := make([]bool, nThreads)
+	for _, t := range s.PartThread {
+		if int(t) >= 0 && int(t) < nThreads {
+			active[t] = true
+		}
+	}
+	threadsOnNode := make([]int, m.NUMANodes)
+	for t, nd := range s.ThreadNode {
+		if active[t] {
+			threadsOnNode[nd]++
+		}
+	}
+
+	// Per-partition aggregates from the layout.
+	P := s.Hier.NumPartitions()
+	msgsOut := make([]int64, P)
+	dstsOut := make([]int64, P)
+	msgsIn := make([]int64, P)
+	dstsIn := make([]int64, P)
+	for _, b := range s.Lay.Blocks {
+		nm := b.Messages()
+		nd := s.Lay.MsgDstOff[b.MsgEnd] - s.Lay.MsgDstOff[b.MsgStart]
+		msgsOut[b.SrcPart] += nm
+		dstsOut[b.SrcPart] += nd
+		msgsIn[b.DstPart] += nm
+		dstsIn[b.DstPart] += nd
+	}
+
+	slack := s.WorkingSetSlack
+	if slack == 0 {
+		slack = WorkingSetSlack
+	}
+	partBytes := int64(s.Hier.VerticesPerPartition * s.Hier.Config.BytesPerVertex)
+
+	// addStream splits bytes into local/remote for a thread given the node
+	// the data lives on (dataNode < 0 means interleaved).
+	addStream := func(t int, dataNode int, bytes int64) {
+		if bytes == 0 {
+			return
+		}
+		c := &costs[t]
+		if dataNode >= 0 {
+			if dataNode == c.Node {
+				c.StreamLocalBytes += bytes
+			} else {
+				c.StreamRemoteBytes += bytes
+			}
+			return
+		}
+		local := bytes / int64(m.NUMANodes)
+		c.StreamLocalBytes += local
+		c.StreamRemoteBytes += bytes - local
+	}
+	// The aggregate LLC demand can never exceed the per-node footprint of
+	// the vertex attribute arrays (rank + accumulator); without this cap
+	// the model overstates DRAM spill for large partitions on small graphs
+	// (cross-checked against the exact simulator in internal/validate).
+	capBytes := int64(s.Hier.NumVertices) * int64(s.Hier.Config.BytesPerVertex) * 2 / int64(m.NUMANodes)
+	// addRandom classifies `count` random accesses within the thread's
+	// partition working set across L2/LLC/DRAM fractions.
+	addRandom := func(t int, dataNode int, count int64) {
+		if count == 0 {
+			return
+		}
+		c := &costs[t]
+		fL2, fLLC, fDRAM := perfmodel.ClassifyPartitionRandom(m, partBytes, slack, c.PhysShared, threadsOnNode[c.Node], capBytes)
+		c.L2Accesses += int64(float64(count) * fL2)
+		c.LLCAccesses += int64(float64(count) * fLLC)
+		dram := int64(float64(count) * fDRAM)
+		if dram == 0 {
+			return
+		}
+		if dataNode < 0 {
+			local := dram / int64(m.NUMANodes)
+			c.RandomLocal += local
+			c.RandomRemote += dram - local
+		} else if dataNode == c.Node {
+			c.RandomLocal += dram
+		} else {
+			c.RandomRemote += dram
+		}
+	}
+
+	iters := int64(s.Iterations)
+	vb := int64(s.Hier.Config.BytesPerVertex)
+	for p := 0; p < P; p++ {
+		t := int(s.PartThread[p])
+		if t < 0 || t >= nThreads {
+			return nil, 0, fmt.Errorf("common: partition %d assigned to thread %d of %d", p, t, nThreads)
+		}
+		part := s.Hier.Partitions[p]
+		vp := int64(part.Vertices())
+		intra := s.Lay.IntraOff[part.VertexEnd] - s.Lay.IntraOff[part.VertexStart]
+
+		// Where p's data lives: its own node when NUMA-aware, interleaved
+		// otherwise.
+		dataNode := -1
+		if s.NUMAAware {
+			dataNode = int(s.Lookup.PartNode[p])
+		}
+
+		// --- Scatter phase (per iteration) ---
+		// Stream: rank slice, intra-edge structure, message sources.
+		addStream(t, dataNode, iters*(vp*vb+intra*4+msgsOut[p]*4))
+		// Bin writes: bins live with the *destination* partition when
+		// NUMA-aware, so cross-node messages are the remote traffic of the
+		// scatter phase (Fig. 1's "node 2 sends out updated data").
+		if s.NUMAAware {
+			for bi := s.Lay.SrcBlockStart[p]; bi < s.Lay.SrcBlockEnd[p]; bi++ {
+				b := s.Lay.Blocks[bi]
+				addStream(t, int(s.Lookup.PartNode[b.DstPart]), iters*b.Messages()*4)
+			}
+		} else {
+			addStream(t, -1, iters*msgsOut[p]*4)
+		}
+		// Random: intra-edge accumulator updates stay inside the cached
+		// partition.
+		addRandom(t, dataNode, iters*intra)
+
+		// --- Gather phase (per iteration) ---
+		// Stream: bins targeting q (local when NUMA-aware), destination
+		// lists, rank recompute (read accumulator + write rank).
+		addStream(t, dataNode, iters*(msgsIn[p]*4+dstsIn[p]*4+vp*vb*2))
+		// Random: decoded destination updates within the cached partition.
+		addRandom(t, dataNode, iters*dstsIn[p])
+
+		// Framework per-partition state (GPOP), streamed each phase.
+		if s.ExtraBytesPerPartition > 0 {
+			addStream(t, -1, iters*2*s.ExtraBytesPerPartition)
+		}
+
+		// Compute.
+		costs[t].ComputeCycles += float64(iters) * ((CyclesPerEdge+s.ExtraCyclesPerEdge)*float64(intra+dstsIn[p]) +
+			CyclesPerVertex*2*float64(vp) +
+			CyclesPerMessage*float64(msgsOut[p]+msgsIn[p]))
+	}
+	// Three barriers per iteration: after scatter, after gather, after the
+	// dangling-mass reduction.
+	return costs, iters * 3, nil
+}
+
+// VertexModelSpec feeds BuildVertexModel for vertex-centric runs (v-PR,
+// Polymer).
+type VertexModelSpec struct {
+	Machine *machine.Machine
+	G       *graph.Graph
+
+	ThreadNode   []int
+	ThreadShared []bool
+	// Bounds are the per-thread destination vertex ranges (len threads+1).
+	Bounds []int
+
+	// NUMAAware places each thread's in-edge structure and rank slice on
+	// its node and counts true source-locality (Polymer); otherwise
+	// interleaved.
+	NUMAAware bool
+	// FrontierBytesPerVertex models framework frontier machinery streamed
+	// per vertex per iteration (Polymer; 0 for hand-coded v-PR).
+	FrontierBytesPerVertex int64
+	// AtomicUpdates adds the atomic-operation penalty per edge (Polymer's
+	// push-style updates; §4.3 "suffering from atomic operations").
+	AtomicUpdates bool
+	// FrameworkCyclesPerEdge models per-edge framework overhead (virtual
+	// dispatch, work-stealing bookkeeping). 0 for the hand-coded v-PR;
+	// calibrated against Table 2 for the Polymer-like framework.
+	FrameworkCyclesPerEdge float64
+	// SpatialReuseFactor divides the random-miss count: a NUMA-aware
+	// framework that clusters each node's in-edges by source locality
+	// (Polymer's sub-graph construction) reuses each fetched line for
+	// several nearby edges. 0 or 1 means no reuse (v-PR's global pull).
+	SpatialReuseFactor float64
+	// BoundaryRemoteFraction is the share of random misses that cross
+	// nodes in a NUMA-aware engine (sub-graph boundary vertices fetched
+	// from the owning node). Ignored when NUMAAware is false.
+	BoundaryRemoteFraction float64
+
+	Iterations int
+}
+
+// BuildVertexModel classifies the events of a pull/push vertex-centric run.
+func BuildVertexModel(s VertexModelSpec) ([]perfmodel.ThreadCost, int64, error) {
+	nThreads := len(s.ThreadNode)
+	if nThreads == 0 || len(s.Bounds) != nThreads+1 {
+		return nil, 0, fmt.Errorf("common: bad vertex model spec (threads=%d bounds=%d)", nThreads, len(s.Bounds))
+	}
+	if !s.G.HasInEdges() {
+		return nil, 0, fmt.Errorf("common: vertex model needs in-edges")
+	}
+	m := s.Machine
+	costs := make([]perfmodel.ThreadCost, nThreads)
+	threadsOnNode := make([]int, m.NUMANodes)
+	for t, nd := range s.ThreadNode {
+		costs[t].Node = nd
+		costs[t].PhysShared = s.ThreadShared[t]
+		threadsOnNode[nd]++
+	}
+
+	n := s.G.NumVertices()
+	inOff := s.G.InOffsets()
+	iters := int64(s.Iterations)
+
+	// Real pull engines schedule vertex chunks dynamically, so the load
+	// balance approaches the LPT bound: every thread gets ≈ |E|/T in-edges,
+	// floored by the largest single vertex (a vertex's pull cannot be split
+	// without atomics). The static Bounds drive locality and vertex counts;
+	// edge loads use the dynamic-balance estimate.
+	totalIn := inOff[n]
+	evenE := totalIn / int64(nThreads)
+	var maxIn int64
+	for v := 0; v < n; v++ {
+		if d := inOff[v+1] - inOff[v]; d > maxIn {
+			maxIn = d
+		}
+	}
+	slowestE := evenE
+	if maxIn > slowestE {
+		slowestE = maxIn
+	}
+	// Distribute the remainder so totals stay exact: thread 0 carries the
+	// hub-bound load, others share the rest evenly.
+	restE := totalIn - slowestE
+	otherE := int64(0)
+	if nThreads > 1 {
+		otherE = restE / int64(nThreads-1)
+	}
+	edgesOf := func(t int) int64 {
+		if t == 0 {
+			return slowestE
+		}
+		if t == nThreads-1 {
+			return restE - otherE*int64(nThreads-2)
+		}
+		return otherE
+	}
+
+	// The random-read working set: the contribution array spans all
+	// vertices for an oblivious engine; a NUMA-aware engine's references
+	// concentrate on its own node's slice (Polymer's sub-graphs), shrinking
+	// the effective working set per node.
+	for t := 0; t < nThreads; t++ {
+		lo, hi := s.Bounds[t], s.Bounds[t+1]
+		verts := int64(hi - lo)
+		inEdges := edgesOf(t)
+		c := &costs[t]
+
+		dataNode := -1
+		if s.NUMAAware {
+			dataNode = c.Node
+		}
+		// Streams: in-edge structure (4B per edge + 8B offsets per vertex),
+		// contribution write + rank write (4B each per vertex).
+		stream := iters * (inEdges*4 + verts*8 + verts*8)
+		if s.FrontierBytesPerVertex > 0 {
+			stream += iters * verts * s.FrontierBytesPerVertex
+		}
+		if dataNode >= 0 {
+			c.StreamLocalBytes += stream
+		} else {
+			local := stream / int64(m.NUMANodes)
+			c.StreamLocalBytes += local
+			c.StreamRemoteBytes += stream - local
+		}
+
+		// Random contribution reads: one per in-edge. The effective cache
+		// for one thread's random reads is its node's LLC plus its own L2.
+		ws := int64(n) * 4
+		llcCap := int64(m.LLC.SizeBytes) + int64(m.L2.SizeBytes)
+		if s.NUMAAware && m.NUMANodes > 0 {
+			// Polymer-style sub-graphs: each node holds a local replica of
+			// the contribution slice it reads, so the random working set is
+			// the per-node share.
+			ws /= int64(m.NUMANodes)
+		}
+		pHit := 1.0
+		if ws > llcCap {
+			pHit = float64(llcCap) / float64(ws)
+		}
+		hits := int64(float64(iters*inEdges) * pHit)
+		misses := iters*inEdges - hits
+		if s.SpatialReuseFactor > 1 {
+			// Clustered in-edges reuse each fetched line for several edges.
+			misses = int64(float64(misses) / s.SpatialReuseFactor)
+		}
+		c.LLCAccesses += hits
+		if s.NUMAAware {
+			// Misses go to the node-local replica except for sub-graph
+			// boundary vertices fetched from the owning node; the replicas
+			// are merged once per iteration (4 bytes per remote vertex over
+			// the interconnect).
+			remote := int64(float64(misses) * s.BoundaryRemoteFraction)
+			c.RandomLocal += misses - remote
+			c.RandomRemote += remote
+			c.StreamRemoteBytes += iters * verts * 4 * int64(m.NUMANodes-1)
+		} else {
+			lm := misses / int64(m.NUMANodes)
+			c.RandomLocal += lm
+			c.RandomRemote += misses - lm
+		}
+
+		// Compute. The pull path has a dependent load per edge, costing more
+		// than the partition engines' streamed edge work.
+		perEdge := 2*CyclesPerEdge + s.FrameworkCyclesPerEdge
+		if s.AtomicUpdates {
+			perEdge += AtomicPenaltyCycles
+		}
+		cyc := float64(iters) * (perEdge*float64(inEdges) + CyclesPerVertex*float64(verts))
+		c.ComputeCycles += cyc
+	}
+	// Two barriers per iteration (contribution pass, rank pass).
+	return costs, iters * 2, nil
+}

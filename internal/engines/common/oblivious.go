@@ -1,0 +1,156 @@
+package common
+
+import (
+	"fmt"
+	"time"
+
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/machine"
+	"hipa/internal/partition"
+	"hipa/internal/perfmodel"
+	"hipa/internal/sched"
+)
+
+// FCFSWorkingSetSlack is the working-set factor for first-come-first-serve
+// partition processing: threads hop across non-contiguous partitions and
+// keep more live bin pages resident than HiPa's pinned threads over the
+// contiguous per-group layout (§3.4), so their resident set per partition is
+// larger. This is the mechanism behind the oblivious engines' degradation
+// beyond the physical core count (Fig. 6).
+const FCFSWorkingSetSlack = 2.25
+
+// ObliviousPartitionConfig parameterises the two NUMA-oblivious
+// partition-centric engines (p-PR and the GPOP-like framework), which share
+// the Algorithm-1 execution structure: per-phase thread pools and FCFS
+// partition claiming over an interleaved data layout.
+type ObliviousPartitionConfig struct {
+	Name string
+	// DefaultThreads is the paper's tuned thread count (20 for both p-PR
+	// and GPOP on the Skylake testbed — half the logical cores, §4.1).
+	DefaultThreads func(m *machine.Machine) int
+	// DefaultPartitionBytes is the engine's tuned partition size (256KB for
+	// p-PR, 1MB for GPOP).
+	DefaultPartitionBytes int
+	// ExtraBytesPerPartition and ExtraCyclesPerEdge model framework
+	// overheads (GPOP's per-partition Flags/State and generality layer).
+	ExtraBytesPerPartition int64
+	ExtraCyclesPerEdge     float64
+}
+
+// RunObliviousPartitionEngine executes a NUMA-oblivious partition-centric
+// PageRank per cfg and returns the standard result.
+func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (*Result, error) {
+	if o.Machine == nil {
+		o.Machine = machine.SkylakeSilver4210()
+	}
+	m := o.Machine
+	if o.PartitionBytes == 0 {
+		o.PartitionBytes = cfg.DefaultPartitionBytes
+	}
+	o = o.WithDefaults(cfg.DefaultThreads(m))
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("%s: empty graph", cfg.Name)
+	}
+
+	prepStart := time.Now()
+	// NUMA-oblivious: a single flat list of cache-able partitions; no node
+	// assignment (NumNodes 1) and no pinned groups.
+	hier, err := partition.Build(g, partition.Config{
+		PartitionBytes: o.PartitionBytes,
+		BytesPerVertex: 4,
+		NumNodes:       1,
+		GroupsPerNode:  1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	lay, err := layout.Build(g, hier, !o.NoCompress)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	lookup := partition.BuildLookup(hier)
+	prep := time.Since(prepStart)
+
+	// Simulated scheduling: Algorithm 1 — a fresh pool per phase, threads
+	// placed arbitrarily by the OS, no binding.
+	regions := o.Iterations * 2
+	schedStats, placementNodes, placementShared, err := obliviousSchedule(m, o.SchedSeed, regions, o.Threads, false)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+
+	// Real execution.
+	state := NewSGState(g, hier, lay, o.Damping, o.Threads)
+	wallStart := time.Now()
+	performed := RunFCFS(state, o.Iterations, o.Threads, o.Tolerance)
+	wall := time.Since(wallStart)
+	o.Iterations = performed
+
+	// Analytic model.
+	costs, barriers, err := BuildPartitionModel(PartitionModelSpec{
+		Machine: m, Hier: hier, Lay: lay, Lookup: lookup,
+		ThreadNode: placementNodes, ThreadShared: placementShared,
+		PartThread: ModelFCFSAssignment(hier, o.Threads),
+		NUMAAware:  false,
+		Iterations: o.Iterations,
+
+		ExtraBytesPerPartition: cfg.ExtraBytesPerPartition,
+		ExtraCyclesPerEdge:     cfg.ExtraCyclesPerEdge,
+		WorkingSetSlack:        FCFSWorkingSetSlack,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	rep, err := perfmodel.Estimate(perfmodel.Run{
+		Machine: m, Threads: costs,
+		Barriers:             barriers,
+		SchedCostNS:          schedStats.CostNS,
+		EdgesProcessed:       g.NumEdges() * int64(o.Iterations),
+		Iterations:           o.Iterations,
+		UncoordinatedStreams: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+
+	return &Result{
+		Engine:      cfg.Name,
+		Ranks:       state.Ranks,
+		Iterations:  o.Iterations,
+		Threads:     o.Threads,
+		WallSeconds: wall.Seconds(),
+		PrepSeconds: prep.Seconds(),
+		Model:       rep,
+		Sched:       schedStats,
+	}, nil
+}
+
+// obliviousSchedule simulates Algorithm 1's thread lifecycle and returns the
+// scheduler stats plus a representative placement (the first region's pool)
+// for the cost model. bindNodes retrofits NUMA binding onto the oblivious
+// model (Polymer-style), triggering the migration storm of §3.3.2.
+func obliviousSchedule(m *machine.Machine, seed uint64, regions, threads int, bindNodes bool) (sched.Stats, []int, []bool, error) {
+	// Placement snapshot from an identical-seed scheduler's first pool.
+	snap := sched.New(m, seed)
+	pool := snap.SpawnN(threads, sched.PlacementRandom)
+	if bindNodes {
+		for i, t := range pool {
+			if err := snap.Bind(t, i%m.NUMANodes); err != nil {
+				return sched.Stats{}, nil, nil, err
+			}
+		}
+	}
+	nodes, shared := ThreadPlacement(pool, m)
+
+	// Full lifecycle stats.
+	sc := sched.New(m, seed)
+	stats, err := sc.RunObliviousRegions(regions, threads, bindNodes)
+	if err != nil {
+		return sched.Stats{}, nil, nil, err
+	}
+	return stats, nodes, shared, nil
+}

@@ -1,0 +1,23 @@
+package common
+
+import (
+	"hipa/internal/machine"
+	"hipa/internal/sched"
+)
+
+// ThreadPlacement derives the model inputs from a simulated thread pool:
+// each thread's NUMA node and whether it shares a physical core with another
+// pool thread (the hyper-thread contention condition).
+func ThreadPlacement(pool []*sched.Thread, m *machine.Machine) (nodes []int, shared []bool) {
+	nodes = make([]int, len(pool))
+	shared = make([]bool, len(pool))
+	perPhys := make([]int, m.PhysicalCores())
+	for _, t := range pool {
+		perPhys[m.PhysicalOfLogical(t.Logical)]++
+	}
+	for i, t := range pool {
+		nodes[i] = m.NodeOfLogical(t.Logical)
+		shared[i] = perPhys[m.PhysicalOfLogical(t.Logical)] >= 2
+	}
+	return nodes, shared
+}

@@ -1,0 +1,149 @@
+package common
+
+import (
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/partition"
+)
+
+// padF64 avoids false sharing between per-thread partial sums.
+type padF64 struct {
+	v float64
+	_ [7]int64
+}
+
+// SGState is the mutable state of a partition-centric scatter-gather
+// PageRank execution, shared by the HiPa engine (pinned threads) and the
+// FCFS engines (p-PR, GPOP). Partition-level methods are safe to call
+// concurrently as long as each partition is processed by exactly one thread
+// per phase and scatter/gather phases are separated by barriers.
+type SGState struct {
+	G    *graph.Graph
+	Lay  *layout.Layout
+	Hier *partition.Hierarchy
+
+	Ranks []float32 // current ranks; overwritten in the gather phase
+	Acc   []float32 // per-vertex accumulators, zeroed after each gather
+	Bins  []float32 // one slot per compressed message
+	Inv   []float32 // 1/outdeg, 0 for dangling
+
+	Damping float64
+	base    float32 // (1-d)/n
+	redis   float32 // d * danglingSum/n, set by ReduceDangling
+
+	partials  []padF64 // per-thread dangling partials
+	residuals []padF64 // per-thread L∞ rank-change partials
+}
+
+// MaxResidual folds and resets the per-thread residual partials: the L∞
+// rank change of the last gather phase. Call from one thread between
+// iterations (barrier leader).
+func (s *SGState) MaxResidual() float64 {
+	var max float64
+	for i := range s.residuals {
+		if s.residuals[i].v > max {
+			max = s.residuals[i].v
+		}
+		s.residuals[i].v = 0
+	}
+	return max
+}
+
+// NewSGState allocates the execution state for threads workers.
+func NewSGState(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layout, damping float64, threads int) *SGState {
+	n := g.NumVertices()
+	return &SGState{
+		G: g, Lay: lay, Hier: hier,
+		Ranks:     InitRanks(n),
+		Acc:       make([]float32, n),
+		Bins:      make([]float32, lay.NumMessages()),
+		Inv:       InvOutDegrees(g),
+		Damping:   damping,
+		base:      float32((1 - damping) / float64(n)),
+		partials:  make([]padF64, threads),
+		residuals: make([]padF64, threads),
+	}
+}
+
+// ScatterPartition runs the scatter phase for partition p on behalf of
+// thread tid: computes each source vertex's contribution, applies
+// intra-edges to the local accumulators, writes one compressed value per
+// outgoing message, and accumulates the thread's dangling partial from the
+// old ranks.
+func (s *SGState) ScatterPartition(p int, tid int) {
+	part := s.Hier.Partitions[p]
+	lay := s.Lay
+
+	// Intra-edges + dangling, iterating the partition's vertices in order.
+	var dangling float64
+	for v := int(part.VertexStart); v < int(part.VertexEnd); v++ {
+		inv := s.Inv[v]
+		if inv == 0 {
+			dangling += float64(s.Ranks[v])
+			continue
+		}
+		contrib := s.Ranks[v] * inv
+		for _, d := range lay.IntraDst[lay.IntraOff[v]:lay.IntraOff[v+1]] {
+			s.Acc[d] += contrib
+		}
+	}
+	s.partials[tid].v += dangling
+
+	// Compressed messages, streamed block by block.
+	for bi := lay.SrcBlockStart[p]; bi < lay.SrcBlockEnd[p]; bi++ {
+		b := lay.Blocks[bi]
+		for m := b.MsgStart; m < b.MsgEnd; m++ {
+			src := lay.MsgSrc[m]
+			s.Bins[m] = s.Ranks[src] * s.Inv[src]
+		}
+	}
+}
+
+// ReduceDangling folds the per-thread dangling partials into the
+// redistribution term for this iteration and resets the partials. Call from
+// exactly one thread between the scatter and gather phases (barrier leader).
+func (s *SGState) ReduceDangling() {
+	var sum float64
+	for i := range s.partials {
+		sum += s.partials[i].v
+		s.partials[i].v = 0
+	}
+	n := s.G.NumVertices()
+	if n > 0 {
+		s.redis = float32(s.Damping * sum / float64(n))
+	}
+}
+
+// GatherPartition runs the gather phase for partition p: decodes the
+// messages targeting p into the accumulators, then recomputes the ranks of
+// p's vertices and clears the accumulators, tracking the thread's L∞ rank
+// change for convergence checks.
+func (s *SGState) GatherPartition(p int, tid int) {
+	lay := s.Lay
+	for _, bi := range lay.DstBlocks[p] {
+		b := lay.Blocks[bi]
+		for m := b.MsgStart; m < b.MsgEnd; m++ {
+			val := s.Bins[m]
+			for _, d := range lay.MsgDst[lay.MsgDstOff[m]:lay.MsgDstOff[m+1]] {
+				s.Acc[d] += val
+			}
+		}
+	}
+	part := s.Hier.Partitions[p]
+	d := float32(s.Damping)
+	res := s.residuals[tid].v
+	for v := int(part.VertexStart); v < int(part.VertexEnd); v++ {
+		old := s.Ranks[v]
+		nv := s.base + d*s.Acc[v] + s.redis
+		s.Ranks[v] = nv
+		s.Acc[v] = 0
+		diff := float64(nv - old)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > res {
+			res = diff
+		}
+	}
+	s.residuals[tid].v = res
+}

@@ -1,0 +1,218 @@
+package common
+
+import (
+	"fmt"
+	"time"
+
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+	"hipa/internal/perfmodel"
+)
+
+// VertexEngineConfig parameterises the two vertex-centric engines (v-PR and
+// the Polymer-like framework), which share the pull-based execution: per
+// iteration, one parallel pass computes contributions, a second pulls them
+// over in-edges.
+type VertexEngineConfig struct {
+	Name           string
+	DefaultThreads func(m *machine.Machine) int
+	// NUMAAware assigns thread vertex ranges node-major with local data
+	// placement and node-bound threads (Polymer); otherwise ranges are
+	// plain edge-balanced chunks over interleaved data (v-PR).
+	NUMAAware bool
+	// FrontierBytesPerVertex and FrameworkCyclesPerEdge / AtomicUpdates
+	// model framework overheads (0/0/false for hand-coded v-PR).
+	FrontierBytesPerVertex int64
+	FrameworkCyclesPerEdge float64
+	AtomicUpdates          bool
+	// SpatialReuseFactor and BoundaryRemoteFraction forward to the vertex
+	// cost model (see VertexModelSpec).
+	SpatialReuseFactor     float64
+	BoundaryRemoteFraction float64
+}
+
+// RunVertexEngine executes a pull-based vertex-centric PageRank per cfg.
+func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result, error) {
+	if o.Machine == nil {
+		o.Machine = machine.SkylakeSilver4210()
+	}
+	m := o.Machine
+	o = o.WithDefaults(cfg.DefaultThreads(m))
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("%s: empty graph", cfg.Name)
+	}
+	threads := o.Threads
+	if threads > n {
+		threads = n
+	}
+
+	// Preprocessing: the pull direction needs the in-edge (CSC) form plus
+	// the edge-balanced thread ranges.
+	prepStart := time.Now()
+	g.BuildIn()
+	var bounds []int
+	if cfg.NUMAAware {
+		// Split vertices across nodes edge-balanced, then across each
+		// node's threads — Polymer's sub-graph-per-node structure.
+		perNode := threads / m.NUMANodes
+		if perNode < 1 {
+			perNode = 1
+			threads = m.NUMANodes
+		} else {
+			threads = perNode * m.NUMANodes
+		}
+		nodeBounds := SplitByWeight(g.InOffsets(), m.NUMANodes)
+		bounds = []int{0}
+		inOff := g.InOffsets()
+		for nd := 0; nd < m.NUMANodes; nd++ {
+			lo, hi := nodeBounds[nd], nodeBounds[nd+1]
+			// Edge-balanced split of [lo,hi) into perNode ranges.
+			sub := make([]int64, hi-lo+1)
+			for i := range sub {
+				sub[i] = inOff[lo+i] - inOff[lo]
+			}
+			sb := SplitByWeight(sub, perNode)
+			for _, b := range sb[1:] {
+				bounds = append(bounds, lo+b)
+			}
+		}
+	} else {
+		bounds = SplitByWeight(g.InOffsets(), threads)
+	}
+	prep := time.Since(prepStart)
+
+	// Simulated scheduling: Algorithm-1 pools per phase; Polymer binds its
+	// threads to nodes (and pays the migrations), v-PR does not.
+	regions := o.Iterations * 2
+	schedStats, placementNodes, placementShared, err := obliviousSchedule(m, o.SchedSeed, regions, threads, cfg.NUMAAware)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	if cfg.NUMAAware {
+		// The model's locality accounting keys off the thread's node, which
+		// for Polymer is determined by its vertex range, not the random
+		// placement snapshot.
+		perNode := threads / m.NUMANodes
+		for t := range placementNodes {
+			placementNodes[t] = t / perNode
+			if placementNodes[t] >= m.NUMANodes {
+				placementNodes[t] = m.NUMANodes - 1
+			}
+		}
+	}
+
+	// Real execution.
+	ranks := InitRanks(n)
+	contrib := make([]float32, n)
+	inv := InvOutDegrees(g)
+	base := float32((1 - o.Damping) / float64(n))
+	d := float32(o.Damping)
+	partials := make([]padF64, threads)
+	inOff := g.InOffsets()
+	inAdj := g.InEdges()
+
+	wallStart := time.Now()
+	var redis float32
+	performed := 0
+	residuals := make([]padF64, threads)
+	for it := 0; it < o.Iterations; it++ {
+		performed++
+		// Region 1: contributions + dangling partials.
+		RunThreads(threads, func(tid int) {
+			var dangling float64
+			for v := bounds[tid]; v < bounds[tid+1]; v++ {
+				iv := inv[v]
+				if iv == 0 {
+					dangling += float64(ranks[v])
+					contrib[v] = 0
+					continue
+				}
+				contrib[v] = ranks[v] * iv
+			}
+			partials[tid].v = dangling
+		})
+		var sum float64
+		for i := range partials {
+			sum += partials[i].v
+		}
+		redis = d * float32(sum/float64(n))
+		// Region 2: pull.
+		RunThreads(threads, func(tid int) {
+			res := residuals[tid].v
+			for v := bounds[tid]; v < bounds[tid+1]; v++ {
+				var acc float32
+				for _, u := range inAdj[inOff[v]:inOff[v+1]] {
+					acc += contrib[u]
+				}
+				old := ranks[v]
+				nv := base + d*acc + redis
+				ranks[v] = nv
+				diff := float64(nv - old)
+				if diff < 0 {
+					diff = -diff
+				}
+				if diff > res {
+					res = diff
+				}
+			}
+			residuals[tid].v = res
+		})
+		if o.Tolerance > 0 {
+			var maxRes float64
+			for i := range residuals {
+				if residuals[i].v > maxRes {
+					maxRes = residuals[i].v
+				}
+				residuals[i].v = 0
+			}
+			if maxRes < o.Tolerance {
+				break
+			}
+		}
+	}
+	o.Iterations = performed
+	wall := time.Since(wallStart)
+
+	// Analytic model.
+	costs, barriers, err := BuildVertexModel(VertexModelSpec{
+		Machine: m, G: g,
+		ThreadNode: placementNodes, ThreadShared: placementShared,
+		Bounds:                 bounds,
+		NUMAAware:              cfg.NUMAAware,
+		FrontierBytesPerVertex: cfg.FrontierBytesPerVertex,
+		FrameworkCyclesPerEdge: cfg.FrameworkCyclesPerEdge,
+		SpatialReuseFactor:     cfg.SpatialReuseFactor,
+		BoundaryRemoteFraction: cfg.BoundaryRemoteFraction,
+		AtomicUpdates:          cfg.AtomicUpdates,
+		Iterations:             o.Iterations,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+	rep, err := perfmodel.Estimate(perfmodel.Run{
+		Machine: m, Threads: costs,
+		Barriers:             barriers,
+		SchedCostNS:          schedStats.CostNS,
+		EdgesProcessed:       g.NumEdges() * int64(o.Iterations),
+		Iterations:           o.Iterations,
+		UncoordinatedStreams: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	}
+
+	return &Result{
+		Engine:      cfg.Name,
+		Ranks:       ranks,
+		Iterations:  o.Iterations,
+		Threads:     threads,
+		WallSeconds: wall.Seconds(),
+		PrepSeconds: prep.Seconds(),
+		Model:       rep,
+		Sched:       schedStats,
+	}, nil
+}

@@ -1,0 +1,187 @@
+package enginetest
+
+import (
+	"testing"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/engines/gpop"
+	"hipa/internal/engines/polymer"
+	"hipa/internal/engines/ppr"
+	"hipa/internal/engines/vpr"
+	"hipa/internal/gen"
+	"hipa/internal/machine"
+)
+
+// Baseline-specific behaviours (beyond the cross-engine equivalence suite).
+
+func TestObliviousEnginesRemoteNearHalf(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 3000, Edges: 40000, OutAlpha: 2.0, InAlpha: 0.9, Seed: 93})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOptions(5)
+	for _, e := range []common.Engine{ppr.Engine{}, gpop.Engine{}, vpr.Engine{}} {
+		res, err := e.Run(g, o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if f := res.Model.RemoteFraction; f < 0.4 || f > 0.6 {
+			t.Errorf("%s: remote fraction %.3f, want ~0.5 (interleaved data)", e.Name(), f)
+		}
+	}
+}
+
+func TestPolymerLowRemoteButSlow(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 4000, Edges: 60000, OutAlpha: 2.0, InAlpha: 0.9, Seed: 94})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOptions(5)
+	poly, err := (polymer.Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := (vpr.Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper §4.3: Polymer's remote ratio is far below v-PR's, yet its total
+	// execution is slower (framework overheads).
+	if poly.Model.RemoteFraction >= v.Model.RemoteFraction {
+		t.Errorf("Polymer remote %.3f should be below v-PR %.3f",
+			poly.Model.RemoteFraction, v.Model.RemoteFraction)
+	}
+	if poly.Model.EstimatedSeconds <= v.Model.EstimatedSeconds {
+		t.Errorf("Polymer (%.5fs) should be slower than v-PR (%.5fs) on journal-sized graphs",
+			poly.Model.EstimatedSeconds, v.Model.EstimatedSeconds)
+	}
+}
+
+func TestGPOPPartitionDefaultLargerThanPPR(t *testing.T) {
+	// GPOP's 1MB default produces fewer, bigger partitions => better
+	// compression => lower MApE than p-PR on large graphs (paper §4.3), at
+	// the price of worse cache behaviour. Compare at paper defaults.
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 8000, Edges: 160000, OutAlpha: 2.0, InAlpha: 1.0, Seed: 95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Scaled(machine.SkylakeSilver4210(), 1024)
+	gp, err := (gpop.Engine{}).Run(g, common.Options{Machine: m, Iterations: 5, PartitionBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := (ppr.Engine{}).Run(g, common.Options{Machine: m, Iterations: 5, PartitionBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Model.MApE >= pp.Model.MApE {
+		t.Errorf("GPOP MApE %.2f should be below p-PR %.2f (larger partitions compress better)",
+			gp.Model.MApE, pp.Model.MApE)
+	}
+}
+
+func TestVertexEngineThreadClamp(t *testing.T) {
+	// More threads than vertices: the vertex engines clamp.
+	g, err := gen.Uniform(10, 40, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (vpr.Engine{}).Run(g, testOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads > 10 {
+		t.Errorf("threads = %d for a 10-vertex graph", res.Threads)
+	}
+}
+
+func TestAlgorithmOneSpawnCounts(t *testing.T) {
+	// Algorithm 1's thread lifecycle: iterations x 2 phases x threads
+	// spawns for every oblivious engine (§3.3.2's counting argument).
+	g, err := gen.Uniform(500, 4000, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOptions(10)
+	o.Threads = 8
+	for _, e := range []common.Engine{ppr.Engine{}, gpop.Engine{}, vpr.Engine{}, polymer.Engine{}} {
+		res, err := e.Run(g, o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		want := int64(10 * 2 * res.Threads)
+		if res.Sched.Spawned != want {
+			t.Errorf("%s: spawned %d threads, want %d (Algorithm 1)", e.Name(), res.Sched.Spawned, want)
+		}
+	}
+}
+
+func TestPolymerBindingMigrations(t *testing.T) {
+	// Polymer binds its per-region threads to nodes, so it pays bindings
+	// and (some) migrations every region; v-PR binds nothing.
+	g, err := gen.Uniform(500, 4000, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := testOptions(10)
+	poly, err := (polymer.Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := (vpr.Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Sched.Bindings == 0 {
+		t.Error("Polymer should bind threads to nodes")
+	}
+	if v.Sched.Bindings != 0 {
+		t.Error("v-PR should not bind threads")
+	}
+	if poly.Sched.Migrations <= v.Sched.Migrations {
+		t.Errorf("Polymer migrations (%d) should exceed v-PR's (%d)",
+			poly.Sched.Migrations, v.Sched.Migrations)
+	}
+}
+
+func TestToleranceEarlyTermination(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 2000, Edges: 24000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range allEngines() {
+		o := testOptions(100)
+		o.Tolerance = 1e-6
+		res, err := e.Run(g, o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if res.Iterations >= 100 {
+			t.Errorf("%s: did not converge early (iterations = %d)", e.Name(), res.Iterations)
+		}
+		if res.Iterations < 3 {
+			t.Errorf("%s: converged implausibly fast (%d iterations)", e.Name(), res.Iterations)
+		}
+		// Result must approximate the converged fixed point.
+		ref := common.ReferencePageRank(g, 100, common.DefaultDamping)
+		var worst float64
+		for v := range ref {
+			dv := ref[v] - float64(res.Ranks[v])
+			if dv < 0 {
+				dv = -dv
+			}
+			if dv > worst {
+				worst = dv
+			}
+		}
+		if worst > 1e-4 {
+			t.Errorf("%s: converged result off by %g", e.Name(), worst)
+		}
+	}
+	// Negative tolerance rejected.
+	o := testOptions(5)
+	o.Tolerance = -1
+	if _, err := allEngines()[0].Run(g, o); err == nil {
+		t.Error("expected error for negative tolerance")
+	}
+}

@@ -1,0 +1,48 @@
+// Package gpop implements the GPOP-like framework baseline (§4.1): a
+// partition-centric graph processing *framework* in the style of Lakhotia et
+// al.'s GPOP (TOPC 2020). Like p-PR it is NUMA-oblivious with per-phase
+// thread pools and FCFS partition scheduling, but it carries framework
+// baggage the paper calls out:
+//
+//   - 1MB partitions (the authors' recommended setting, §4.1), which
+//     compress inter-edges better but overflow the private L2 and, on small
+//     graphs, leave fewer partitions than threads (load imbalance);
+//   - per-partition bookkeeping state (Flags, State, §4.5) streamed every
+//     phase;
+//   - a generality layer on the edge path.
+//
+// The frontier machinery is disabled for PageRank, as the paper does
+// ("we only report the performance of simplified GPOP without frontier").
+package gpop
+
+import (
+	"hipa/internal/engines/common"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+)
+
+// PartitionStateBytes models GPOP's per-partition Flags/State fields
+// streamed each phase (§4.5).
+const PartitionStateBytes = 256
+
+// FrameworkCyclesPerEdge models the generality layer on the edge path
+// (user-function dispatch and per-partition scheduling bookkeeping),
+// calibrated against Table 2's GPOP/p-PR ratios.
+const FrameworkCyclesPerEdge = 8.0
+
+// Engine is the GPOP-like implementation of common.Engine.
+type Engine struct{}
+
+// Name implements common.Engine.
+func (Engine) Name() string { return "GPOP" }
+
+// Run executes the GPOP-like framework PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunObliviousPartitionEngine(g, o, common.ObliviousPartitionConfig{
+		Name:                   "GPOP",
+		DefaultThreads:         func(m *machine.Machine) int { return m.PhysicalCores() },
+		DefaultPartitionBytes:  1 << 20,
+		ExtraBytesPerPartition: PartitionStateBytes,
+		ExtraCyclesPerEdge:     FrameworkCyclesPerEdge,
+	})
+}

@@ -1,0 +1,170 @@
+// Package hipa implements the paper's contribution: hierarchically
+// partitioned, NUMA- and cache-aware PageRank with thread-data pinning
+// (Algorithm 2).
+//
+// Execution structure:
+//
+//   - The graph is partitioned twice (internal/partition): edge-balanced
+//     whole-partition assignment to NUMA nodes, then edge-balanced groups of
+//     cache-able partitions, one group per thread.
+//   - Inter-edges are compressed into per-partition-pair messages
+//     (internal/layout).
+//   - Threads are persistent: each one is (simulatedly) pinned to a distinct
+//     logical core on the node that owns its group's data and runs the whole
+//     iterative scatter-gather loop, synchronising at phase barriers. All
+//     logical cores are usable because each thread's working set is a
+//     quarter of the L2, so hyper-thread siblings co-reside (§3.3, §4.5).
+package hipa
+
+import (
+	"fmt"
+	"time"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/machine"
+	"hipa/internal/partition"
+	"hipa/internal/perfmodel"
+	"hipa/internal/sched"
+)
+
+// Engine is the HiPa implementation of common.Engine.
+type Engine struct{}
+
+// Name implements common.Engine.
+func (Engine) Name() string { return "HiPa" }
+
+// Run executes PageRank on g with HiPa's hierarchical partitioning.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	if o.Machine == nil {
+		o.Machine = machine.SkylakeSilver4210()
+	}
+	m := o.Machine
+	o = o.WithDefaults(m.LogicalCores())
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if g.NumVertices() == 0 {
+		return nil, fmt.Errorf("hipa: empty graph")
+	}
+
+	// Thread count must be a multiple of the node count (one group list per
+	// node); round down like the paper's per-node thread split.
+	nodes := m.NUMANodes
+	threads := o.Threads
+	if threads < nodes {
+		threads = nodes
+	}
+	groupsPerNode := threads / nodes
+	threads = groupsPerNode * nodes
+	if threads > m.LogicalCores() {
+		return nil, fmt.Errorf("hipa: %d threads exceed the machine's %d logical cores", threads, m.LogicalCores())
+	}
+
+	// Preprocessing: hierarchical partitioning + layout construction. This
+	// is the overhead the paper amortises over iterations (§4.2).
+	prepStart := time.Now()
+	hier, err := partition.Build(g, partition.Config{
+		PartitionBytes: o.PartitionBytes,
+		BytesPerVertex: 4,
+		NumNodes:       nodes,
+		GroupsPerNode:  groupsPerNode,
+		VertexBalanced: o.VertexBalanced,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hipa: %w", err)
+	}
+	lay, err := layout.Build(g, hier, !o.NoCompress)
+	if err != nil {
+		return nil, fmt.Errorf("hipa: %w", err)
+	}
+	lookup := partition.BuildLookup(hier)
+	prep := time.Since(prepStart)
+
+	// Simulated scheduling: persistent threads spawned once and pinned
+	// (Algorithm 2). At most `threads` migrations can occur.
+	scheduler := sched.New(m, o.SchedSeed)
+	pool, schedStats, err := scheduler.RunPinnedThreads(threads)
+	if err != nil {
+		return nil, fmt.Errorf("hipa: %w", err)
+	}
+
+	// Real parallel execution.
+	state := common.NewSGState(g, hier, lay, o.Damping, threads)
+	wallStart := time.Now()
+	if o.FCFS {
+		// Ablation: keep HiPa's layout and placement but let threads claim
+		// partitions first-come-first-serve instead of the pinned one-to-
+		// many assignment.
+		o.Iterations = common.RunFCFS(state, o.Iterations, threads, o.Tolerance)
+	} else {
+		bar := common.NewBarrier(threads)
+		performed := 0
+		stop := false
+		common.RunThreads(threads, func(tid int) {
+			gr := hier.Groups[tid]
+			for it := 0; it < o.Iterations; it++ {
+				for p := gr.PartStart; p < gr.PartEnd; p++ {
+					state.ScatterPartition(p, tid)
+				}
+				bar.WaitLeader(state.ReduceDangling)
+				for p := gr.PartStart; p < gr.PartEnd; p++ {
+					state.GatherPartition(p, tid)
+				}
+				bar.WaitLeader(func() {
+					performed++
+					if res := state.MaxResidual(); o.Tolerance > 0 && res < o.Tolerance {
+						stop = true
+					}
+				})
+				if stop {
+					return
+				}
+			}
+		})
+		o.Iterations = performed
+	}
+	wall := time.Since(wallStart)
+
+	// Analytic model on the simulated machine.
+	threadNode, threadShared := common.ThreadPlacement(pool, m)
+	partThread := lookup.PartThread
+	var slack float64
+	if o.FCFS {
+		partThread = common.ModelFCFSAssignment(hier, threads)
+		slack = common.FCFSWorkingSetSlack
+	}
+	costs, barriers, err := common.BuildPartitionModel(common.PartitionModelSpec{
+		Machine: m, Hier: hier, Lay: lay, Lookup: lookup,
+		ThreadNode: threadNode, ThreadShared: threadShared,
+		PartThread:      partThread,
+		NUMAAware:       true,
+		Iterations:      o.Iterations,
+		WorkingSetSlack: slack,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hipa: %w", err)
+	}
+	rep, err := perfmodel.Estimate(perfmodel.Run{
+		Machine: m, Threads: costs,
+		Barriers:       barriers,
+		SchedCostNS:    schedStats.CostNS,
+		EdgesProcessed: g.NumEdges() * int64(o.Iterations),
+		Iterations:     o.Iterations,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hipa: %w", err)
+	}
+
+	return &common.Result{
+		Engine:      "HiPa",
+		Ranks:       state.Ranks,
+		Iterations:  o.Iterations,
+		Threads:     threads,
+		WallSeconds: wall.Seconds(),
+		PrepSeconds: prep.Seconds(),
+		Model:       rep,
+		Sched:       schedStats,
+	}, nil
+}

@@ -1,0 +1,126 @@
+package hipa
+
+import (
+	"testing"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+)
+
+func testMachine() *machine.Machine {
+	return machine.Scaled(machine.SkylakeSilver4210(), 1024)
+}
+
+func testGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 2000, Edges: 24000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 91})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestThreadRounding(t *testing.T) {
+	g := testGraph(t)
+	// 7 threads on 2 nodes rounds down to 6 (3 groups per node).
+	res, err := (Engine{}).Run(g, common.Options{Machine: testMachine(), Threads: 7, Iterations: 2, PartitionBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 6 {
+		t.Errorf("Threads = %d, want 6 (rounded to node multiple)", res.Threads)
+	}
+	// 1 thread on 2 nodes rounds up to the node count.
+	res, err = (Engine{}).Run(g, common.Options{Machine: testMachine(), Threads: 1, Iterations: 2, PartitionBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Threads != 2 {
+		t.Errorf("Threads = %d, want 2 (at least one per node)", res.Threads)
+	}
+}
+
+func TestTooManyThreads(t *testing.T) {
+	g := testGraph(t)
+	_, err := (Engine{}).Run(g, common.Options{Machine: testMachine(), Threads: 42, Iterations: 1, PartitionBytes: 256})
+	if err == nil {
+		t.Fatal("expected error for threads > logical cores")
+	}
+}
+
+func TestEmptyGraphError(t *testing.T) {
+	empty := graph.NewBuilder(0).Build()
+	if _, err := (Engine{}).Run(empty, common.Options{Machine: testMachine()}); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+}
+
+func TestBadOptionsPropagate(t *testing.T) {
+	g := testGraph(t)
+	if _, err := (Engine{}).Run(g, common.Options{Machine: testMachine(), Iterations: -1}); err == nil {
+		t.Fatal("expected error for negative iterations")
+	}
+	if _, err := (Engine{}).Run(g, common.Options{Machine: testMachine(), Damping: 1.5}); err == nil {
+		t.Fatal("expected error for damping out of range")
+	}
+}
+
+func TestFCFSAblationRaisesRemote(t *testing.T) {
+	g := testGraph(t)
+	o := common.Options{Machine: testMachine(), Iterations: 5, PartitionBytes: 256}
+	pinned, err := (Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.FCFS = true
+	fcfs, err := (Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fcfs.Model.RemoteFraction <= pinned.Model.RemoteFraction {
+		t.Errorf("FCFS remote %.3f should exceed pinned %.3f",
+			fcfs.Model.RemoteFraction, pinned.Model.RemoteFraction)
+	}
+	if fcfs.Model.EstimatedSeconds <= pinned.Model.EstimatedSeconds {
+		t.Errorf("FCFS (%.5fs) should be slower than pinned (%.5fs)",
+			fcfs.Model.EstimatedSeconds, pinned.Model.EstimatedSeconds)
+	}
+}
+
+func TestNoCompressRaisesTraffic(t *testing.T) {
+	g := testGraph(t)
+	o := common.Options{Machine: testMachine(), Iterations: 5, PartitionBytes: 256}
+	comp, err := (Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.NoCompress = true
+	nc, err := (Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.Model.MApE <= comp.Model.MApE {
+		t.Errorf("uncompressed MApE %.2f should exceed compressed %.2f", nc.Model.MApE, comp.Model.MApE)
+	}
+}
+
+func TestDeterministicModel(t *testing.T) {
+	g := testGraph(t)
+	o := common.Options{Machine: testMachine(), Iterations: 3, PartitionBytes: 256, SchedSeed: 9}
+	a, err := (Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (Engine{}).Run(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Model.EstimatedSeconds != b.Model.EstimatedSeconds {
+		t.Error("model estimate not deterministic for fixed seed")
+	}
+	if a.Model.MApE != b.Model.MApE || a.Sched.Migrations != b.Sched.Migrations {
+		t.Error("model metrics not deterministic")
+	}
+}

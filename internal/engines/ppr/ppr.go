@@ -1,0 +1,30 @@
+// Package ppr implements p-PR, the paper's hand-optimized partition-centric
+// PageRank baseline (§4.1): a re-implementation of the PCPM methodology
+// (Lakhotia et al., USENIX ATC'18) with finely tuned parameters — 256KB
+// partitions and 20 threads — but no NUMA-awareness. Data is effectively
+// interleaved across nodes, threads are spawned per phase and claim
+// partitions first-come-first-serve.
+package ppr
+
+import (
+	"hipa/internal/engines/common"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+)
+
+// Engine is the p-PR implementation of common.Engine.
+type Engine struct{}
+
+// Name implements common.Engine.
+func (Engine) Name() string { return "p-PR" }
+
+// Run executes NUMA-oblivious partition-centric PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunObliviousPartitionEngine(g, o, common.ObliviousPartitionConfig{
+		Name: "p-PR",
+		// The paper tunes p-PR to half the logical cores (§4.1): using all
+		// 40 would double L2 contention (§3.3.1).
+		DefaultThreads:        func(m *machine.Machine) int { return m.PhysicalCores() },
+		DefaultPartitionBytes: 256 << 10,
+	})
+}

@@ -1,0 +1,27 @@
+// Package vpr implements v-PR, the paper's hand-optimized pull-based
+// vertex-centric PageRank baseline (§4.1): every vertex pulls the
+// contributions of its in-neighbors, so all columns of the adjacency matrix
+// are traversed asynchronously in parallel with no atomics and no partial
+// sums. It is NUMA-oblivious: data is effectively interleaved and threads
+// are unbound.
+package vpr
+
+import (
+	"hipa/internal/engines/common"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+)
+
+// Engine is the v-PR implementation of common.Engine.
+type Engine struct{}
+
+// Name implements common.Engine.
+func (Engine) Name() string { return "v-PR" }
+
+// Run executes pull-based vertex-centric PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunVertexEngine(g, o, common.VertexEngineConfig{
+		Name:           "v-PR",
+		DefaultThreads: func(m *machine.Machine) int { return m.LogicalCores() },
+	})
+}

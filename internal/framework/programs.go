@@ -1,0 +1,130 @@
+package framework
+
+import (
+	"math"
+
+	"hipa/internal/graph"
+)
+
+// WCCProgram computes weakly connected components by min-label propagation:
+// every vertex starts with its own ID and adopts the smallest ID it hears.
+// Run it on a symmetrised graph (graph.Symmetrize) — weak connectivity
+// ignores edge direction.
+type WCCProgram struct{}
+
+// Init implements Program.
+func (WCCProgram) Init(v graph.VertexID) (uint32, bool) { return uint32(v), true }
+
+// Identity implements Program.
+func (WCCProgram) Identity() uint32 { return math.MaxUint32 }
+
+// Combine implements Program (min).
+func (WCCProgram) Combine(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Scatter implements Program.
+func (WCCProgram) Scatter(_ graph.VertexID, val uint32) uint32 { return val }
+
+// Apply implements Program.
+func (WCCProgram) Apply(_ graph.VertexID, old, acc uint32) (uint32, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// WCC computes weakly connected component labels for g (symmetrising
+// internally). Vertices in the same component share a label; labels are the
+// smallest vertex ID in the component.
+func WCC(g *graph.Graph, cfg Config) (*Result[uint32], error) {
+	return Run[uint32](g.Symmetrize(), WCCProgram{}, cfg)
+}
+
+// HopsProgram computes single-source shortest hop counts (unweighted SSSP)
+// by min-plus label correction: dist(v) = min over in-neighbors dist(u)+1.
+type HopsProgram struct {
+	Source graph.VertexID
+}
+
+// Unreachable is the distance label of unreached vertices.
+const Unreachable = int32(math.MaxInt32)
+
+// Init implements Program.
+func (p HopsProgram) Init(v graph.VertexID) (int32, bool) {
+	if v == p.Source {
+		return 0, true
+	}
+	return Unreachable, false
+}
+
+// Identity implements Program.
+func (HopsProgram) Identity() int32 { return Unreachable }
+
+// Combine implements Program (min).
+func (HopsProgram) Combine(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Scatter implements Program (relax by one hop).
+func (HopsProgram) Scatter(_ graph.VertexID, val int32) int32 {
+	if val == Unreachable {
+		return Unreachable
+	}
+	return val + 1
+}
+
+// Apply implements Program.
+func (HopsProgram) Apply(_ graph.VertexID, old, acc int32) (int32, bool) {
+	if acc < old {
+		return acc, true
+	}
+	return old, false
+}
+
+// Hops computes shortest hop distances from source along out-edges.
+func Hops(g *graph.Graph, source graph.VertexID, cfg Config) (*Result[int32], error) {
+	return Run[int32](g, HopsProgram{Source: source}, cfg)
+}
+
+// ReachProgram computes forward reachability from a source as a 0/1 flag
+// with logical-or combination.
+type ReachProgram struct {
+	Source graph.VertexID
+}
+
+// Init implements Program.
+func (p ReachProgram) Init(v graph.VertexID) (uint32, bool) {
+	if v == p.Source {
+		return 1, true
+	}
+	return 0, false
+}
+
+// Identity implements Program.
+func (ReachProgram) Identity() uint32 { return 0 }
+
+// Combine implements Program (or).
+func (ReachProgram) Combine(a, b uint32) uint32 { return a | b }
+
+// Scatter implements Program.
+func (ReachProgram) Scatter(_ graph.VertexID, val uint32) uint32 { return val }
+
+// Apply implements Program.
+func (ReachProgram) Apply(_ graph.VertexID, old, acc uint32) (uint32, bool) {
+	if acc == 1 && old == 0 {
+		return 1, true
+	}
+	return old, false
+}
+
+// Reachable returns the forward-reachability flags from source.
+func Reachable(g *graph.Graph, source graph.VertexID, cfg Config) (*Result[uint32], error) {
+	return Run[uint32](g, ReachProgram{Source: source}, cfg)
+}

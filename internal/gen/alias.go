@@ -1,0 +1,124 @@
+// Package gen provides deterministic, seeded graph generators used to stand
+// in for the paper's datasets (Table 1), plus a catalog mapping each paper
+// graph to a synthetic analog with matching degree skew and density.
+//
+// All generators are deterministic functions of their seed, so experiments
+// are exactly reproducible. Large generations are parallelised internally;
+// determinism is preserved by deriving one independent PRNG stream per chunk.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// AliasTable implements Walker's alias method for O(1) sampling from a
+// discrete distribution with fixed weights. Construction is O(n).
+type AliasTable struct {
+	prob  []float64 // probability of returning i itself (vs its alias)
+	alias []int32
+}
+
+// NewAliasTable builds an alias table over the given non-negative weights.
+// At least one weight must be positive.
+func NewAliasTable(weights []float64) (*AliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("gen: alias table needs at least one weight")
+	}
+	var sum float64
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("gen: negative weight %g at index %d", w, i)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("gen: all weights are zero")
+	}
+	t := &AliasTable{
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+	}
+	// Scaled probabilities; classic two-worklist construction.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		t.prob[l] = 1
+		t.alias[l] = l
+	}
+	for _, s := range small { // numerical leftovers
+		t.prob[s] = 1
+		t.alias[s] = s
+	}
+	return t, nil
+}
+
+// Sample draws one index according to the table's distribution.
+func (t *AliasTable) Sample(rng *rand.Rand) int {
+	n := len(t.prob)
+	i := rng.IntN(n)
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// zipfWeights returns weights proportional to 1/(rank+1)^alpha for n items.
+func zipfWeights(n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), alpha)
+	}
+	return w
+}
+
+// capWeights iteratively clamps individual weights to at most share of the
+// total, redistributing the clipped mass implicitly via renormalisation.
+// A few rounds converge since clipping only shrinks the head.
+func capWeights(w []float64, share float64) {
+	for round := 0; round < 4; round++ {
+		var sum float64
+		for _, x := range w {
+			sum += x
+		}
+		limit := sum * share
+		clipped := false
+		for i, x := range w {
+			if x > limit {
+				w[i] = limit
+				clipped = true
+			}
+		}
+		if !clipped {
+			return
+		}
+	}
+}

@@ -1,0 +1,387 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hipa/internal/graph"
+)
+
+func TestAliasTableUniform(t *testing.T) {
+	tbl, err := NewAliasTable([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[tbl.Sample(rng)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("outcome %d frequency %.3f, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestAliasTableSkewed(t *testing.T) {
+	tbl, err := NewAliasTable([]float64{8, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	counts := make([]int, 3)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[tbl.Sample(rng)]++
+	}
+	if frac := float64(counts[0]) / n; math.Abs(frac-0.8) > 0.02 {
+		t.Errorf("outcome 0 frequency %.3f, want ~0.8", frac)
+	}
+}
+
+func TestAliasTableZeroWeightNeverSampled(t *testing.T) {
+	tbl, err := NewAliasTable([]float64{1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	for i := 0; i < 10000; i++ {
+		if tbl.Sample(rng) == 1 {
+			t.Fatal("sampled zero-weight outcome")
+		}
+	}
+}
+
+func TestAliasTableErrors(t *testing.T) {
+	if _, err := NewAliasTable(nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewAliasTable([]float64{0, 0}); err == nil {
+		t.Error("expected error for all-zero weights")
+	}
+	if _, err := NewAliasTable([]float64{1, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+}
+
+// Property: alias table empirical distribution tracks weights.
+func TestPropertyAliasDistribution(t *testing.T) {
+	f := func(seed uint64, raw [5]uint8) bool {
+		weights := make([]float64, 5)
+		var sum float64
+		for i, r := range raw {
+			weights[i] = float64(r%16) + 0.01
+			sum += weights[i]
+		}
+		tbl, err := NewAliasTable(weights)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewPCG(seed, 99))
+		counts := make([]int, 5)
+		const n = 20000
+		for i := 0; i < n; i++ {
+			counts[tbl.Sample(rng)]++
+		}
+		for i := range weights {
+			want := weights[i] / sum
+			got := float64(counts[i]) / n
+			if math.Abs(got-want) > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	g1, err := Uniform(100, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Uniform(100, 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != 1000 || g2.NumEdges() != 1000 {
+		t.Fatal("edge count wrong")
+	}
+	for v := 0; v < 100; v++ {
+		a, b := g1.OutNeighbors(graph.VertexID(v)), g2.OutNeighbors(graph.VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic generation at vertex %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("nondeterministic edge at %d[%d]", v, i)
+			}
+		}
+	}
+}
+
+func TestUniformSeedsDiffer(t *testing.T) {
+	g1, _ := Uniform(100, 1000, 1)
+	g2, _ := Uniform(100, 1000, 2)
+	same := true
+	for v := 0; v < 100 && same; v++ {
+		a, b := g1.OutNeighbors(graph.VertexID(v)), g2.OutNeighbors(graph.VertexID(v))
+		if len(a) != len(b) {
+			same = false
+			break
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestUniformErrors(t *testing.T) {
+	if _, err := Uniform(0, 10, 1); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := Uniform(10, -1, 1); err == nil {
+		t.Error("expected error for m<0")
+	}
+}
+
+func TestRMATBasic(t *testing.T) {
+	g, err := RMAT(DefaultRMAT(10, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Fatalf("NumVertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 16*1024 {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), 16*1024)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// R-MAT graphs are heavily skewed: top 10% of vertices should own well
+	// over 30% of edges.
+	if skew := DegreeSkew(g, 0.10); skew < 0.3 {
+		t.Errorf("RMAT skew %.2f, want >= 0.3", skew)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	cfg := DefaultRMAT(8, 123)
+	g1, _ := RMAT(cfg)
+	g2, _ := RMAT(cfg)
+	for v := 0; v < g1.NumVertices(); v++ {
+		a, b := g1.OutNeighbors(graph.VertexID(v)), g2.OutNeighbors(graph.VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("nondeterministic at %d", v)
+		}
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Scale: 0, EdgeFactor: 16, A: 0.25, B: 0.25, C: 0.25, D: 0.25}); err == nil {
+		t.Error("expected error for scale 0")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 5, EdgeFactor: 0, A: 0.25, B: 0.25, C: 0.25, D: 0.25}); err == nil {
+		t.Error("expected error for edge factor 0")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 5, EdgeFactor: 16, A: 0.5, B: 0.5, C: 0.5, D: 0.5}); err == nil {
+		t.Error("expected error for probabilities not summing to 1")
+	}
+}
+
+func TestPowerLawEdgeCountExact(t *testing.T) {
+	cfg := PowerLawConfig{Vertices: 500, Edges: 7000, OutAlpha: 2.2, InAlpha: 0.9, Seed: 9}
+	g, err := PowerLaw(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 7000 {
+		t.Fatalf("NumEdges = %d, want exactly 7000", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{Vertices: 2000, Edges: 30000, OutAlpha: 2.0, InAlpha: 1.0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-degree skew: build in-edges and check the hot head got most mass.
+	g.BuildIn()
+	var hotIn int64
+	for v := 0; v < 200; v++ { // top 10% by popularity rank (low IDs hot, no shuffle)
+		hotIn += g.InDegree(graph.VertexID(v))
+	}
+	frac := float64(hotIn) / float64(g.NumEdges())
+	if frac < 0.4 {
+		t.Errorf("top-10%% in-degree share %.2f, want >= 0.4 (Zipf skew)", frac)
+	}
+	// Out-degree skew present too.
+	if skew := DegreeSkew(g, 0.10); skew < 0.2 {
+		t.Errorf("out-degree skew %.2f too low", skew)
+	}
+}
+
+func TestPowerLawHotShuffle(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{Vertices: 2000, Edges: 30000, OutAlpha: 2.0, InAlpha: 1.0, Seed: 11, HotShuffle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BuildIn()
+	var hotIn int64
+	for v := 0; v < 200; v++ {
+		hotIn += g.InDegree(graph.VertexID(v))
+	}
+	frac := float64(hotIn) / float64(g.NumEdges())
+	if frac > 0.35 {
+		t.Errorf("with HotShuffle the low-ID in-degree share is %.2f; hot vertices should be scattered", frac)
+	}
+}
+
+func TestPowerLawErrors(t *testing.T) {
+	if _, err := PowerLaw(PowerLawConfig{Vertices: 0, Edges: 10, OutAlpha: 2}); err == nil {
+		t.Error("expected error for 0 vertices")
+	}
+	if _, err := PowerLaw(PowerLawConfig{Vertices: 10, Edges: -1, OutAlpha: 2}); err == nil {
+		t.Error("expected error for negative edges")
+	}
+	if _, err := PowerLaw(PowerLawConfig{Vertices: 10, Edges: 10, OutAlpha: 1.0}); err == nil {
+		t.Error("expected error for OutAlpha <= 1")
+	}
+	if _, err := PowerLaw(PowerLawConfig{Vertices: 10, Edges: 10, OutAlpha: 2, InAlpha: -1}); err == nil {
+		t.Error("expected error for negative InAlpha")
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"journal", "pld", "wiki", "kron", "twitter", "mpi"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("catalog[%d] = %q, want %q (paper order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("twitter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PaperEdges != 1_500_000_000 {
+		t.Errorf("twitter paper edges = %d", d.PaperEdges)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestCatalogDensityPreserved(t *testing.T) {
+	for _, d := range Catalog {
+		g, err := d.Generate(2048)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		wantDeg := float64(d.PaperEdges) / float64(d.PaperVertices)
+		gotDeg := float64(g.NumEdges()) / float64(g.NumVertices())
+		// Kron rounds vertices to a power of two; allow wider tolerance.
+		tol := 0.05
+		if d.Kind == KindKron {
+			tol = 0.20
+		}
+		if math.Abs(gotDeg-wantDeg)/wantDeg > tol {
+			t.Errorf("%s: density %.2f, paper %.2f", d.Name, gotDeg, wantDeg)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestGenerateByName(t *testing.T) {
+	g, err := GenerateByName("journal", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Fatal("empty graph")
+	}
+	if _, err := GenerateByName("bogus", 4096); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := GenerateByName("journal", 0); err == nil {
+		t.Fatal("expected error for divisor 0")
+	}
+}
+
+func TestDegreeSkewBounds(t *testing.T) {
+	g, _ := Uniform(1000, 10000, 5)
+	s := DegreeSkew(g, 0.1)
+	if s <= 0 || s > 1 {
+		t.Fatalf("skew out of bounds: %f", s)
+	}
+	// Uniform graph: top 10% should own roughly 10-25% of edges, far less
+	// than a power-law graph.
+	if s > 0.3 {
+		t.Errorf("uniform graph skew %.2f unexpectedly high", s)
+	}
+	empty := gmustEmpty(t)
+	if DegreeSkew(empty, 0.1) != 0 {
+		t.Error("empty graph skew should be 0")
+	}
+}
+
+func gmustEmpty(t *testing.T) *graph.Graph {
+	t.Helper()
+	return mustBuild(t, 0)
+}
+
+func mustBuild(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	return b.Build()
+}
+
+func TestDegreeCCDF(t *testing.T) {
+	g, err := PowerLaw(PowerLawConfig{Vertices: 3000, Edges: 45000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccdf := DegreeCCDF(g, []int64{1, 10, 100, 1000})
+	// Monotone non-increasing, starting near 1 (almost every vertex has an
+	// edge in a dense power-law graph).
+	for i := 1; i < len(ccdf); i++ {
+		if ccdf[i] > ccdf[i-1] {
+			t.Fatalf("CCDF not monotone: %v", ccdf)
+		}
+	}
+	if ccdf[0] < 0.5 {
+		t.Errorf("CCDF(1) = %f, want most vertices to have an edge", ccdf[0])
+	}
+	// Power law: heavy tail present but small.
+	if ccdf[2] <= 0 || ccdf[2] > 0.2 {
+		t.Errorf("CCDF(100) = %f, want a small heavy tail", ccdf[2])
+	}
+	if got := DegreeCCDF(mustBuild(t, 0), []int64{1}); got[0] != 0 {
+		t.Error("empty graph CCDF should be 0")
+	}
+}

@@ -1,0 +1,71 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadEdgeList exercises the text parser with arbitrary input: it must
+// never panic, and any graph it accepts must validate and round-trip.
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n% other\n\n5 5\n")
+	f.Add("a b\n")
+	f.Add("0\n")
+	f.Add("-1 4\n")
+	f.Add("4294967295 0\n")
+	f.Add("99999999999999999999 1\n")
+	f.Add("0 1 extra tokens are fine\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(bytes.NewBufferString(input), 0)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf, g.NumVertices())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round trip changed edge count: %d -> %d", g.NumEdges(), g2.NumEdges())
+		}
+	})
+}
+
+// FuzzReadBinary exercises the binary loader with arbitrary bytes: it must
+// reject malformed input with an error, never panic or accept an invalid
+// graph.
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and some mutations.
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, g); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HGR1"))
+	corrupted := append([]byte(nil), valid.Bytes()...)
+	if len(corrupted) > 20 {
+		corrupted[20] ^= 0xFF
+	}
+	f.Add(corrupted)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,366 @@
+// Package graph provides the in-memory graph representation used throughout
+// the HiPa reproduction: a Compressed Sparse Row (CSR) encoding of the
+// out-edges plus, on demand, a Compressed Sparse Column (CSC) encoding of the
+// in-edges.
+//
+// Vertex identifiers are 32-bit unsigned integers and edge endpoints are
+// stored as 4-byte values, matching the paper's experimental setup ("The data
+// types for vertices, edges and PageRank value are set to 4 bytes", §4.1).
+// Offsets are 64-bit so graphs with more than 2^31 edges are representable.
+//
+// A Graph is immutable after construction. All query methods are safe for
+// concurrent use.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
+// IDs 0..n-1.
+type VertexID = uint32
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+}
+
+// Graph is an immutable directed graph in CSR form.
+//
+// The out-edge CSR is always present. The in-edge CSC is built lazily by
+// BuildIn (or eagerly by the Builder when requested) because pull-based
+// engines need it while push-based ones do not.
+type Graph struct {
+	numVertices int
+	numEdges    int64
+
+	// CSR: out-edges of vertex v are outEdges[outOffsets[v]:outOffsets[v+1]].
+	outOffsets []int64
+	outEdges   []VertexID
+
+	// CSC: in-edges (i.e. sources of edges pointing at v) or nil if not built.
+	inOffsets []int64
+	inEdges   []VertexID
+}
+
+// ErrNoInEdges is returned by methods that require the in-edge (CSC)
+// representation when it has not been built.
+var ErrNoInEdges = errors.New("graph: in-edge representation not built; call BuildIn or WithInEdges")
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return g.numVertices }
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int64 { return g.numEdges }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int64 {
+	return g.outOffsets[v+1] - g.outOffsets[v]
+}
+
+// InDegree returns the in-degree of v. It panics if the CSC form has not
+// been built.
+func (g *Graph) InDegree(v VertexID) int64 {
+	if g.inOffsets == nil {
+		panic(ErrNoInEdges)
+	}
+	return g.inOffsets[v+1] - g.inOffsets[v]
+}
+
+// OutNeighbors returns the destinations of v's out-edges. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.outEdges[g.outOffsets[v]:g.outOffsets[v+1]]
+}
+
+// InNeighbors returns the sources of v's in-edges. The returned slice aliases
+// internal storage and must not be modified. It panics if the CSC form has
+// not been built.
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	if g.inOffsets == nil {
+		panic(ErrNoInEdges)
+	}
+	return g.inEdges[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// OutOffsets exposes the CSR offset array (length NumVertices+1). The slice
+// aliases internal storage and must not be modified. It exists for engines
+// that traverse edge ranges directly.
+func (g *Graph) OutOffsets() []int64 { return g.outOffsets }
+
+// OutEdges exposes the CSR edge array. Read-only.
+func (g *Graph) OutEdges() []VertexID { return g.outEdges }
+
+// InOffsets exposes the CSC offset array or nil. Read-only.
+func (g *Graph) InOffsets() []int64 { return g.inOffsets }
+
+// InEdges exposes the CSC edge array or nil. Read-only.
+func (g *Graph) InEdges() []VertexID { return g.inEdges }
+
+// HasInEdges reports whether the CSC (in-edge) form has been built.
+func (g *Graph) HasInEdges() bool { return g.inOffsets != nil }
+
+// BuildIn constructs the in-edge (CSC) representation if absent. It is not
+// safe to call concurrently with itself, but once it returns the graph is
+// again safe for concurrent readers.
+func (g *Graph) BuildIn() {
+	if g.inOffsets != nil {
+		return
+	}
+	n := g.numVertices
+	inOff := make([]int64, n+1)
+	for _, dst := range g.outEdges {
+		inOff[dst+1]++
+	}
+	for v := 0; v < n; v++ {
+		inOff[v+1] += inOff[v]
+	}
+	inE := make([]VertexID, g.numEdges)
+	cursor := make([]int64, n)
+	for src := 0; src < n; src++ {
+		for _, dst := range g.outEdges[g.outOffsets[src]:g.outOffsets[src+1]] {
+			inE[inOff[dst]+cursor[dst]] = VertexID(src)
+			cursor[dst]++
+		}
+	}
+	g.inOffsets = inOff
+	g.inEdges = inE
+}
+
+// MaxOutDegree returns the largest out-degree in the graph, 0 for an empty
+// graph.
+func (g *Graph) MaxOutDegree() int64 {
+	var max int64
+	for v := 0; v < g.numVertices; v++ {
+		if d := g.OutDegree(VertexID(v)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// DanglingCount returns the number of vertices with out-degree zero. PageRank
+// must redistribute the rank of these vertices.
+func (g *Graph) DanglingCount() int {
+	c := 0
+	for v := 0; v < g.numVertices; v++ {
+		if g.OutDegree(VertexID(v)) == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Symmetrize returns a new graph containing every edge of g in both
+// directions, deduplicated (the undirected closure). Used by algorithms
+// that ignore edge direction, such as weakly-connected components.
+func (g *Graph) Symmetrize() *Graph {
+	b := NewBuilder(g.numVertices)
+	b.Dedup = true
+	for v := 0; v < g.numVertices; v++ {
+		for _, d := range g.OutNeighbors(VertexID(v)) {
+			b.AddEdge(VertexID(v), d)
+			b.AddEdge(d, VertexID(v))
+		}
+	}
+	return b.Build()
+}
+
+// Transpose returns a new graph whose out-edges are this graph's in-edges.
+// The result has no CSC form built.
+func (g *Graph) Transpose() *Graph {
+	g.BuildIn()
+	t := &Graph{
+		numVertices: g.numVertices,
+		numEdges:    g.numEdges,
+		outOffsets:  append([]int64(nil), g.inOffsets...),
+		outEdges:    append([]VertexID(nil), g.inEdges...),
+	}
+	return t
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation. It is used by tests and by the binary loader.
+func (g *Graph) Validate() error {
+	n := g.numVertices
+	if n < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	if len(g.outOffsets) != n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.outOffsets), n+1)
+	}
+	if g.outOffsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.outOffsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if g.outOffsets[v+1] < g.outOffsets[v] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
+	if g.outOffsets[n] != int64(len(g.outEdges)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.outOffsets[n], len(g.outEdges))
+	}
+	if g.numEdges != int64(len(g.outEdges)) {
+		return fmt.Errorf("graph: numEdges = %d, want %d", g.numEdges, len(g.outEdges))
+	}
+	for i, dst := range g.outEdges {
+		if int(dst) >= n {
+			return fmt.Errorf("graph: edge %d destination %d out of range [0,%d)", i, dst, n)
+		}
+	}
+	if g.inOffsets != nil {
+		if len(g.inOffsets) != n+1 || g.inOffsets[n] != g.numEdges {
+			return errors.New("graph: malformed in-edge offsets")
+		}
+		for i, src := range g.inEdges {
+			if int(src) >= n {
+				return fmt.Errorf("graph: in-edge %d source %d out of range", i, src)
+			}
+		}
+	}
+	return nil
+}
+
+// FromCSR constructs a graph directly from CSR arrays. The arrays are taken
+// over (not copied); the caller must not modify them afterwards.
+func FromCSR(numVertices int, outOffsets []int64, outEdges []VertexID) (*Graph, error) {
+	g := &Graph{
+		numVertices: numVertices,
+		numEdges:    int64(len(outEdges)),
+		outOffsets:  outOffsets,
+		outEdges:    outEdges,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Builder accumulates edges and produces an immutable Graph.
+//
+// The builder accepts edges in any order; Build sorts them into CSR form.
+// Duplicate edges are preserved unless Dedup is set (real-world edge lists
+// often contain duplicates; the Graph500 Kronecker generator produces them).
+type Builder struct {
+	numVertices int
+	edges       []Edge
+	// Dedup removes duplicate (src,dst) pairs during Build.
+	Dedup bool
+	// RemoveSelfLoops drops edges with Src == Dst during Build.
+	RemoveSelfLoops bool
+	// WithIn requests that the in-edge (CSC) form be built eagerly.
+	WithIn bool
+}
+
+// NewBuilder returns a builder for a graph with numVertices vertices.
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{numVertices: numVertices}
+}
+
+// AddEdge appends a directed edge. It panics if an endpoint is out of range.
+func (b *Builder) AddEdge(src, dst VertexID) {
+	if int(src) >= b.numVertices || int(dst) >= b.numVertices {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for %d vertices", src, dst, b.numVertices))
+	}
+	b.edges = append(b.edges, Edge{src, dst})
+}
+
+// AddEdges appends a batch of directed edges.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+}
+
+// NumPendingEdges returns the number of edges added so far (before
+// dedup/self-loop filtering).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the immutable graph. The builder can be reused afterwards;
+// its edge buffer is consumed.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	b.edges = nil
+	if b.RemoveSelfLoops {
+		kept := edges[:0]
+		for _, e := range edges {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	if b.Dedup {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].Src != edges[j].Src {
+				return edges[i].Src < edges[j].Src
+			}
+			return edges[i].Dst < edges[j].Dst
+		})
+		kept := edges[:0]
+		for i, e := range edges {
+			if i == 0 || e != edges[i-1] {
+				kept = append(kept, e)
+			}
+		}
+		edges = kept
+	}
+	n := b.numVertices
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		off[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	out := make([]VertexID, len(edges))
+	cursor := make([]int64, n)
+	for _, e := range edges {
+		out[off[e.Src]+cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	// Keep each adjacency list sorted for deterministic traversal order and
+	// better spatial locality (matches how CSR graphs are normally stored).
+	if !b.Dedup { // dedup path already sorted globally
+		for v := 0; v < n; v++ {
+			seg := out[off[v]:off[v+1]]
+			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+		}
+	}
+	g := &Graph{
+		numVertices: n,
+		numEdges:    int64(len(edges)),
+		outOffsets:  off,
+		outEdges:    out,
+	}
+	if b.WithIn {
+		g.BuildIn()
+	}
+	return g
+}
+
+// Stats summarises a graph for reporting (Table 1 of the paper).
+type Stats struct {
+	NumVertices  int
+	NumEdges     int64
+	AvgOutDegree float64
+	MaxOutDegree int64
+	Dangling     int
+}
+
+// ComputeStats returns summary statistics.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		NumVertices:  g.NumVertices(),
+		NumEdges:     g.NumEdges(),
+		MaxOutDegree: g.MaxOutDegree(),
+		Dangling:     g.DanglingCount(),
+	}
+	if s.NumVertices > 0 {
+		s.AvgOutDegree = float64(s.NumEdges) / float64(s.NumVertices)
+	}
+	return s
+}

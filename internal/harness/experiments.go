@@ -1,0 +1,650 @@
+package harness
+
+import (
+	"fmt"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/engines/hipa"
+	"hipa/internal/machine"
+	"hipa/internal/partition"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one dataset's statistics (paper Table 1).
+type Table1Row struct {
+	Dataset           string
+	Vertices          int
+	Edges             int64
+	IntraPerPartition float64 // at the paper's 1MB reference partition size
+	InterPerPartition float64
+}
+
+// Table1 regenerates the graph-description table, including the
+// intra/inter-edges per 1MB partition columns.
+func Table1(cfg *Config) ([]Table1Row, *Table, error) {
+	var rows []Table1Row
+	t := &Table{
+		Title:  "Table 1: Graph descriptions (scaled by divisor " + fmt.Sprint(cfg.Divisor) + ")",
+		Header: []string{"graph", "vertices", "edges", "intra/part", "inter/part"},
+		Notes: []string{
+			"intra/inter are per-partition averages at the paper's 1MB reference size (scaled)",
+			fmt.Sprintf("paper sizes are %dx larger; densities and skew match", cfg.Divisor),
+		},
+	}
+	for _, name := range cfg.DatasetNames() {
+		g, err := cfg.Graph(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		h, err := partition.Build(g, partition.Config{
+			PartitionBytes: cfg.PartBytes(1 << 20),
+			BytesPerVertex: 4,
+			NumNodes:       1,
+			GroupsPerNode:  1,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		loc := partition.ComputeEdgeLocality(g, h)
+		row := Table1Row{
+			Dataset:           name,
+			Vertices:          g.NumVertices(),
+			Edges:             g.NumEdges(),
+			IntraPerPartition: loc.IntraPerPartition,
+			InterPerPartition: loc.InterPerPartition,
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{
+			name, fmt.Sprint(row.Vertices), fmt.Sprint(row.Edges),
+			fmt.Sprintf("%.0f", row.IntraPerPartition),
+			fmt.Sprintf("%.0f", row.InterPerPartition),
+		})
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- Table 2
+
+// Table2Row holds one dataset's modelled execution times per engine.
+type Table2Row struct {
+	Dataset string
+	Seconds map[string]float64 // engine name -> modelled seconds
+	Wall    map[string]float64 // engine name -> real wall seconds
+}
+
+// Best returns the fastest engine other than skip.
+func (r Table2Row) Best(skip string) (string, float64) {
+	bestName, best := "", 0.0
+	for name, s := range r.Seconds {
+		if name == skip {
+			continue
+		}
+		if bestName == "" || s < best {
+			bestName, best = name, s
+		}
+	}
+	return bestName, best
+}
+
+// Table2 regenerates the execution-time comparison (paper Table 2): 20
+// iterations of PageRank under each engine's tuned settings.
+func Table2(cfg *Config) ([]Table2Row, *Table, error) {
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	engines := Engines()
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2: PageRank execution time (modelled seconds, %d iterations)", cfg.Iterations),
+		Header: []string{"graph", "HiPa", "p-PR", "v-PR", "GPOP", "Polymer", "speedup-vs-best"},
+		Notes: []string{
+			"modelled on the scaled Skylake machine; the paper's shape (HiPa fastest) is the claim under test",
+		},
+	}
+	var rows []Table2Row
+	for _, name := range cfg.DatasetNames() {
+		g, err := cfg.Graph(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Table2Row{Dataset: name, Seconds: map[string]float64{}, Wall: map[string]float64{}}
+		for _, e := range engines {
+			res, err := e.Run(g, cfg.PaperOptions(e.Name(), m))
+			if err != nil {
+				return nil, nil, fmt.Errorf("table2 %s/%s: %w", name, e.Name(), err)
+			}
+			row.Seconds[e.Name()] = res.Model.EstimatedSeconds
+			row.Wall[e.Name()] = res.WallSeconds
+		}
+		rows = append(rows, row)
+		_, best := row.Best("HiPa")
+		t.Rows = append(t.Rows, []string{
+			name,
+			f3(row.Seconds["HiPa"]), f3(row.Seconds["p-PR"]), f3(row.Seconds["v-PR"]),
+			f3(row.Seconds["GPOP"]), f3(row.Seconds["Polymer"]),
+			f2(best / row.Seconds["HiPa"]),
+		})
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- Overhead
+
+// OverheadRow reports preprocessing cost and amortization (§4.2).
+type OverheadRow struct {
+	Dataset       string
+	PrepSeconds   float64 // real preprocessing wall time
+	PerIteration  float64 // real per-iteration wall time
+	AmortizeIters float64 // prep / per-iteration
+}
+
+// Overhead regenerates the §4.2 preprocessing-overhead analysis for HiPa.
+func Overhead(cfg *Config) ([]OverheadRow, *Table, error) {
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Preprocessing overhead of HiPa (§4.2, real wall time on host)",
+		Header: []string{"graph", "prep(s)", "per-iter(s)", "amortized-by(iters)"},
+		Notes:  []string{"the paper reports amortization by ~12.7 iterations on average"},
+	}
+	var rows []OverheadRow
+	for _, name := range cfg.DatasetNames() {
+		g, err := cfg.Graph(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := (hipa.Engine{}).Run(g, cfg.PaperOptions("hipa", m))
+		if err != nil {
+			return nil, nil, err
+		}
+		perIter := res.WallSeconds / float64(res.Iterations)
+		row := OverheadRow{
+			Dataset:      name,
+			PrepSeconds:  res.PrepSeconds,
+			PerIteration: perIter,
+		}
+		if perIter > 0 {
+			row.AmortizeIters = res.PrepSeconds / perIter
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.4f", row.PrepSeconds),
+			fmt.Sprintf("%.4f", row.PerIteration), fmt.Sprintf("%.1f", row.AmortizeIters)})
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- Fig. 5
+
+// Fig5Row holds one dataset's memory-accesses-per-edge breakdown.
+type Fig5Row struct {
+	Dataset string
+	// Per engine: total MApE, remote MApE, remote fraction.
+	MApE       map[string]float64
+	RemoteMApE map[string]float64
+	RemoteFrac map[string]float64
+}
+
+// Fig5 regenerates the memory-utility figure: MApE (total and remote) for
+// every engine on every graph.
+func Fig5(cfg *Config) ([]Fig5Row, *Table, error) {
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Fig. 5: Memory accesses per edge (bytes; remote share in parens)",
+		Header: []string{"graph", "HiPa", "p-PR", "v-PR", "GPOP", "Polymer"},
+		Notes: []string{
+			"paper averages: HiPa 9.57 (13.8% remote), p-PR 9.37 (48.9%), GPOP 8.89 (53.0%), v-PR 47.31 (50.9%), Polymer 26.66 (10.1%)",
+		},
+	}
+	var rows []Fig5Row
+	for _, name := range cfg.DatasetNames() {
+		g, err := cfg.Graph(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig5Row{Dataset: name, MApE: map[string]float64{}, RemoteMApE: map[string]float64{}, RemoteFrac: map[string]float64{}}
+		cells := []string{name}
+		for _, e := range Engines() {
+			res, err := e.Run(g, cfg.PaperOptions(e.Name(), m))
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig5 %s/%s: %w", name, e.Name(), err)
+			}
+			row.MApE[e.Name()] = res.Model.MApE
+			row.RemoteMApE[e.Name()] = res.Model.RemoteMApE
+			row.RemoteFrac[e.Name()] = res.Model.RemoteFraction
+			cells = append(cells, fmt.Sprintf("%.1f (%s)", res.Model.MApE, pct(res.Model.RemoteFraction)))
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, cells)
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- Fig. 6
+
+// Fig6ThreadCounts are the paper's x-axis points.
+var Fig6ThreadCounts = []int{2, 4, 8, 16, 20, 32, 40}
+
+// Fig6Series is one engine's normalized execution times over thread counts.
+type Fig6Series struct {
+	Engine string
+	// SecondsAt[i] is the modelled time at Fig6ThreadCounts[i].
+	SecondsAt []float64
+	// Normalized[i] = SecondsAt[i] / SecondsAt(40 threads), as in Fig. 6.
+	Normalized []float64
+}
+
+// BestThreads returns the thread count with the lowest modelled time.
+func (s Fig6Series) BestThreads() int {
+	best := 0
+	for i := range s.SecondsAt {
+		if s.SecondsAt[i] < s.SecondsAt[best] {
+			best = i
+		}
+	}
+	return Fig6ThreadCounts[best]
+}
+
+// Fig6 regenerates the scalability study on journal.
+func Fig6(cfg *Config) ([]Fig6Series, *Table, error) {
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := cfg.Graph("journal")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Fig. 6: Normalized execution time vs threads (journal)",
+		Header: append([]string{"engine"}, mapStr(Fig6ThreadCounts, func(n int) string { return fmt.Sprint(n) })...),
+		Notes: []string{
+			"normalized by each engine's own 40-thread time, as in the paper",
+			"paper shape: HiPa/v-PR/Polymer keep improving to 40; p-PR best ~16, GPOP best ~20, both ~2x worse at 40",
+		},
+	}
+	var out []Fig6Series
+	for _, e := range Engines() {
+		s := Fig6Series{Engine: e.Name()}
+		for _, th := range Fig6ThreadCounts {
+			o := cfg.PaperOptions(e.Name(), m)
+			o.Threads = th
+			res, err := e.Run(g, o)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig6 %s@%d: %w", e.Name(), th, err)
+			}
+			s.SecondsAt = append(s.SecondsAt, res.Model.EstimatedSeconds)
+		}
+		at40 := s.SecondsAt[len(s.SecondsAt)-1]
+		cells := []string{e.Name()}
+		for _, sec := range s.SecondsAt {
+			s.Normalized = append(s.Normalized, sec/at40)
+			cells = append(cells, f2(sec/at40))
+		}
+		out = append(out, s)
+		t.Rows = append(t.Rows, cells)
+	}
+	return out, t, nil
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+// Fig7Sizes are the paper's partition-size sweep points (paper scale).
+var Fig7Sizes = []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20, 4 << 20, 8 << 20}
+
+// Fig7Point is one (engine, size) measurement.
+type Fig7Point struct {
+	Engine      string
+	PaperBytes  int
+	Seconds     float64
+	LLCAccesses int64
+	LLCHitRatio float64
+}
+
+// Fig7 regenerates the partition-size sensitivity study on journal for the
+// three partition-centric engines.
+func Fig7(cfg *Config) ([]Fig7Point, *Table, error) {
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := cfg.Graph("journal")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Fig. 7: Execution time and LLC traffic vs partition size (journal)",
+		Header: []string{"engine", "size", "seconds", "LLC-accesses", "LLC-hit-ratio"},
+		Notes: []string{
+			"paper shape: best HiPa time at 256KB (quarter of L2); LLC traffic surges past 256KB",
+			"sizes are paper-scale labels; actual sizes divided by the divisor",
+		},
+	}
+	var out []Fig7Point
+	for _, name := range []string{"HiPa", "p-PR", "GPOP"} {
+		e, err := EngineByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, paperBytes := range Fig7Sizes {
+			o := cfg.PaperOptions(name, m)
+			o.PartitionBytes = cfg.PartBytes(paperBytes)
+			res, err := e.Run(g, o)
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig7 %s@%d: %w", name, paperBytes, err)
+			}
+			p := Fig7Point{
+				Engine:      name,
+				PaperBytes:  paperBytes,
+				Seconds:     res.Model.EstimatedSeconds,
+				LLCAccesses: res.Model.LLCAccesses,
+				LLCHitRatio: res.Model.LLCHitRatio(),
+			}
+			out = append(out, p)
+			t.Rows = append(t.Rows, []string{name, sizeLabel(paperBytes), f3(p.Seconds),
+				fmt.Sprint(p.LLCAccesses), f2(p.LLCHitRatio)})
+		}
+	}
+	return out, t, nil
+}
+
+// ---------------------------------------------------------------- Table 3
+
+// Table3Sizes are the sweep points of Table 3 (paper scale).
+var Table3Sizes = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10}
+
+// Table3Row is one (microarch, method) series of normalized times.
+type Table3Row struct {
+	Microarch  string
+	Method     string
+	Normalized []float64 // aligned with Table3Sizes
+}
+
+// BestSize returns the paper-scale partition size with the lowest time.
+func (r Table3Row) BestSize() int {
+	best := 0
+	for i := range r.Normalized {
+		if r.Normalized[i] < r.Normalized[best] {
+			best = i
+		}
+	}
+	return Table3Sizes[best]
+}
+
+// Table3 regenerates the microarchitecture sensitivity study: normalized
+// execution time per partition size on Haswell and Skylake, averaged over
+// the four graphs that fit the Haswell machine (kron and mpi excluded, as
+// in the paper).
+func Table3(cfg *Config) ([]Table3Row, *Table, error) {
+	datasets := []string{"journal", "pld", "wiki", "twitter"}
+	if len(cfg.Datasets) > 0 {
+		datasets = cfg.Datasets
+	}
+	t := &Table{
+		Title:  "Table 3: Normalized execution time by partition size (Haswell vs Skylake)",
+		Header: []string{"march", "method", "64K", "128K", "256K", "512K", "best"},
+		Notes: []string{
+			"normalized by 128K on Haswell and 256K on Skylake, averaged over journal/pld/wiki/twitter (paper method)",
+			"paper finding: optimum 256KB (L2/4) on Skylake, 128KB (L2/2) on Haswell; both degrade sharply at 512KB",
+		},
+	}
+	var rows []Table3Row
+	for _, arch := range []string{"haswell", "skylake"} {
+		m, err := cfg.Machine(arch)
+		if err != nil {
+			return nil, nil, err
+		}
+		normIdx := 2 // 256K for skylake
+		if arch == "haswell" {
+			normIdx = 1 // 128K
+		}
+		for _, method := range []string{"HiPa", "p-PR", "GPOP"} {
+			e, err := EngineByName(method)
+			if err != nil {
+				return nil, nil, err
+			}
+			avg := make([]float64, len(Table3Sizes))
+			for _, name := range datasets {
+				g, err := cfg.Graph(name)
+				if err != nil {
+					return nil, nil, err
+				}
+				secs := make([]float64, len(Table3Sizes))
+				for i, paperBytes := range Table3Sizes {
+					o := cfg.PaperOptions(method, m)
+					o.PartitionBytes = cfg.PartBytes(paperBytes)
+					if arch == "haswell" {
+						// The Haswell testbed runs one thread per physical
+						// core (its 256KB L2 cannot host two partition
+						// working sets); this is what makes its optimum
+						// land at L2/2 = 128KB while Skylake's HT-shared
+						// 1MB L2 lands at L2/4 = 256KB (§4.5).
+						o.Threads = m.PhysicalCores()
+					}
+					res, err := e.Run(g, o)
+					if err != nil {
+						return nil, nil, fmt.Errorf("table3 %s/%s/%s: %w", arch, method, name, err)
+					}
+					secs[i] = res.Model.EstimatedSeconds
+				}
+				for i := range secs {
+					avg[i] += secs[i] / secs[normIdx] / float64(len(datasets))
+				}
+			}
+			row := Table3Row{Microarch: arch, Method: method, Normalized: avg}
+			rows = append(rows, row)
+			cells := []string{arch, method}
+			for _, v := range avg {
+				cells = append(cells, f2(v))
+			}
+			cells = append(cells, sizeLabel(row.BestSize()))
+			t.Rows = append(t.Rows, cells)
+		}
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- §4.5 single node
+
+// SingleNodeResult compares 1-node and 2-node deployments at equal thread
+// counts (§4.5).
+type SingleNodeResult struct {
+	OneNodeSeconds float64 // HiPa, 1 node, 20 threads
+	TwoNodeSeconds float64 // HiPa, 2 nodes, 20 threads
+	PPRSeconds     float64 // p-PR, 2 nodes (oblivious), 20 threads
+	GPOPSeconds    float64 // GPOP, 20 threads
+}
+
+// SingleNode regenerates the single-node experiment on journal.
+func SingleNode(cfg *Config) (*SingleNodeResult, *Table, error) {
+	g, err := cfg.Graph("journal")
+	if err != nil {
+		return nil, nil, err
+	}
+	two, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	one := machine.SingleNode(two)
+
+	r := &SingleNodeResult{}
+	oHipa1 := cfg.PaperOptions("hipa", one)
+	oHipa1.Threads = one.LogicalCores() // 20 threads on the single node
+	res, err := (hipa.Engine{}).Run(g, oHipa1)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.OneNodeSeconds = res.Model.EstimatedSeconds
+
+	oHipa2 := cfg.PaperOptions("hipa", two)
+	oHipa2.Threads = 20
+	res, err = (hipa.Engine{}).Run(g, oHipa2)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.TwoNodeSeconds = res.Model.EstimatedSeconds
+
+	for name, dst := range map[string]*float64{"p-PR": &r.PPRSeconds, "GPOP": &r.GPOPSeconds} {
+		e, err := EngineByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		o := cfg.PaperOptions(name, two)
+		o.Threads = 20
+		res, err := e.Run(g, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		*dst = res.Model.EstimatedSeconds
+	}
+
+	t := &Table{
+		Title:  "§4.5: Single-node vs 2-node at 20 threads (journal, modelled seconds)",
+		Header: []string{"config", "seconds"},
+		Rows: [][]string{
+			{"HiPa 1-node/20t", fmt.Sprintf("%.5f", r.OneNodeSeconds)},
+			{"HiPa 2-node/20t", fmt.Sprintf("%.5f", r.TwoNodeSeconds)},
+			{"p-PR 2-node/20t", fmt.Sprintf("%.5f", r.PPRSeconds)},
+			{"GPOP 2-node/20t", fmt.Sprintf("%.5f", r.GPOPSeconds)},
+		},
+		Notes: []string{"paper: 0.44s vs 0.39s vs 0.41s vs 1.14s — single-node HiPa loses to 2-node HiPa"},
+	}
+	return r, t, nil
+}
+
+// ---------------------------------------------------------------- node scaling
+
+// NodeScalingRow reports HiPa on an N-node machine derivative.
+type NodeScalingRow struct {
+	Nodes      int
+	Threads    int
+	Seconds    float64
+	RemoteFrac float64
+	Speedup    float64 // vs the 1-node machine
+}
+
+// NodeScaling projects HiPa onto 1/2/4/8-node Skylake derivatives (the
+// paper's §4.5 expectation that more nodes boost HiPa further), using all
+// logical cores of each machine on the largest catalog graph requested.
+func NodeScaling(cfg *Config, dataset string) ([]NodeScalingRow, *Table, error) {
+	g, err := cfg.Graph(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		Title:  "Node scaling projection: HiPa on 1/2/4/8-node machines (" + dataset + ")",
+		Header: []string{"nodes", "threads", "seconds", "remote", "speedup-vs-1node"},
+		Notes:  []string{"§4.5: \"we expect the performance of HiPa to be further boosted in 4-node and 8-node machines\""},
+	}
+	var rows []NodeScalingRow
+	var oneNode float64
+	for _, nodes := range []int{1, 2, 4, 8} {
+		m := machine.WithNodes(base, nodes)
+		o := cfg.PaperOptions("hipa", m)
+		o.Threads = m.LogicalCores()
+		res, err := (hipa.Engine{}).Run(g, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		if nodes == 1 {
+			oneNode = res.Model.EstimatedSeconds
+		}
+		row := NodeScalingRow{
+			Nodes:      nodes,
+			Threads:    res.Threads,
+			Seconds:    res.Model.EstimatedSeconds,
+			RemoteFrac: res.Model.RemoteFraction,
+			Speedup:    oneNode / res.Model.EstimatedSeconds,
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(nodes), fmt.Sprint(row.Threads), fmt.Sprintf("%.5f", row.Seconds),
+			pct(row.RemoteFrac), f2(row.Speedup),
+		})
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- ablations
+
+// AblationResult compares HiPa against its own design ablations on one
+// dataset (DESIGN.md §4).
+type AblationResult struct {
+	Variant string
+	Seconds float64
+	MApE    float64
+	Remote  float64
+	Sched   int64 // migrations
+}
+
+// Ablations runs HiPa's design ablations on the named dataset.
+func Ablations(cfg *Config, dataset string) ([]AblationResult, *Table, error) {
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := cfg.Graph(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	variants := []struct {
+		name string
+		mut  func(*common.Options)
+	}{
+		{"HiPa (full)", func(o *common.Options) {}},
+		{"no-compression", func(o *common.Options) { o.NoCompress = true }},
+		{"vertex-balanced", func(o *common.Options) { o.VertexBalanced = true }},
+		{"fcfs-no-pinning", func(o *common.Options) { o.FCFS = true }},
+	}
+	t := &Table{
+		Title:  "Ablations of HiPa design choices (" + dataset + ")",
+		Header: []string{"variant", "seconds", "MApE", "remote%", "migrations"},
+	}
+	var out []AblationResult
+	for _, v := range variants {
+		o := cfg.PaperOptions("hipa", m)
+		v.mut(&o)
+		res, err := (hipa.Engine{}).Run(g, o)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ablation %s: %w", v.name, err)
+		}
+		a := AblationResult{
+			Variant: v.name,
+			Seconds: res.Model.EstimatedSeconds,
+			MApE:    res.Model.MApE,
+			Remote:  res.Model.RemoteFraction,
+			Sched:   res.Sched.Migrations,
+		}
+		out = append(out, a)
+		t.Rows = append(t.Rows, []string{a.Variant, f3(a.Seconds), f2(a.MApE), pct(a.Remote), fmt.Sprint(a.Sched)})
+	}
+	return out, t, nil
+}
+
+// ---------------------------------------------------------------- helpers
+
+func sizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%dM", bytes>>20)
+	default:
+		return fmt.Sprintf("%dK", bytes>>10)
+	}
+}
+
+func mapStr[T any](xs []T, f func(T) string) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = f(x)
+	}
+	return out
+}

@@ -1,0 +1,232 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section as code: given a scale divisor, it generates the
+// dataset analogs, scales the simulated machine by the same factor (so
+// cache-to-working-set ratios match the paper's), runs the five engines with
+// the paper's settings, and renders the same rows/series the paper reports.
+//
+// Experiment index (see DESIGN.md §3):
+//
+//	Table1     — graph statistics + intra/inter edges per 1MB partition
+//	Table2     — PageRank execution time, 5 engines × 6 graphs
+//	Overhead   — §4.2 preprocessing overhead and amortization
+//	Fig5       — memory accesses per edge, local/remote split
+//	Fig6       — scalability over thread counts on journal
+//	Fig7       — LLC traffic + execution time over partition sizes
+//	Table3     — partition-size sensitivity on Haswell vs Skylake
+//	SingleNode — §4.5 single-node vs 2-node HiPa
+//	Ablations  — design-choice ablations from DESIGN.md §4
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/engines/gpop"
+	"hipa/internal/engines/hipa"
+	"hipa/internal/engines/polymer"
+	"hipa/internal/engines/ppr"
+	"hipa/internal/engines/vpr"
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+)
+
+// Config parameterises a reproduction run.
+type Config struct {
+	// Divisor scales dataset vertex counts and machine capacities down from
+	// paper scale. gen.DefaultDivisor (256) keeps the full suite at ~25M
+	// edges.
+	Divisor int
+	// Iterations per timed run; the paper uses 20.
+	Iterations int
+	// Datasets restricts the experiments; nil means the full catalog.
+	Datasets []string
+	// SchedSeed seeds the simulated OS scheduler.
+	SchedSeed uint64
+
+	mu    sync.Mutex
+	cache map[string]*graph.Graph
+}
+
+// NewConfig returns the default configuration (paper settings at divisor
+// 256).
+func NewConfig() *Config {
+	return &Config{
+		Divisor:    gen.DefaultDivisor,
+		Iterations: common.DefaultIterations,
+		SchedSeed:  0xC0FFEE,
+	}
+}
+
+// DatasetNames returns the configured dataset list.
+func (c *Config) DatasetNames() []string {
+	if len(c.Datasets) > 0 {
+		return c.Datasets
+	}
+	return gen.Names()
+}
+
+// Graph returns the (cached) analog of the named dataset.
+func (c *Config) Graph(name string) (*graph.Graph, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.cache[name]; ok {
+		return g, nil
+	}
+	g, err := gen.GenerateByName(name, c.Divisor)
+	if err != nil {
+		return nil, err
+	}
+	if c.cache == nil {
+		c.cache = map[string]*graph.Graph{}
+	}
+	c.cache[name] = g
+	return g, nil
+}
+
+// Machine returns the named preset scaled by the divisor.
+func (c *Config) Machine(preset string) (*machine.Machine, error) {
+	f, ok := machine.Presets[preset]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown machine preset %q", preset)
+	}
+	return machine.Scaled(f(), c.Divisor), nil
+}
+
+// PartBytes converts a paper-scale partition size to the scaled equivalent.
+func (c *Config) PartBytes(paperBytes int) int {
+	b := paperBytes / c.Divisor
+	if b < 16 {
+		b = 16
+	}
+	return b
+}
+
+// Engines returns the five engines in the paper's reporting order.
+func Engines() []common.Engine {
+	return []common.Engine{hipa.Engine{}, ppr.Engine{}, vpr.Engine{}, gpop.Engine{}, polymer.Engine{}}
+}
+
+// EngineByName looks an engine up by its paper name.
+func EngineByName(name string) (common.Engine, error) {
+	for _, e := range Engines() {
+		if strings.EqualFold(e.Name(), name) {
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown engine %q", name)
+}
+
+// PaperOptions returns the paper's tuned settings (§4.1) for the given
+// engine on machine m at the configured scale: 40 threads and 256KB
+// partitions for HiPa, 20 threads for p-PR (256KB) and GPOP (1MB), 40
+// threads for v-PR and Polymer.
+func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Options {
+	o := common.Options{
+		Machine:    m,
+		Iterations: c.Iterations,
+		SchedSeed:  c.SchedSeed,
+	}
+	switch strings.ToLower(engineName) {
+	case "hipa":
+		o.Threads = m.LogicalCores()
+		o.PartitionBytes = c.PartBytes(256 << 10)
+	case "p-pr":
+		o.Threads = m.PhysicalCores()
+		o.PartitionBytes = c.PartBytes(256 << 10)
+	case "gpop":
+		o.Threads = m.PhysicalCores()
+		o.PartitionBytes = c.PartBytes(1 << 20)
+	default: // v-PR, Polymer
+		o.Threads = m.LogicalCores()
+	}
+	return o
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	b.WriteString("== " + t.Title + " ==\n")
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				for p := len(cell); p < widths[i]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("note: " + n + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderCSV writes the table as RFC-4180-style CSV (title and notes as
+// comment lines), for piping into plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("# " + t.Title + "\n")
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		b.WriteString("# " + n + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }
+func f3(x float64) string  { return fmt.Sprintf("%.3f", x) }
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

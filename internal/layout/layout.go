@@ -1,0 +1,280 @@
+// Package layout builds the partition-centric data layout that HiPa and the
+// p-PR baseline iterate over (paper §3.4, Fig. 4): intra-edges kept as a
+// local CSR applied inside the owning core's cache, and inter-edges
+// compressed into per-(source-partition, destination-partition) message
+// blocks — all inter-edges that share a source vertex and a destination
+// partition collapse into a single message carrying one rank value, decoded
+// into its destination vertices locally during the gather phase.
+//
+// Messages are stored sorted by (source partition, destination partition,
+// source vertex). The scatter phase of the owning thread therefore streams
+// sequentially through its blocks while its random reads stay inside the
+// cache-resident source partition; the gather phase of the destination
+// thread streams sequentially through the blocks targeting its partitions.
+//
+// The same structure with compression disabled (one message per inter-edge)
+// serves as the ablation baseline for the compression optimisation.
+package layout
+
+import (
+	"fmt"
+
+	"hipa/internal/graph"
+	"hipa/internal/partition"
+)
+
+// Block is one (source partition → destination partition) run of messages.
+type Block struct {
+	SrcPart, DstPart int32
+	// MsgStart/MsgEnd delimit the block's messages in the layout's global
+	// message arrays.
+	MsgStart, MsgEnd int64
+}
+
+// Messages returns the number of compressed messages in the block.
+func (b Block) Messages() int64 { return b.MsgEnd - b.MsgStart }
+
+// Layout is the immutable partition-centric representation of one graph
+// under one hierarchical partitioning.
+type Layout struct {
+	NumPartitions int
+	Compressed    bool
+
+	// Blocks sorted by (SrcPart, DstPart).
+	Blocks []Block
+	// SrcBlocks[p] is the [start,end) range in Blocks of partition p's
+	// outgoing blocks.
+	SrcBlockStart []int32
+	SrcBlockEnd   []int32
+	// DstBlocks[q] lists indices into Blocks of the blocks targeting q.
+	DstBlocks [][]int32
+
+	// Per-message data: MsgSrc[i] is the source vertex; its destination
+	// vertices are MsgDst[MsgDstOff[i]:MsgDstOff[i+1]].
+	MsgSrc    []graph.VertexID
+	MsgDstOff []int64
+	MsgDst    []graph.VertexID
+
+	// Intra-edge CSR over all vertices: destinations of v's intra-partition
+	// edges are IntraDst[IntraOff[v]:IntraOff[v+1]].
+	IntraOff []int64
+	IntraDst []graph.VertexID
+
+	// Totals for reporting and the analytic model.
+	IntraEdges int64
+	InterEdges int64
+}
+
+// NumMessages returns the total compressed message count.
+func (l *Layout) NumMessages() int64 { return int64(len(l.MsgSrc)) }
+
+// Build constructs the layout for g under hierarchy h. When compress is
+// false every inter-edge becomes its own single-destination message.
+func Build(g *graph.Graph, h *partition.Hierarchy, compress bool) (*Layout, error) {
+	if g.NumVertices() != h.NumVertices {
+		return nil, fmt.Errorf("layout: graph has %d vertices, hierarchy %d", g.NumVertices(), h.NumVertices)
+	}
+	P := h.NumPartitions()
+	per := h.VerticesPerPartition
+	n := g.NumVertices()
+	off := g.OutOffsets()
+	adj := g.OutEdges()
+
+	l := &Layout{
+		NumPartitions: P,
+		Compressed:    compress,
+		SrcBlockStart: make([]int32, P),
+		SrcBlockEnd:   make([]int32, P),
+		DstBlocks:     make([][]int32, P),
+		IntraOff:      make([]int64, n+1),
+	}
+
+	// Pass 1: count messages and destinations per (p,q), and intra edges
+	// per vertex. The pair matrix is dense; partition counts stay small at
+	// realistic partition sizes (P = |V|·4B / partitionBytes).
+	msgCount := make([]int64, P*P)
+	dstCount := make([]int64, P*P)
+	var intraTotal int64
+	for v := 0; v < n; v++ {
+		p := v / per
+		lastQ := -1
+		for _, d := range adj[off[v]:off[v+1]] {
+			q := int(d) / per
+			if q == p {
+				l.IntraOff[v+1]++
+				intraTotal++
+				continue
+			}
+			idx := p*P + q
+			dstCount[idx]++
+			if compress {
+				if q != lastQ {
+					msgCount[idx]++
+					lastQ = q
+				}
+			} else {
+				msgCount[idx]++
+			}
+		}
+	}
+	l.IntraEdges = intraTotal
+	l.InterEdges = g.NumEdges() - intraTotal
+
+	// Intra CSR offsets.
+	for v := 0; v < n; v++ {
+		l.IntraOff[v+1] += l.IntraOff[v]
+	}
+	l.IntraDst = make([]graph.VertexID, intraTotal)
+
+	// Blocks in (p,q) order with global message/destination prefix sums.
+	var totalMsgs, totalDsts int64
+	for p := 0; p < P; p++ {
+		l.SrcBlockStart[p] = int32(len(l.Blocks))
+		for q := 0; q < P; q++ {
+			mc := msgCount[p*P+q]
+			if mc == 0 {
+				continue
+			}
+			bi := int32(len(l.Blocks))
+			l.Blocks = append(l.Blocks, Block{
+				SrcPart: int32(p), DstPart: int32(q),
+				MsgStart: totalMsgs, MsgEnd: totalMsgs + mc,
+			})
+			l.DstBlocks[q] = append(l.DstBlocks[q], bi)
+			totalMsgs += mc
+			totalDsts += dstCount[p*P+q]
+		}
+		l.SrcBlockEnd[p] = int32(len(l.Blocks))
+	}
+	l.MsgSrc = make([]graph.VertexID, totalMsgs)
+	l.MsgDstOff = make([]int64, totalMsgs+1)
+	l.MsgDst = make([]graph.VertexID, totalDsts)
+
+	// Pass 2a: per-message destination counts -> MsgDstOff.
+	// Cursor per (p,q) into that block's message range.
+	msgCursor := make([]int64, P*P)
+	blockOf := make([]int32, P*P)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	for bi, b := range l.Blocks {
+		blockOf[int(b.SrcPart)*P+int(b.DstPart)] = int32(bi)
+	}
+	// dstPerMsg counts destinations of each message.
+	dstPerMsg := make([]int64, totalMsgs)
+	for v := 0; v < n; v++ {
+		p := v / per
+		lastQ := -1
+		var curMsg int64 = -1
+		for _, d := range adj[off[v]:off[v+1]] {
+			q := int(d) / per
+			if q == p {
+				continue
+			}
+			idx := p*P + q
+			newMsg := true
+			if compress && q == lastQ {
+				newMsg = false
+			}
+			if newMsg {
+				b := l.Blocks[blockOf[idx]]
+				curMsg = b.MsgStart + msgCursor[idx]
+				msgCursor[idx]++
+				l.MsgSrc[curMsg] = graph.VertexID(v)
+				lastQ = q
+			}
+			dstPerMsg[curMsg]++
+		}
+	}
+	for i := int64(0); i < totalMsgs; i++ {
+		l.MsgDstOff[i+1] = l.MsgDstOff[i] + dstPerMsg[i]
+	}
+
+	// Pass 2b: fill destinations and intra CSR.
+	for i := range msgCursor {
+		msgCursor[i] = 0
+	}
+	dstFill := make([]int64, totalMsgs) // cursor within each message's dst list
+	intraCursor := make([]int64, n)
+	for v := 0; v < n; v++ {
+		p := v / per
+		lastQ := -1
+		var curMsg int64 = -1
+		for _, d := range adj[off[v]:off[v+1]] {
+			q := int(d) / per
+			if q == p {
+				l.IntraDst[l.IntraOff[v]+intraCursor[v]] = d
+				intraCursor[v]++
+				continue
+			}
+			idx := p*P + q
+			newMsg := true
+			if compress && q == lastQ {
+				newMsg = false
+			}
+			if newMsg {
+				b := l.Blocks[blockOf[idx]]
+				curMsg = b.MsgStart + msgCursor[idx]
+				msgCursor[idx]++
+				lastQ = q
+			}
+			l.MsgDst[l.MsgDstOff[curMsg]+dstFill[curMsg]] = d
+			dstFill[curMsg]++
+		}
+	}
+	return l, nil
+}
+
+// Validate checks structural invariants; used by tests.
+func (l *Layout) Validate(g *graph.Graph, h *partition.Hierarchy) error {
+	per := h.VerticesPerPartition
+	// Every message's destinations must live in the block's DstPart, and
+	// the source in SrcPart.
+	for _, b := range l.Blocks {
+		if b.SrcPart == b.DstPart {
+			return fmt.Errorf("layout: block %d->%d is intra", b.SrcPart, b.DstPart)
+		}
+		for m := b.MsgStart; m < b.MsgEnd; m++ {
+			if int(l.MsgSrc[m])/per != int(b.SrcPart) {
+				return fmt.Errorf("layout: message %d source %d outside partition %d", m, l.MsgSrc[m], b.SrcPart)
+			}
+			if l.MsgDstOff[m+1] <= l.MsgDstOff[m] {
+				return fmt.Errorf("layout: message %d has no destinations", m)
+			}
+			for _, d := range l.MsgDst[l.MsgDstOff[m]:l.MsgDstOff[m+1]] {
+				if int(d)/per != int(b.DstPart) {
+					return fmt.Errorf("layout: message %d destination %d outside partition %d", m, d, b.DstPart)
+				}
+			}
+		}
+	}
+	// Intra edges stay within the source's partition.
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, d := range l.IntraDst[l.IntraOff[v]:l.IntraOff[v+1]] {
+			if int(d)/per != v/per {
+				return fmt.Errorf("layout: intra edge (%d,%d) crosses partitions", v, d)
+			}
+		}
+	}
+	// Edge conservation.
+	var dsts int64
+	for m := int64(0); m < l.NumMessages(); m++ {
+		dsts += l.MsgDstOff[m+1] - l.MsgDstOff[m]
+	}
+	if dsts != l.InterEdges {
+		return fmt.Errorf("layout: %d message destinations, want %d inter-edges", dsts, l.InterEdges)
+	}
+	if l.IntraEdges+l.InterEdges != g.NumEdges() {
+		return fmt.Errorf("layout: intra %d + inter %d != edges %d", l.IntraEdges, l.InterEdges, g.NumEdges())
+	}
+	if !l.Compressed && l.NumMessages() != l.InterEdges {
+		return fmt.Errorf("layout: uncompressed layout must have one message per inter-edge")
+	}
+	return nil
+}
+
+// BinBytes returns the total size of the message value bins (one 4-byte rank
+// value per message), the memory the scatter phase writes and the gather
+// phase reads each iteration. The compression win of §3.4 is the ratio of
+// this number between compressed and uncompressed layouts.
+func (l *Layout) BinBytes() int64 { return l.NumMessages() * 4 }

@@ -1,0 +1,269 @@
+package layout
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/partition"
+)
+
+func buildHierarchy(t testing.TB, g *graph.Graph, partBytes int) *partition.Hierarchy {
+	t.Helper()
+	h, err := partition.Build(g, partition.Config{
+		PartitionBytes: partBytes, BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestFig4Compression(t *testing.T) {
+	// Paper Fig. 4: edges (v1,v2) intra; (v1,v6) and (v1,v7) inter to the
+	// same partition compress into one message with two destinations.
+	// Partitions of 4 vertices: p0 = {0..3}, p1 = {4..7}.
+	b := graph.NewBuilder(8)
+	b.AddEdges([]graph.Edge{
+		{Src: 1, Dst: 2}, // intra
+		{Src: 1, Dst: 6}, // inter -> p1
+		{Src: 1, Dst: 7}, // inter -> p1 (same message)
+	})
+	g := b.Build()
+	h := buildHierarchy(t, g, 16)
+	l, err := Build(g, h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+	if l.IntraEdges != 1 || l.InterEdges != 2 {
+		t.Fatalf("intra=%d inter=%d", l.IntraEdges, l.InterEdges)
+	}
+	if l.NumMessages() != 1 {
+		t.Fatalf("NumMessages = %d, want 1 (compressed)", l.NumMessages())
+	}
+	if l.MsgSrc[0] != 1 {
+		t.Errorf("message source = %d, want 1", l.MsgSrc[0])
+	}
+	dsts := l.MsgDst[l.MsgDstOff[0]:l.MsgDstOff[1]]
+	if len(dsts) != 2 || dsts[0] != 6 || dsts[1] != 7 {
+		t.Errorf("message destinations = %v, want [6 7]", dsts)
+	}
+
+	// Uncompressed: two messages.
+	lu, err := Build(g, h, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lu.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+	if lu.NumMessages() != 2 {
+		t.Fatalf("uncompressed NumMessages = %d, want 2", lu.NumMessages())
+	}
+	if lu.BinBytes() != 8 || l.BinBytes() != 4 {
+		t.Errorf("BinBytes: compressed %d, uncompressed %d", l.BinBytes(), lu.BinBytes())
+	}
+}
+
+func TestBlocksOrderingAndIndexes(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 256, Edges: 3000, OutAlpha: 2.1, InAlpha: 0.8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := buildHierarchy(t, g, 64) // 16 vertices per partition, 16 partitions
+	l, err := Build(g, h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+	// Blocks sorted by (src, dst); SrcBlock ranges consistent.
+	for i := 1; i < len(l.Blocks); i++ {
+		a, b := l.Blocks[i-1], l.Blocks[i]
+		if a.SrcPart > b.SrcPart || (a.SrcPart == b.SrcPart && a.DstPart >= b.DstPart) {
+			t.Fatalf("blocks not sorted at %d: %+v then %+v", i, a, b)
+		}
+		if a.MsgEnd != b.MsgStart {
+			t.Fatalf("message ranges not contiguous at block %d", i)
+		}
+	}
+	for p := 0; p < l.NumPartitions; p++ {
+		for bi := l.SrcBlockStart[p]; bi < l.SrcBlockEnd[p]; bi++ {
+			if int(l.Blocks[bi].SrcPart) != p {
+				t.Fatalf("SrcBlock range of %d contains block with src %d", p, l.Blocks[bi].SrcPart)
+			}
+		}
+		for _, bi := range l.DstBlocks[p] {
+			if int(l.Blocks[bi].DstPart) != p {
+				t.Fatalf("DstBlocks of %d contains block with dst %d", p, l.Blocks[bi].DstPart)
+			}
+		}
+	}
+	// Every block is in exactly one DstBlocks list.
+	var dstTotal int
+	for _, list := range l.DstBlocks {
+		dstTotal += len(list)
+	}
+	if dstTotal != len(l.Blocks) {
+		t.Fatalf("DstBlocks cover %d blocks, want %d", dstTotal, len(l.Blocks))
+	}
+}
+
+// The update multiset delivered by the layout must equal the edge multiset:
+// replaying scatter+gather symbolically reproduces every inter-edge exactly
+// once and every intra-edge exactly once.
+func TestEdgeMultisetPreserved(t *testing.T) {
+	for _, compress := range []bool{true, false} {
+		g, err := gen.Uniform(300, 4000, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := buildHierarchy(t, g, 128)
+		l, err := Build(g, h, compress)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[[2]graph.VertexID]int{}
+		for m := int64(0); m < l.NumMessages(); m++ {
+			src := l.MsgSrc[m]
+			for _, d := range l.MsgDst[l.MsgDstOff[m]:l.MsgDstOff[m+1]] {
+				got[[2]graph.VertexID{src, d}]++
+			}
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, d := range l.IntraDst[l.IntraOff[v]:l.IntraOff[v+1]] {
+				got[[2]graph.VertexID{graph.VertexID(v), d}]++
+			}
+		}
+		want := map[[2]graph.VertexID]int{}
+		for v := 0; v < g.NumVertices(); v++ {
+			for _, d := range g.OutNeighbors(graph.VertexID(v)) {
+				want[[2]graph.VertexID{graph.VertexID(v), d}]++
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("compress=%v: %d distinct edges, want %d", compress, len(got), len(want))
+		}
+		for k, c := range want {
+			if got[k] != c {
+				t.Fatalf("compress=%v: edge %v delivered %d times, want %d", compress, k, got[k], c)
+			}
+		}
+	}
+}
+
+func TestCompressionReducesMessages(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 1024, Edges: 20000, OutAlpha: 2.0, InAlpha: 1.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := buildHierarchy(t, g, 256)
+	lc, err := Build(g, h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := Build(g, h, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.NumMessages() >= lu.NumMessages() {
+		t.Fatalf("compression did not reduce messages: %d vs %d", lc.NumMessages(), lu.NumMessages())
+	}
+	if lc.InterEdges != lu.InterEdges || lc.IntraEdges != lu.IntraEdges {
+		t.Fatal("edge classification differs between compressed and uncompressed")
+	}
+}
+
+func TestLargerPartitionsCompressBetter(t *testing.T) {
+	// §4.5: "The larger a partition, the better the compression."
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 4096, Edges: 60000, OutAlpha: 2.0, InAlpha: 1.0, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevRatio := 0.0
+	for _, pb := range []int{64, 256, 1024, 4096} {
+		h := buildHierarchy(t, g, pb)
+		l, err := Build(g, h, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l.InterEdges == 0 {
+			continue
+		}
+		ratio := float64(l.InterEdges) / float64(l.NumMessages()) // edges per message
+		if ratio < prevRatio {
+			t.Errorf("partition %dB: compression ratio %.2f decreased (prev %.2f)", pb, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio <= 1.0 {
+		t.Errorf("final compression ratio %.2f, expected > 1", prevRatio)
+	}
+}
+
+func TestBuildVertexMismatch(t *testing.T) {
+	g1, _ := gen.Uniform(100, 100, 1)
+	g2, _ := gen.Uniform(50, 100, 1)
+	h := buildHierarchy(t, g1, 64)
+	if _, err := Build(g2, h, true); err == nil {
+		t.Fatal("expected error for vertex count mismatch")
+	}
+}
+
+func TestNoInterEdges(t *testing.T) {
+	// All edges intra (one partition holds all vertices).
+	g, _ := gen.Uniform(32, 500, 2)
+	h, err := partition.Build(g, partition.Config{PartitionBytes: 1 << 20, BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g, h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Validate(g, h); err != nil {
+		t.Fatal(err)
+	}
+	if l.InterEdges != 0 || l.NumMessages() != 0 || len(l.Blocks) != 0 {
+		t.Fatalf("expected pure-intra layout: %+v", l)
+	}
+	if l.IntraEdges != g.NumEdges() {
+		t.Fatal("intra edges must cover everything")
+	}
+}
+
+// Property: layout invariants hold for random graphs, both compression
+// modes, and random partition sizes.
+func TestPropertyLayoutInvariants(t *testing.T) {
+	f := func(seed uint64, pbRaw uint8, compress bool) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		n := rng.IntN(400) + 10
+		m := rng.IntN(3000)
+		b := graph.NewBuilder(n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(graph.VertexID(rng.IntN(n)), graph.VertexID(rng.IntN(n)))
+		}
+		g := b.Build()
+		pb := (int(pbRaw)%32 + 1) * 16
+		h, err := partition.Build(g, partition.Config{
+			PartitionBytes: pb, BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 2,
+		})
+		if err != nil {
+			return false
+		}
+		l, err := Build(g, h, compress)
+		if err != nil {
+			return false
+		}
+		return l.Validate(g, h) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

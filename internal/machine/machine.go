@@ -1,0 +1,174 @@
+// Package machine models the hardware topology of a NUMA multicore system:
+// sockets (NUMA nodes), physical cores, Hyper-Threaded logical cores, the
+// private L1/L2 caches, the shared last-level cache, and DRAM latency and
+// bandwidth for local versus remote accesses.
+//
+// The real paper runs on two Intel testbeds; Go cannot pin threads or place
+// memory on NUMA nodes, so this package is the substitution: a declarative
+// machine description consumed by the memory simulator (internal/memsim),
+// the scheduler simulator (internal/sched), the cache simulator
+// (internal/cachesim), and the analytic performance model
+// (internal/perfmodel). Both of the paper's machines ship as presets with
+// exactly the parameters reported in §4.1 and §4.5.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cache describes one cache level.
+type Cache struct {
+	// SizeBytes is the capacity. For shared caches this is the per-node
+	// (per-socket) capacity.
+	SizeBytes int
+	// LineBytes is the cache line size (64 on all modern x86).
+	LineBytes int
+	// Assoc is the set associativity.
+	Assoc int
+	// LatencyNS is the load-to-use latency of a hit in nanoseconds.
+	LatencyNS float64
+}
+
+// Sets returns the number of sets.
+func (c Cache) Sets() int {
+	if c.LineBytes == 0 || c.Assoc == 0 {
+		return 0
+	}
+	return c.SizeBytes / (c.LineBytes * c.Assoc)
+}
+
+// Machine is an immutable description of a NUMA multicore system.
+type Machine struct {
+	// Name identifies the preset (e.g. "skylake-4210").
+	Name string
+	// Microarch is the microarchitecture family ("skylake", "haswell").
+	Microarch string
+
+	// NUMANodes is the number of sockets/NUMA nodes.
+	NUMANodes int
+	// CoresPerNode is the number of physical cores per node.
+	CoresPerNode int
+	// ThreadsPerCore is the SMT width (2 with Hyper-Threading).
+	ThreadsPerCore int
+
+	// L1 and L2 are private per physical core.
+	L1, L2 Cache
+	// LLC is shared among the cores of one node. LLCInclusive reports
+	// whether the LLC is inclusive of L2 (Haswell) or non-inclusive
+	// (Skylake); the distinction changes the effective private capacity and
+	// drives Table 3.
+	LLC          Cache
+	LLCInclusive bool
+
+	// DRAMBytes is the memory capacity per node.
+	DRAMBytes int64
+
+	// Local/Remote DRAM characteristics. Latency is per cache-line fetch.
+	// LocalBandwidth and RemoteBandwidth are the *single-stream* (one core)
+	// bandwidths in bytes/second; the Skylake preset encodes the paper's
+	// measurement: 1GB sequential read in 0.06s local vs 0.40s remote
+	// (§2.2). NodeBandwidth is the aggregate DRAM bandwidth of one node's
+	// memory controller, shared by all cores streaming from that node.
+	LocalLatencyNS   float64
+	RemoteLatencyNS  float64
+	LocalBandwidth   float64
+	RemoteBandwidth  float64
+	NodeBandwidth    float64
+	InterconnectGBps float64 // total cross-node link bandwidth, both ways
+
+	// ThreadMigrationNS is the cost of migrating a thread context to a core
+	// on another NUMA node (context transfer via remote memory, §3.3.2).
+	ThreadMigrationNS float64
+	// ThreadSpawnNS is the cost of creating + binding one thread.
+	ThreadSpawnNS float64
+	// SyncBarrierNS is the cost of one barrier synchronisation across all
+	// participating threads.
+	SyncBarrierNS float64
+
+	// CPUGHz converts core cycles to time for the compute component.
+	CPUGHz float64
+}
+
+// PhysicalCores returns the total physical core count.
+func (m *Machine) PhysicalCores() int { return m.NUMANodes * m.CoresPerNode }
+
+// LogicalCores returns the total logical (Hyper-Thread) core count; this is
+// the maximum number of hardware threads (§3.3.1).
+func (m *Machine) LogicalCores() int {
+	return m.NUMANodes * m.CoresPerNode * m.ThreadsPerCore
+}
+
+// LogicalPerNode returns the logical cores per NUMA node.
+func (m *Machine) LogicalPerNode() int { return m.CoresPerNode * m.ThreadsPerCore }
+
+// NodeOfLogical returns the NUMA node that logical core id belongs to.
+// Logical cores are numbered node-major: node = id / LogicalPerNode().
+func (m *Machine) NodeOfLogical(id int) int {
+	if id < 0 || id >= m.LogicalCores() {
+		panic(fmt.Sprintf("machine: logical core %d out of range [0,%d)", id, m.LogicalCores()))
+	}
+	return id / m.LogicalPerNode()
+}
+
+// PhysicalOfLogical returns the physical core that logical core id runs on.
+// The two hyper-threads of physical core p are logical ids 2p and 2p+1
+// (node-major numbering).
+func (m *Machine) PhysicalOfLogical(id int) int {
+	if id < 0 || id >= m.LogicalCores() {
+		panic(fmt.Sprintf("machine: logical core %d out of range [0,%d)", id, m.LogicalCores()))
+	}
+	return id / m.ThreadsPerCore
+}
+
+// SiblingOfLogical returns the other hyper-thread on the same physical core,
+// or -1 when ThreadsPerCore == 1.
+func (m *Machine) SiblingOfLogical(id int) int {
+	if m.ThreadsPerCore != 2 {
+		return -1
+	}
+	return id ^ 1
+}
+
+// Validate checks the description for consistency.
+func (m *Machine) Validate() error {
+	switch {
+	case m.NUMANodes < 1:
+		return errors.New("machine: need at least one NUMA node")
+	case m.CoresPerNode < 1:
+		return errors.New("machine: need at least one core per node")
+	case m.ThreadsPerCore < 1 || m.ThreadsPerCore > 2:
+		return fmt.Errorf("machine: threads per core must be 1 or 2, got %d", m.ThreadsPerCore)
+	case m.L1.SizeBytes <= 0 || m.L2.SizeBytes <= 0 || m.LLC.SizeBytes <= 0:
+		return errors.New("machine: cache sizes must be positive")
+	case m.L1.SizeBytes > m.L2.SizeBytes:
+		return errors.New("machine: L1 larger than L2")
+	case m.L1.LineBytes != m.L2.LineBytes || m.L2.LineBytes != m.LLC.LineBytes:
+		return errors.New("machine: cache line sizes must agree across levels")
+	case m.LocalLatencyNS <= 0 || m.RemoteLatencyNS < m.LocalLatencyNS:
+		return errors.New("machine: remote latency must be >= local latency > 0")
+	case m.LocalBandwidth <= 0 || m.RemoteBandwidth <= 0 || m.RemoteBandwidth > m.LocalBandwidth:
+		return errors.New("machine: bandwidths must be positive with remote <= local")
+	case m.NodeBandwidth < m.LocalBandwidth:
+		return errors.New("machine: node aggregate bandwidth must be >= single-stream bandwidth")
+	case m.CPUGHz <= 0:
+		return errors.New("machine: CPU frequency must be positive")
+	}
+	for _, c := range []Cache{m.L1, m.L2, m.LLC} {
+		if c.Sets() <= 0 {
+			return fmt.Errorf("machine: cache with %dB/%d-way/%dB lines has no sets", c.SizeBytes, c.Assoc, c.LineBytes)
+		}
+		if c.SizeBytes%(c.LineBytes*c.Assoc) != 0 {
+			return fmt.Errorf("machine: cache size %d not divisible by way size", c.SizeBytes)
+		}
+	}
+	return nil
+}
+
+// String returns a one-line summary.
+func (m *Machine) String() string {
+	return fmt.Sprintf("%s: %d nodes x %d cores x %d HT, L2 %dKB, LLC %.2fMB/node (%s)",
+		m.Name, m.NUMANodes, m.CoresPerNode, m.ThreadsPerCore,
+		m.L2.SizeBytes/1024, float64(m.LLC.SizeBytes)/(1<<20),
+		map[bool]string{true: "inclusive", false: "non-inclusive"}[m.LLCInclusive])
+}

@@ -1,0 +1,112 @@
+package machine
+
+import "fmt"
+
+// SkylakeSilver4210 returns the paper's primary testbed (§4.1): two Intel
+// Xeon Silver 4210 sockets, each a NUMA node with 10 physical cores (20
+// logical), 64KB L1 and 1MB L2 per core, and a 13.75MB shared non-inclusive
+// LLC, 128GB DRAM per node.
+//
+// The local/remote DRAM numbers encode the paper's own measurement: reading
+// 1GB sequentially takes 0.06s from local memory and 0.40s from remote
+// (§2.2), i.e. ~16.7GB/s vs ~2.5GB/s per core stream.
+func SkylakeSilver4210() *Machine {
+	m := &Machine{
+		Name:           "skylake-4210",
+		Microarch:      "skylake",
+		NUMANodes:      2,
+		CoresPerNode:   10,
+		ThreadsPerCore: 2,
+		L1:             Cache{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, LatencyNS: 1.2},
+		L2:             Cache{SizeBytes: 1 << 20, LineBytes: 64, Assoc: 16, LatencyNS: 4.0},
+		// 13.75MB = 10 slices of 1.375MB.
+		LLC:              Cache{SizeBytes: 13.75 * (1 << 20), LineBytes: 64, Assoc: 11, LatencyNS: 18.0},
+		LLCInclusive:     false,
+		DRAMBytes:        128 << 30,
+		LocalLatencyNS:   85,
+		RemoteLatencyNS:  145,
+		LocalBandwidth:   1e9 / 0.06, // paper's 1GB in 0.06s
+		RemoteBandwidth:  1e9 / 0.40, // paper's 1GB in 0.40s
+		NodeBandwidth:    60e9,       // 6 DDR4-2400 channels, sustained
+		InterconnectGBps: 20.8,       // 2x UPI links @ 10.4 GT/s
+
+		ThreadMigrationNS: 30_000, // cross-node context transfer via DRAM
+		ThreadSpawnNS:     12_000,
+		SyncBarrierNS:     3_000,
+		CPUGHz:            2.2,
+	}
+	if err := m.Validate(); err != nil {
+		panic("machine: invalid skylake preset: " + err.Error())
+	}
+	return m
+}
+
+// HaswellE52667 returns the paper's second testbed (§4.5): two Intel Xeon
+// E5-2667 v3 sockets, 8 physical cores each, 256KB L2 per core and an
+// inclusive 2.5MB-per-core shared LLC (20MB per socket), 32GB DRAM per node
+// (64GB total).
+func HaswellE52667() *Machine {
+	m := &Machine{
+		Name:           "haswell-e5-2667",
+		Microarch:      "haswell",
+		NUMANodes:      2,
+		CoresPerNode:   8,
+		ThreadsPerCore: 2,
+		L1:             Cache{SizeBytes: 64 << 10, LineBytes: 64, Assoc: 8, LatencyNS: 1.25},
+		L2:             Cache{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyNS: 3.5},
+		LLC:            Cache{SizeBytes: 20 << 20, LineBytes: 64, Assoc: 20, LatencyNS: 14.0},
+		LLCInclusive:   true,
+		DRAMBytes:      32 << 30,
+		// Haswell-era DRAM: slightly lower latency gap, lower bandwidth.
+		LocalLatencyNS:   80,
+		RemoteLatencyNS:  135,
+		LocalBandwidth:   14e9,
+		RemoteBandwidth:  3.0e9,
+		NodeBandwidth:    45e9, // 4 DDR4-2133 channels, sustained
+		InterconnectGBps: 19.2, // 2x QPI links @ 9.6 GT/s
+
+		ThreadMigrationNS: 32_000,
+		ThreadSpawnNS:     12_000,
+		SyncBarrierNS:     3_000,
+		CPUGHz:            3.2,
+	}
+	if err := m.Validate(); err != nil {
+		panic("machine: invalid haswell preset: " + err.Error())
+	}
+	return m
+}
+
+// SingleNode returns a copy of m restricted to one NUMA node, used by the
+// §4.5 single-node experiment ("HiPa deployed on single NUMA node with 20
+// threads").
+func SingleNode(m *Machine) *Machine {
+	c := *m
+	c.Name = m.Name + "-1node"
+	c.NUMANodes = 1
+	if err := c.Validate(); err != nil {
+		panic("machine: invalid single-node derivation: " + err.Error())
+	}
+	return &c
+}
+
+// WithNodes returns a copy of m with the given NUMA node count, used by the
+// node-scaling projection the paper's conclusion anticipates ("we expect the
+// performance of HiPa to be further boosted in 4-node and 8-node machines",
+// §4.5). Per-node resources (cores, caches, DRAM, bandwidth) are unchanged.
+func WithNodes(m *Machine, nodes int) *Machine {
+	c := *m
+	c.Name = m.Name + "-" + fmt.Sprint(nodes) + "node"
+	c.NUMANodes = nodes
+	// The cross-node fabric grows with the socket count (more links).
+	c.InterconnectGBps = m.InterconnectGBps * float64(nodes) / float64(m.NUMANodes)
+	if err := c.Validate(); err != nil {
+		panic("machine: invalid node-count derivation: " + err.Error())
+	}
+	return &c
+}
+
+// Presets maps preset names to constructors, for CLI flag parsing.
+var Presets = map[string]func() *Machine{
+	"skylake": SkylakeSilver4210,
+	"haswell": HaswellE52667,
+}

@@ -1,0 +1,50 @@
+package machine
+
+// Scaled returns a copy of m with all capacity parameters (cache sizes,
+// DRAM) divided by div, keeping latencies, bandwidths, core counts, and
+// associativities unchanged.
+//
+// Why this exists: the paper's datasets are billions of edges; the catalog
+// regenerates them scaled down by a divisor (internal/gen). Cache behaviour
+// — the heart of the paper — depends on the *ratio* of working sets to cache
+// capacities (does a rank array fit in the LLC? does a partition plus its
+// buffers fit in L2?). Scaling the machine's capacities by the same divisor
+// as the dataset preserves every such ratio, so the partition-size optima
+// and LLC spill points land at the same paper-labelled sizes. Experiment
+// reports label partition sizes at paper scale (the scaled size × div).
+//
+// Cache sizes are rounded to the nearest whole number of ways so the
+// geometry stays valid; they never round below one line per way.
+func Scaled(m *Machine, div int) *Machine {
+	if div <= 1 {
+		return m
+	}
+	c := *m
+	c.Name = m.Name + "-scaled"
+	c.L1 = scaleCache(m.L1, div)
+	c.L2 = scaleCache(m.L2, div)
+	c.LLC = scaleCache(m.LLC, div)
+	c.DRAMBytes = m.DRAMBytes / int64(div)
+	// Fixed time costs scale with the divisor too: a run on 1/div-sized
+	// data takes ~1/div the time, so constant overheads (thread spawns,
+	// migrations, barriers) must shrink by the same factor to keep their
+	// *relative* weight equal to paper scale — otherwise they dominate the
+	// scaled-down iteration times and distort every shape.
+	c.ThreadMigrationNS = m.ThreadMigrationNS / float64(div)
+	c.ThreadSpawnNS = m.ThreadSpawnNS / float64(div)
+	c.SyncBarrierNS = m.SyncBarrierNS / float64(div)
+	if err := c.Validate(); err != nil {
+		panic("machine: invalid scaled machine: " + err.Error())
+	}
+	return &c
+}
+
+func scaleCache(c Cache, div int) Cache {
+	way := c.LineBytes * c.Assoc
+	sets := (c.SizeBytes/div + way/2) / way
+	if sets < 1 {
+		sets = 1
+	}
+	c.SizeBytes = sets * way
+	return c
+}

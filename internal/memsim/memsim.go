@@ -1,0 +1,252 @@
+// Package memsim models NUMA memory placement and accounting: a simulated
+// address space whose allocations ("regions") are placed on NUMA nodes
+// page-by-page under a chosen policy, and counters that classify every
+// access as local or remote given the node the accessing core belongs to.
+//
+// It substitutes for two things the paper uses that Go cannot reach: the
+// libnuma-style placement of arrays on chosen nodes (§3.4's "graph vertices,
+// edges and attributes are subdivided into discrete physical pages on
+// different NUMA node" mapped into one contiguous virtual range) and the
+// uncore performance counters that measure local/remote DRAM traffic
+// (Fig. 5's MApE breakdown).
+package memsim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hipa/internal/machine"
+)
+
+// PageBytes is the simulated OS page size used for placement granularity.
+const PageBytes = 4096
+
+// Placement decides which node owns each page of a region.
+type Placement interface {
+	// NodeOf returns the owning node for the page with the given index,
+	// given the total page count and node count.
+	NodeOf(page, totalPages, nodes int) int
+	// String describes the policy.
+	String() string
+}
+
+// OnNode places every page on one node (numactl --membind style).
+type OnNode int
+
+// NodeOf implements Placement.
+func (o OnNode) NodeOf(page, totalPages, nodes int) int { return int(o) % nodes }
+
+// String implements Placement.
+func (o OnNode) String() string { return fmt.Sprintf("on-node(%d)", int(o)) }
+
+// Interleave places pages round-robin across all nodes (numactl
+// --interleave). This is what a NUMA-oblivious allocation effectively looks
+// like for large shared arrays touched by all threads.
+type Interleave struct{}
+
+// NodeOf implements Placement.
+func (Interleave) NodeOf(page, totalPages, nodes int) int { return page % nodes }
+
+// String implements Placement.
+func (Interleave) String() string { return "interleave" }
+
+// Sliced places contiguous byte ranges on explicit nodes: Bounds[i] is the
+// exclusive end offset (in bytes) of node i's slice. This models HiPa's
+// contiguous virtual address space whose physical pages live on the NUMA
+// node that owns the corresponding partition range (§3.4). A page whose
+// start offset falls in slice i is owned by node i.
+type Sliced struct {
+	Bounds []int64
+}
+
+// NodeOf implements Placement.
+func (s Sliced) NodeOf(page, totalPages, nodes int) int {
+	off := int64(page) * PageBytes
+	for i, end := range s.Bounds {
+		if off < end {
+			return i % nodes
+		}
+	}
+	return (len(s.Bounds) - 1) % nodes
+}
+
+// String implements Placement.
+func (s Sliced) String() string { return fmt.Sprintf("sliced(%d slices)", len(s.Bounds)) }
+
+// Region is one simulated allocation.
+type Region struct {
+	Name string
+	Base uint64 // simulated byte address of the first byte
+	Size int64
+	// nodeOf[p] is the NUMA node owning page p.
+	nodeOf []uint8
+}
+
+// NodeAt returns the node owning the page containing the given byte offset.
+func (r *Region) NodeAt(offset int64) int {
+	if offset < 0 || offset >= r.Size {
+		panic(fmt.Sprintf("memsim: offset %d out of range [0,%d) in region %s", offset, r.Size, r.Name))
+	}
+	return int(r.nodeOf[offset/PageBytes])
+}
+
+// Addr returns the simulated address of the given byte offset, for feeding
+// the cache simulator.
+func (r *Region) Addr(offset int64) uint64 { return r.Base + uint64(offset) }
+
+// PagesOnNode returns how many of the region's pages live on each node.
+func (r *Region) PagesOnNode(nodes int) []int64 {
+	out := make([]int64, nodes)
+	for _, n := range r.nodeOf {
+		out[n]++
+	}
+	return out
+}
+
+// Space is a simulated address space. Allocations are appended; addresses
+// never overlap. Not safe for concurrent Alloc; regions are immutable after
+// allocation and safe for concurrent reads.
+type Space struct {
+	mach    *machine.Machine
+	next    uint64
+	regions []*Region
+}
+
+// NewSpace returns an empty address space for machine m.
+func NewSpace(m *machine.Machine) *Space {
+	// Start above zero so address 0 is never valid.
+	return &Space{mach: m, next: PageBytes}
+}
+
+// Machine returns the machine this space belongs to.
+func (s *Space) Machine() *machine.Machine { return s.mach }
+
+// Alloc creates a region of the given size placed per policy.
+func (s *Space) Alloc(name string, size int64, p Placement) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("memsim: allocation %q must have positive size, got %d", name, size)
+	}
+	pages := int((size + PageBytes - 1) / PageBytes)
+	r := &Region{
+		Name:   name,
+		Base:   s.next,
+		Size:   size,
+		nodeOf: make([]uint8, pages),
+	}
+	nodes := s.mach.NUMANodes
+	for pg := 0; pg < pages; pg++ {
+		n := p.NodeOf(pg, pages, nodes)
+		if n < 0 || n >= nodes {
+			return nil, fmt.Errorf("memsim: policy %s produced node %d for %d-node machine", p, n, nodes)
+		}
+		r.nodeOf[pg] = uint8(n)
+	}
+	s.next += uint64(pages) * PageBytes
+	s.regions = append(s.regions, r)
+	return r, nil
+}
+
+// MustAlloc is Alloc that panics on error, for initialisation paths whose
+// sizes are known positive.
+func (s *Space) MustAlloc(name string, size int64, p Placement) *Region {
+	r, err := s.Alloc(name, size, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Regions returns all allocations in allocation order.
+func (s *Space) Regions() []*Region { return s.regions }
+
+// TotalBytes returns the total allocated bytes.
+func (s *Space) TotalBytes() int64 {
+	var t int64
+	for _, r := range s.regions {
+		t += r.Size
+	}
+	return t
+}
+
+// Counters accumulates classified memory traffic. The zero value is ready to
+// use. Counters are not synchronised: use one per thread and Merge, or use
+// AtomicCounters for shared accumulation.
+type Counters struct {
+	// LocalBytes and RemoteBytes are DRAM traffic classified by whether the
+	// accessing core's node owns the page.
+	LocalBytes, RemoteBytes int64
+	// LocalAccesses / RemoteAccesses count discrete accesses.
+	LocalAccesses, RemoteAccesses int64
+}
+
+// Record classifies an access of size bytes at offset within region r, made
+// by a core on node coreNode.
+func (c *Counters) Record(r *Region, offset int64, bytes int, coreNode int) {
+	if r.NodeAt(offset) == coreNode {
+		c.LocalBytes += int64(bytes)
+		c.LocalAccesses++
+	} else {
+		c.RemoteBytes += int64(bytes)
+		c.RemoteAccesses++
+	}
+}
+
+// RecordN classifies n accesses of the same kind in one call (fast path for
+// analytic accounting where the classification is known to be uniform).
+func (c *Counters) RecordN(local bool, n int64, bytesEach int) {
+	if local {
+		c.LocalAccesses += n
+		c.LocalBytes += n * int64(bytesEach)
+	} else {
+		c.RemoteAccesses += n
+		c.RemoteBytes += n * int64(bytesEach)
+	}
+}
+
+// Merge adds other into c.
+func (c *Counters) Merge(other Counters) {
+	c.LocalBytes += other.LocalBytes
+	c.RemoteBytes += other.RemoteBytes
+	c.LocalAccesses += other.LocalAccesses
+	c.RemoteAccesses += other.RemoteAccesses
+}
+
+// TotalBytes returns local + remote traffic.
+func (c Counters) TotalBytes() int64 { return c.LocalBytes + c.RemoteBytes }
+
+// RemoteFraction returns the share of bytes that were remote, 0 if none.
+func (c Counters) RemoteFraction() float64 {
+	t := c.TotalBytes()
+	if t == 0 {
+		return 0
+	}
+	return float64(c.RemoteBytes) / float64(t)
+}
+
+// AtomicCounters is a synchronised variant for accumulation from multiple
+// goroutines.
+type AtomicCounters struct {
+	localBytes, remoteBytes       atomic.Int64
+	localAccesses, remoteAccesses atomic.Int64
+}
+
+// Record classifies an access; safe for concurrent use.
+func (a *AtomicCounters) Record(r *Region, offset int64, bytes int, coreNode int) {
+	if r.NodeAt(offset) == coreNode {
+		a.localBytes.Add(int64(bytes))
+		a.localAccesses.Add(1)
+	} else {
+		a.remoteBytes.Add(int64(bytes))
+		a.remoteAccesses.Add(1)
+	}
+}
+
+// Snapshot returns the current totals as plain Counters.
+func (a *AtomicCounters) Snapshot() Counters {
+	return Counters{
+		LocalBytes:     a.localBytes.Load(),
+		RemoteBytes:    a.remoteBytes.Load(),
+		LocalAccesses:  a.localAccesses.Load(),
+		RemoteAccesses: a.remoteAccesses.Load(),
+	}
+}

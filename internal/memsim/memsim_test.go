@@ -1,0 +1,220 @@
+package memsim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"hipa/internal/machine"
+)
+
+func sky() *machine.Machine { return machine.SkylakeSilver4210() }
+
+func TestOnNodePlacement(t *testing.T) {
+	s := NewSpace(sky())
+	r, err := s.Alloc("ranks", 10*PageBytes, OnNode(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := int64(0); off < r.Size; off += PageBytes {
+		if r.NodeAt(off) != 1 {
+			t.Fatalf("page at %d on node %d, want 1", off, r.NodeAt(off))
+		}
+	}
+	pages := r.PagesOnNode(2)
+	if pages[0] != 0 || pages[1] != 10 {
+		t.Fatalf("PagesOnNode = %v", pages)
+	}
+}
+
+func TestOnNodeWraps(t *testing.T) {
+	s := NewSpace(sky())
+	r := s.MustAlloc("x", PageBytes, OnNode(5)) // 5 % 2 = 1
+	if r.NodeAt(0) != 1 {
+		t.Fatalf("OnNode(5) on 2-node machine placed on %d, want 1", r.NodeAt(0))
+	}
+}
+
+func TestInterleavePlacement(t *testing.T) {
+	s := NewSpace(sky())
+	r := s.MustAlloc("edges", 8*PageBytes, Interleave{})
+	for pg := 0; pg < 8; pg++ {
+		want := pg % 2
+		if got := r.NodeAt(int64(pg) * PageBytes); got != want {
+			t.Fatalf("page %d on node %d, want %d", pg, got, want)
+		}
+	}
+	pages := r.PagesOnNode(2)
+	if pages[0] != 4 || pages[1] != 4 {
+		t.Fatalf("PagesOnNode = %v, want [4 4]", pages)
+	}
+}
+
+func TestSlicedPlacement(t *testing.T) {
+	s := NewSpace(sky())
+	// First 3 pages node 0, rest node 1.
+	r := s.MustAlloc("attrs", 10*PageBytes, Sliced{Bounds: []int64{3 * PageBytes, 10 * PageBytes}})
+	for pg := 0; pg < 10; pg++ {
+		want := 0
+		if pg >= 3 {
+			want = 1
+		}
+		if got := r.NodeAt(int64(pg) * PageBytes); got != want {
+			t.Fatalf("page %d on node %d, want %d", pg, got, want)
+		}
+	}
+}
+
+func TestSlicedBeyondLastBound(t *testing.T) {
+	s := NewSpace(sky())
+	// Bounds cover only the first page; later pages fall to the last slice.
+	r := s.MustAlloc("a", 3*PageBytes, Sliced{Bounds: []int64{PageBytes, 2 * PageBytes}})
+	if r.NodeAt(2*PageBytes+10) != 1 {
+		t.Fatal("pages past the last bound should belong to the last slice's node")
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	s := NewSpace(sky())
+	if _, err := s.Alloc("bad", 0, OnNode(0)); err == nil {
+		t.Error("expected error for zero size")
+	}
+	if _, err := s.Alloc("bad", -5, OnNode(0)); err == nil {
+		t.Error("expected error for negative size")
+	}
+}
+
+func TestAddressesDisjointAndNonZero(t *testing.T) {
+	s := NewSpace(sky())
+	a := s.MustAlloc("a", 100, OnNode(0))
+	b := s.MustAlloc("b", PageBytes*2+1, OnNode(0))
+	c := s.MustAlloc("c", 1, OnNode(0))
+	if a.Base == 0 {
+		t.Error("address 0 must never be allocated")
+	}
+	ends := func(r *Region) uint64 { return r.Base + uint64(r.Size) }
+	if ends(a) > b.Base || ends(b) > c.Base {
+		t.Fatalf("regions overlap: a=[%d,%d) b=[%d,%d) c=[%d,%d)",
+			a.Base, ends(a), b.Base, ends(b), c.Base, ends(c))
+	}
+	if len(s.Regions()) != 3 {
+		t.Errorf("Regions() has %d entries", len(s.Regions()))
+	}
+	if s.TotalBytes() != 100+PageBytes*2+1+1 {
+		t.Errorf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+func TestNodeAtPanicsOutOfRange(t *testing.T) {
+	s := NewSpace(sky())
+	r := s.MustAlloc("a", 10, OnNode(0))
+	for _, bad := range []int64{-1, 10, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NodeAt(%d) did not panic", bad)
+				}
+			}()
+			r.NodeAt(bad)
+		}()
+	}
+}
+
+func TestCountersClassification(t *testing.T) {
+	s := NewSpace(sky())
+	r := s.MustAlloc("ranks", 2*PageBytes, Sliced{Bounds: []int64{PageBytes, 2 * PageBytes}})
+	var c Counters
+	c.Record(r, 0, 4, 0)             // page 0 on node 0, core node 0: local
+	c.Record(r, PageBytes+8, 4, 0)   // page 1 on node 1, core node 0: remote
+	c.Record(r, PageBytes+16, 64, 1) // local for node 1
+	if c.LocalAccesses != 2 || c.RemoteAccesses != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if c.LocalBytes != 68 || c.RemoteBytes != 4 {
+		t.Fatalf("bytes = %+v", c)
+	}
+	if f := c.RemoteFraction(); f < 0.05 || f > 0.06 {
+		t.Errorf("RemoteFraction = %f", f)
+	}
+}
+
+func TestCountersMergeAndRecordN(t *testing.T) {
+	var a, b Counters
+	a.RecordN(true, 10, 4)
+	b.RecordN(false, 5, 8)
+	a.Merge(b)
+	if a.LocalBytes != 40 || a.RemoteBytes != 40 || a.LocalAccesses != 10 || a.RemoteAccesses != 5 {
+		t.Fatalf("merged = %+v", a)
+	}
+	if a.TotalBytes() != 80 {
+		t.Errorf("TotalBytes = %d", a.TotalBytes())
+	}
+	var zero Counters
+	if zero.RemoteFraction() != 0 {
+		t.Error("zero counters RemoteFraction should be 0")
+	}
+}
+
+func TestAtomicCountersConcurrent(t *testing.T) {
+	s := NewSpace(sky())
+	r := s.MustAlloc("shared", 4*PageBytes, Interleave{})
+	var ac AtomicCounters
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ac.Record(r, int64((i%4)*PageBytes), 4, w%2)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := ac.Snapshot()
+	if snap.LocalAccesses+snap.RemoteAccesses != workers*per {
+		t.Fatalf("lost updates: %+v", snap)
+	}
+	// Interleaved pages, alternating core nodes: exactly half local.
+	if snap.LocalAccesses != workers*per/2 {
+		t.Fatalf("local = %d, want %d", snap.LocalAccesses, workers*per/2)
+	}
+}
+
+// Property: every page of an interleaved region is owned by a valid node and
+// consecutive pages alternate on a 2-node machine.
+func TestPropertyInterleaveAlternates(t *testing.T) {
+	f := func(szRaw uint16) bool {
+		size := int64(szRaw)%100*PageBytes + 1
+		s := NewSpace(sky())
+		r := s.MustAlloc("x", size, Interleave{})
+		pages := int((size + PageBytes - 1) / PageBytes)
+		for pg := 0; pg < pages; pg++ {
+			if r.NodeAt(int64(pg)*PageBytes) != pg%2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: classification is consistent — an access is local iff NodeAt
+// equals the core's node.
+func TestPropertyClassification(t *testing.T) {
+	f := func(offRaw uint16, coreNode uint8) bool {
+		s := NewSpace(sky())
+		r := s.MustAlloc("x", 64*PageBytes, Interleave{})
+		off := int64(offRaw) % r.Size
+		node := int(coreNode) % 2
+		var c Counters
+		c.Record(r, off, 4, node)
+		local := r.NodeAt(off) == node
+		return (c.LocalAccesses == 1) == local
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

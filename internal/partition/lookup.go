@@ -1,0 +1,124 @@
+package partition
+
+import (
+	"hipa/internal/graph"
+)
+
+// LookupTable is the globally shared 2-level table of Fig. 3 in flat-array
+// form: level 1 maps every thread to its partition range, level 2 maps every
+// partition to its vertex range — plus the inverted O(1) maps engines need
+// on their hot paths (partition → node, partition → thread). It is immutable
+// and safe for concurrent readers.
+type LookupTable struct {
+	verticesPerPartition int
+	numVertices          int
+
+	// Level 1: thread -> [PartStart, PartEnd).
+	ThreadPartStart []int32
+	ThreadPartEnd   []int32
+	// Level 2: partition -> [VertexStart, VertexEnd).
+	PartVertexStart []graph.VertexID
+	PartVertexEnd   []graph.VertexID
+
+	// Inverted maps.
+	PartNode   []int32 // partition -> NUMA node
+	PartThread []int32 // partition -> owning thread
+}
+
+// BuildLookup flattens h into a LookupTable.
+func BuildLookup(h *Hierarchy) *LookupTable {
+	lt := &LookupTable{
+		verticesPerPartition: h.VerticesPerPartition,
+		numVertices:          h.NumVertices,
+		ThreadPartStart:      make([]int32, len(h.Groups)),
+		ThreadPartEnd:        make([]int32, len(h.Groups)),
+		PartVertexStart:      make([]graph.VertexID, len(h.Partitions)),
+		PartVertexEnd:        make([]graph.VertexID, len(h.Partitions)),
+		PartNode:             make([]int32, len(h.Partitions)),
+		PartThread:           make([]int32, len(h.Partitions)),
+	}
+	for i, gr := range h.Groups {
+		lt.ThreadPartStart[i] = int32(gr.PartStart)
+		lt.ThreadPartEnd[i] = int32(gr.PartEnd)
+		for p := gr.PartStart; p < gr.PartEnd; p++ {
+			lt.PartThread[p] = int32(gr.ThreadID)
+		}
+	}
+	for i, p := range h.Partitions {
+		lt.PartVertexStart[i] = p.VertexStart
+		lt.PartVertexEnd[i] = p.VertexEnd
+	}
+	for _, na := range h.Nodes {
+		for p := na.PartStart; p < na.PartEnd; p++ {
+			lt.PartNode[p] = int32(na.Node)
+		}
+	}
+	return lt
+}
+
+// NumThreads returns the number of thread entries (level 1 width).
+func (lt *LookupTable) NumThreads() int { return len(lt.ThreadPartStart) }
+
+// NumPartitions returns the number of partitions (level 2 width).
+func (lt *LookupTable) NumPartitions() int { return len(lt.PartVertexStart) }
+
+// PartitionOf returns the partition containing vertex v in O(1).
+func (lt *LookupTable) PartitionOf(v graph.VertexID) int {
+	return int(v) / lt.verticesPerPartition
+}
+
+// NodeOf returns the NUMA node owning vertex v in O(1).
+func (lt *LookupTable) NodeOf(v graph.VertexID) int {
+	return int(lt.PartNode[lt.PartitionOf(v)])
+}
+
+// ThreadOf returns the thread owning vertex v in O(1).
+func (lt *LookupTable) ThreadOf(v graph.VertexID) int {
+	return int(lt.PartThread[lt.PartitionOf(v)])
+}
+
+// EdgeLocality reports the intra-/inter-edge split of a partitioned graph
+// (§2.3: an edge is intra when source and destination live in the same
+// partition, inter otherwise). Table 1 reports the per-partition averages.
+type EdgeLocality struct {
+	IntraEdges int64
+	InterEdges int64
+	// IntraPerPartition and InterPerPartition are averages over partitions.
+	IntraPerPartition float64
+	InterPerPartition float64
+	// CompressedInter is the number of inter-edge messages after the PCPM
+	// compression of §3.4: inter-edges with the same source vertex and the
+	// same destination partition collapse into one message.
+	CompressedInter int64
+}
+
+// ComputeEdgeLocality classifies every edge of g under hierarchy h.
+func ComputeEdgeLocality(g *graph.Graph, h *Hierarchy) EdgeLocality {
+	var loc EdgeLocality
+	per := h.VerticesPerPartition
+	off := g.OutOffsets()
+	edges := g.OutEdges()
+	for v := 0; v < g.NumVertices(); v++ {
+		pv := v / per
+		// Track distinct destination partitions for compression counting.
+		// Adjacency lists are sorted, so distinct partitions appear as runs.
+		lastPart := -1
+		for _, d := range edges[off[v]:off[v+1]] {
+			pd := int(d) / per
+			if pd == pv {
+				loc.IntraEdges++
+				continue
+			}
+			loc.InterEdges++
+			if pd != lastPart {
+				loc.CompressedInter++
+				lastPart = pd
+			}
+		}
+	}
+	if n := len(h.Partitions); n > 0 {
+		loc.IntraPerPartition = float64(loc.IntraEdges) / float64(n)
+		loc.InterPerPartition = float64(loc.InterEdges) / float64(n)
+	}
+	return loc
+}

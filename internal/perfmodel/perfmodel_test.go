@@ -1,0 +1,248 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"hipa/internal/machine"
+)
+
+func sky() *machine.Machine { return machine.SkylakeSilver4210() }
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := Estimate(Run{Machine: nil, Threads: []ThreadCost{{}}}); err == nil {
+		t.Error("expected error for nil machine")
+	}
+	if _, err := Estimate(Run{Machine: sky()}); err == nil {
+		t.Error("expected error for no threads")
+	}
+	if _, err := Estimate(Run{Machine: sky(), Threads: []ThreadCost{{Node: 9}}}); err == nil {
+		t.Error("expected error for bad node")
+	}
+}
+
+func TestComputeOnly(t *testing.T) {
+	rep, err := Estimate(Run{
+		Machine: sky(),
+		Threads: []ThreadCost{{Node: 0, ComputeCycles: 2.2e9}}, // 1 second at 2.2GHz
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.EstimatedSeconds-1.0) > 0.01 {
+		t.Fatalf("EstimatedSeconds = %f, want ~1.0", rep.EstimatedSeconds)
+	}
+}
+
+func TestSMTPenaltyApplied(t *testing.T) {
+	base := Run{Machine: sky(), Threads: []ThreadCost{{Node: 0, ComputeCycles: 1e9}}}
+	solo, _ := Estimate(base)
+	base.Threads[0].PhysShared = true
+	shared, _ := Estimate(base)
+	if ratio := shared.EstimatedSeconds / solo.EstimatedSeconds; math.Abs(ratio-SMTPenalty) > 0.01 {
+		t.Fatalf("SMT ratio = %f, want %f", ratio, SMTPenalty)
+	}
+}
+
+func TestRemoteStreamSlowerThanLocal(t *testing.T) {
+	// Paper §2.2: 1GB local = 0.06s, 1GB remote = 0.40s (single stream).
+	local, err := Estimate(Run{Machine: sky(), Threads: []ThreadCost{{Node: 0, StreamLocalBytes: 1 << 30}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := Estimate(Run{Machine: sky(), Threads: []ThreadCost{{Node: 0, StreamRemoteBytes: 1 << 30}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(local.EstimatedSeconds-0.064) > 0.01 {
+		t.Errorf("local 1GB = %fs, want ~0.06", local.EstimatedSeconds)
+	}
+	if math.Abs(remote.EstimatedSeconds-0.43) > 0.05 {
+		t.Errorf("remote 1GB = %fs, want ~0.40", remote.EstimatedSeconds)
+	}
+}
+
+func TestBandwidthSharing(t *testing.T) {
+	// 20 threads streaming 1GB each from one node share the 60GB/s node
+	// bandwidth: each sees 3GB/s, so ~0.33s, vs 0.06s for a single stream.
+	mk := func(n int) Run {
+		ths := make([]ThreadCost, n)
+		for i := range ths {
+			ths[i] = ThreadCost{Node: 0, StreamLocalBytes: 1 << 30}
+		}
+		return Run{Machine: sky(), Threads: ths}
+	}
+	one, _ := Estimate(mk(1))
+	twenty, _ := Estimate(mk(20))
+	if twenty.EstimatedSeconds < one.EstimatedSeconds*4 {
+		t.Fatalf("bandwidth sharing too weak: 1 thread %fs, 20 threads %fs",
+			one.EstimatedSeconds, twenty.EstimatedSeconds)
+	}
+}
+
+func TestRandomAccessLatency(t *testing.T) {
+	// 1e6 random local accesses at 85ns / MLPDram(3) ≈ 28ms; random misses
+	// are latency-priced only.
+	rep, err := Estimate(Run{Machine: sky(), Threads: []ThreadCost{{Node: 0, RandomLocal: 1_000_000}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EstimatedSeconds < 0.02 || rep.EstimatedSeconds > 0.04 {
+		t.Fatalf("random access time = %f, want ~0.028", rep.EstimatedSeconds)
+	}
+	// Remote random must be slower.
+	rem, _ := Estimate(Run{Machine: sky(), Threads: []ThreadCost{{Node: 0, RandomRemote: 1_000_000}}})
+	if rem.EstimatedSeconds <= rep.EstimatedSeconds {
+		t.Error("remote random accesses should cost more than local")
+	}
+}
+
+func TestSlowestThreadDominates(t *testing.T) {
+	rep, err := Estimate(Run{
+		Machine: sky(),
+		Threads: []ThreadCost{
+			{Node: 0, ComputeCycles: 1e9},
+			{Node: 1, ComputeCycles: 4e9},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4e9 / (2.2 * 1e9)
+	if math.Abs(rep.EstimatedSeconds-want) > 0.01 {
+		t.Fatalf("EstimatedSeconds = %f, want %f (slowest thread)", rep.EstimatedSeconds, want)
+	}
+	if len(rep.PerThreadSeconds) != 2 || rep.PerThreadSeconds[0] >= rep.PerThreadSeconds[1] {
+		t.Errorf("per-thread = %v", rep.PerThreadSeconds)
+	}
+}
+
+func TestBarrierAndSchedCosts(t *testing.T) {
+	base := Run{Machine: sky(), Threads: []ThreadCost{{Node: 0, ComputeCycles: 1e6}}}
+	a, _ := Estimate(base)
+	base.Barriers = 1000
+	base.SchedCostNS = 1e6
+	b, _ := Estimate(base)
+	wantDelta := 1000*3_000e-9 + 1e6*1e-9
+	if math.Abs((b.EstimatedSeconds-a.EstimatedSeconds)-wantDelta) > 1e-6 {
+		t.Fatalf("barrier+sched delta = %g, want %g", b.EstimatedSeconds-a.EstimatedSeconds, wantDelta)
+	}
+}
+
+func TestMApEAndRemoteFraction(t *testing.T) {
+	rep, err := Estimate(Run{
+		Machine: sky(),
+		Threads: []ThreadCost{
+			{Node: 0, StreamLocalBytes: 900, StreamRemoteBytes: 100},
+		},
+		EdgesProcessed: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MApE != 10 {
+		t.Errorf("MApE = %f, want 10", rep.MApE)
+	}
+	if rep.RemoteMApE != 1 {
+		t.Errorf("RemoteMApE = %f, want 1", rep.RemoteMApE)
+	}
+	if math.Abs(rep.RemoteFraction-0.1) > 1e-9 {
+		t.Errorf("RemoteFraction = %f, want 0.1", rep.RemoteFraction)
+	}
+}
+
+func TestRandomAccessesCountAsLineTraffic(t *testing.T) {
+	rep, err := Estimate(Run{
+		Machine:        sky(),
+		Threads:        []ThreadCost{{Node: 0, RandomLocal: 10, RandomRemote: 5}},
+		EdgesProcessed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LocalBytes != 640 || rep.RemoteBytes != 320 {
+		t.Fatalf("bytes = %d/%d, want 640/320 (64B lines)", rep.LocalBytes, rep.RemoteBytes)
+	}
+}
+
+func TestWorkingSetLevelSkylake(t *testing.T) {
+	m := sky() // L2 1MB, LLC 13.75MB non-inclusive
+	cases := []struct {
+		ws       int64
+		shared   bool
+		onNode   int
+		want     CacheLevel
+		scenario string
+	}{
+		{384 << 10, false, 20, LevelL2, "256KB partition + buffers, solo"},
+		{384 << 10, true, 20, LevelL2, "256KB partition + buffers, HT shared (paper's optimum)"},
+		{768 << 10, true, 20, LevelLLC, "512KB partition + buffers, HT shared: spills"},
+		{768 << 10, false, 20, LevelL2, "512KB partition + buffers, solo: fits 1MB"},
+		{12 << 20, false, 1, LevelLLC, "huge partition, single thread: LLC"},
+		{64 << 20, false, 1, LevelDRAM, "bigger than LLC"},
+	}
+	for _, c := range cases {
+		if got := WorkingSetLevel(m, c.ws, c.shared, c.onNode); got != c.want {
+			t.Errorf("%s: got %v, want %v", c.scenario, got, c.want)
+		}
+	}
+}
+
+func TestWorkingSetLevelHaswellInclusive(t *testing.T) {
+	m := machine.HaswellE52667() // L2 256KB, LLC 20MB inclusive
+	// 192KB (128KB partition + buffers) fits 256KB L2 solo but spills when
+	// HT-shared.
+	if got := WorkingSetLevel(m, 192<<10, false, 16); got != LevelL2 {
+		t.Errorf("solo 192KB on Haswell = %v, want L2", got)
+	}
+	if got := WorkingSetLevel(m, 192<<10, true, 16); got != LevelLLC {
+		t.Errorf("shared 192KB on Haswell = %v, want LLC", got)
+	}
+	// 96KB (64KB partition + buffers) fits even shared (128KB effective L2).
+	if got := WorkingSetLevel(m, 96<<10, true, 16); got != LevelL2 {
+		t.Errorf("shared 96KB on Haswell = %v, want L2", got)
+	}
+}
+
+func TestWorkingSetLevelString(t *testing.T) {
+	if LevelL2.String() != "L2" || LevelLLC.String() != "LLC" || LevelDRAM.String() != "DRAM" {
+		t.Error("bad strings")
+	}
+}
+
+func TestClassifyPartitionRandom(t *testing.T) {
+	m := sky() // L2 1MB, LLC 13.75MB non-inclusive, 10 cores/node
+	// Fits L2: 256KB partition, slack 1.5, HT-shared (512KB effective L2).
+	if fL2, _, _ := ClassifyPartitionRandom(m, 256<<10, 1.5, true, 20, 0); fL2 != 1 {
+		t.Errorf("256KB/1.5 shared should fit L2, fL2 = %f", fL2)
+	}
+	// Spills L2, fits LLC: 512KB partition shared; demand 768KB*20 = 15.4MB
+	// < 23.75MB avail.
+	fL2, fLLC, fDRAM := ClassifyPartitionRandom(m, 512<<10, 1.5, true, 20, 0)
+	if fL2 != 0 || fLLC != 1 || fDRAM != 0 {
+		t.Errorf("512KB shared = (%f,%f,%f), want (0,1,0)", fL2, fLLC, fDRAM)
+	}
+	// Overcommits LLC: 2MB partitions, 20 threads => 60MB demand.
+	_, fLLC, fDRAM = ClassifyPartitionRandom(m, 2<<20, 1.5, true, 20, 0)
+	if fDRAM <= 0.5 || fLLC >= 0.5 {
+		t.Errorf("2MB x 20 threads should be DRAM-heavy: LLC=%f DRAM=%f", fLLC, fDRAM)
+	}
+	// The footprint cap rescues it: total attribute bytes 10MB < avail.
+	_, fLLC, fDRAM = ClassifyPartitionRandom(m, 2<<20, 1.5, true, 20, 10<<20)
+	if fLLC != 1 || fDRAM != 0 {
+		t.Errorf("capped demand should fit LLC: LLC=%f DRAM=%f", fLLC, fDRAM)
+	}
+	// Fractions always sum to 1.
+	for _, pb := range []int64{1 << 10, 256 << 10, 1 << 20, 16 << 20} {
+		a, b, c := ClassifyPartitionRandom(m, pb, 2.25, false, 10, 0)
+		if s := a + b + c; math.Abs(s-1) > 1e-9 {
+			t.Errorf("fractions for %d sum to %f", pb, s)
+		}
+	}
+	// Inclusive LLC (Haswell) has no L2 aggregate bonus.
+	h := machine.HaswellE52667()
+	_, _, dIncl := ClassifyPartitionRandom(h, 4<<20, 1.5, false, 16, 0)
+	if dIncl == 0 {
+		t.Error("4MB x 16 threads should overcommit the 20MB inclusive LLC")
+	}
+}

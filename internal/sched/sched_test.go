@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hipa/internal/machine"
+)
+
+func sky() *machine.Machine { return machine.SkylakeSilver4210() }
+
+func TestSpawnPlacesOnFreeCores(t *testing.T) {
+	s := New(sky(), 1)
+	pool := s.SpawnN(40, PlacementRandom)
+	seen := map[int]bool{}
+	for _, th := range pool {
+		if seen[th.Logical] {
+			t.Fatalf("two threads on logical %d while free cores existed", th.Logical)
+		}
+		seen[th.Logical] = true
+	}
+	if got := s.Stats().Spawned; got != 40 {
+		t.Errorf("Spawned = %d", got)
+	}
+}
+
+func TestSpawnOversubscribed(t *testing.T) {
+	s := New(sky(), 2)
+	s.SpawnN(50, PlacementRandom) // 40 logical cores, 10 doubled up
+	nodes := s.ThreadsOnNode()
+	if nodes[0]+nodes[1] != 50 {
+		t.Fatalf("ThreadsOnNode = %v", nodes)
+	}
+}
+
+func TestBindMigratesAcrossNodes(t *testing.T) {
+	s := New(sky(), 3)
+	th := s.Spawn(PlacementSequential) // deterministic: logical 0, node 0
+	if th.Node(s.Machine()) != 0 {
+		t.Fatalf("sequential spawn on node %d", th.Node(s.Machine()))
+	}
+	if err := s.Bind(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if th.Node(s.Machine()) != 1 {
+		t.Fatal("Bind did not move the thread")
+	}
+	st := s.Stats()
+	if st.Migrations != 1 || st.CrossNodeMigrations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Binding again to the same node must not migrate.
+	if err := s.Bind(th, 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().Migrations != 1 {
+		t.Fatal("redundant bind migrated")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	s := New(sky(), 4)
+	th := s.Spawn(PlacementRandom)
+	if err := s.Bind(th, 5); err == nil {
+		t.Error("expected error for bad node")
+	}
+	s.Terminate(th)
+	if err := s.Bind(th, 0); err == nil {
+		t.Error("expected error for dead thread")
+	}
+}
+
+func TestPinToLogical(t *testing.T) {
+	s := New(sky(), 5)
+	th := s.Spawn(PlacementSequential)
+	if err := s.PinToLogical(th, 25); err != nil {
+		t.Fatal(err)
+	}
+	if th.Logical != 25 || th.BoundNode != 1 || th.PinnedLogical != 25 {
+		t.Fatalf("thread = %+v", th)
+	}
+	if err := s.PinToLogical(th, 99); err == nil {
+		t.Error("expected error for out-of-range logical core")
+	}
+}
+
+func TestTerminateFreesCore(t *testing.T) {
+	s := New(sky(), 6)
+	th := s.Spawn(PlacementSequential)
+	core := th.Logical
+	s.Terminate(th)
+	s.Terminate(th) // idempotent
+	if got := s.Stats().Terminated; got != 1 {
+		t.Fatalf("Terminated = %d, want 1 (idempotent)", got)
+	}
+	th2 := s.Spawn(PlacementSequential)
+	if th2.Logical != core {
+		t.Errorf("freed core %d not reused, got %d", core, th2.Logical)
+	}
+	if len(s.LiveThreads()) != 1 {
+		t.Errorf("LiveThreads = %d", len(s.LiveThreads()))
+	}
+}
+
+func TestContendedPhysicalCores(t *testing.T) {
+	s := New(sky(), 7)
+	// Pin two threads to HT siblings 0 and 1 -> 1 contended physical core.
+	a := s.Spawn(PlacementRandom)
+	b := s.Spawn(PlacementRandom)
+	if err := s.PinToLogical(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PinToLogical(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ContendedPhysicalCores(); got != 1 {
+		t.Fatalf("ContendedPhysicalCores = %d, want 1", got)
+	}
+	// Move b to its own physical core.
+	if err := s.PinToLogical(b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ContendedPhysicalCores(); got != 0 {
+		t.Fatalf("ContendedPhysicalCores = %d, want 0", got)
+	}
+}
+
+// The paper's counting argument (§3.3.2): 10 iterations, 2 phases, 8 threads
+// per region on a 2-node machine creates 160 threads, and in the worst case
+// every one of them migrates; the pinned model spawns once and migrates at
+// most #threads times.
+func TestPaperMigrationCountingArgument(t *testing.T) {
+	m := &machine.Machine{
+		Name: "paper-example", Microarch: "test",
+		NUMANodes: 2, CoresPerNode: 4, ThreadsPerCore: 2,
+		L1:           machine.Cache{SizeBytes: 32 << 10, LineBytes: 64, Assoc: 8, LatencyNS: 1},
+		L2:           machine.Cache{SizeBytes: 256 << 10, LineBytes: 64, Assoc: 8, LatencyNS: 4},
+		LLC:          machine.Cache{SizeBytes: 8 << 20, LineBytes: 64, Assoc: 16, LatencyNS: 15},
+		LLCInclusive: true, DRAMBytes: 1 << 30,
+		LocalLatencyNS: 80, RemoteLatencyNS: 140,
+		LocalBandwidth: 16e9, RemoteBandwidth: 2.5e9, NodeBandwidth: 60e9, InterconnectGBps: 20,
+		ThreadMigrationNS: 1000, ThreadSpawnNS: 100, SyncBarrierNS: 50, CPUGHz: 2,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	oblivious := New(m, 42)
+	st, err := oblivious.RunObliviousRegions(10*2, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spawned != 160 {
+		t.Fatalf("oblivious spawns = %d, want 160 (10 iters x 2 phases x 8 threads)", st.Spawned)
+	}
+	if st.Migrations > 160 {
+		t.Fatalf("oblivious migrations %d exceed spawn count", st.Migrations)
+	}
+
+	pinned := New(m, 42)
+	pool, st2, err := pinned.RunPinnedThreads(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Spawned != 16 {
+		t.Fatalf("pinned spawns = %d, want 16 (all logical cores)", st2.Spawned)
+	}
+	if st2.Migrations > 16 {
+		t.Fatalf("pinned migrations = %d, must be <= 16", st2.Migrations)
+	}
+	// With random placement, the oblivious model migrates roughly half its
+	// 160 threads; it must migrate strictly more than the pinned model.
+	if st.Migrations <= st2.Migrations {
+		t.Fatalf("oblivious migrations (%d) should exceed pinned (%d)", st.Migrations, st2.Migrations)
+	}
+	if len(pool) != 16 {
+		t.Fatal("pool size")
+	}
+	// Pinned threads must sit on distinct logical cores, node-block layout.
+	seen := map[int]bool{}
+	for i, th := range pool {
+		if seen[th.Logical] {
+			t.Fatalf("pinned threads share logical core %d", th.Logical)
+		}
+		seen[th.Logical] = true
+		wantNode := i / 8
+		if th.BoundNode != wantNode {
+			t.Fatalf("thread %d bound to node %d, want %d", i, th.BoundNode, wantNode)
+		}
+	}
+}
+
+func TestRunPinnedThreadsTooMany(t *testing.T) {
+	s := New(sky(), 8)
+	if _, _, err := s.RunPinnedThreads(41); err == nil {
+		t.Fatal("expected error for more threads than logical cores")
+	}
+}
+
+func TestRunPinnedThreadsPartial(t *testing.T) {
+	s := New(sky(), 9)
+	pool, _, err := s.RunPinnedThreads(20) // half the machine
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := s.ThreadsOnNode()
+	if nodes[0] != 10 || nodes[1] != 10 {
+		t.Fatalf("ThreadsOnNode = %v, want [10 10]", nodes)
+	}
+	_ = pool
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(sky(), 77), New(sky(), 77)
+	pa := a.SpawnN(10, PlacementRandom)
+	pb := b.SpawnN(10, PlacementRandom)
+	for i := range pa {
+		if pa[i].Logical != pb[i].Logical {
+			t.Fatal("same seed produced different placements")
+		}
+	}
+}
+
+// Property: a bound thread always ends up on its bound node, and live-count
+// bookkeeping stays consistent.
+func TestPropertyBindInvariant(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		s := New(sky(), seed)
+		var threads []*Thread
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				threads = append(threads, s.Spawn(PlacementRandom))
+			case 2:
+				if len(threads) > 0 {
+					th := threads[int(op)%len(threads)]
+					if th.alive {
+						node := int(op>>4) % 2
+						if err := s.Bind(th, node); err != nil {
+							return false
+						}
+						if th.Node(s.Machine()) != node {
+							return false
+						}
+					}
+				}
+			case 3:
+				if len(threads) > 0 {
+					s.Terminate(threads[int(op)%len(threads)])
+				}
+			}
+		}
+		// Bookkeeping: live threads equals spawned - terminated.
+		st := s.Stats()
+		return int64(len(s.LiveThreads())) == st.Spawned-st.Terminated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

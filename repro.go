@@ -1,0 +1,69 @@
+package hipa
+
+import "hipa/internal/harness"
+
+// ReproConfig parameterises a paper-reproduction run: the scale divisor
+// (applied to both datasets and machine capacities), the iteration count,
+// and an optional dataset subset.
+type ReproConfig = harness.Config
+
+// NewReproConfig returns the default reproduction configuration (divisor
+// 256, 20 iterations, full catalog).
+func NewReproConfig() *ReproConfig { return harness.NewConfig() }
+
+// ReproTable is a rendered experiment result; call Render(w) to print it.
+type ReproTable = harness.Table
+
+// ReproTable1 regenerates Table 1 (graph descriptions + intra/inter edges
+// per partition).
+func ReproTable1(cfg *ReproConfig) ([]harness.Table1Row, *ReproTable, error) {
+	return harness.Table1(cfg)
+}
+
+// ReproTable2 regenerates Table 2 (execution time of the five engines on
+// the six graphs).
+func ReproTable2(cfg *ReproConfig) ([]harness.Table2Row, *ReproTable, error) {
+	return harness.Table2(cfg)
+}
+
+// ReproOverhead regenerates the §4.2 preprocessing-overhead analysis.
+func ReproOverhead(cfg *ReproConfig) ([]harness.OverheadRow, *ReproTable, error) {
+	return harness.Overhead(cfg)
+}
+
+// ReproFig5 regenerates Fig. 5 (memory accesses per edge, local/remote).
+func ReproFig5(cfg *ReproConfig) ([]harness.Fig5Row, *ReproTable, error) {
+	return harness.Fig5(cfg)
+}
+
+// ReproFig6 regenerates Fig. 6 (scalability over thread counts).
+func ReproFig6(cfg *ReproConfig) ([]harness.Fig6Series, *ReproTable, error) {
+	return harness.Fig6(cfg)
+}
+
+// ReproFig7 regenerates Fig. 7 (partition-size sensitivity: time + LLC).
+func ReproFig7(cfg *ReproConfig) ([]harness.Fig7Point, *ReproTable, error) {
+	return harness.Fig7(cfg)
+}
+
+// ReproTable3 regenerates Table 3 (partition size on Haswell vs Skylake).
+func ReproTable3(cfg *ReproConfig) ([]harness.Table3Row, *ReproTable, error) {
+	return harness.Table3(cfg)
+}
+
+// ReproSingleNode regenerates the §4.5 single-node experiment.
+func ReproSingleNode(cfg *ReproConfig) (*harness.SingleNodeResult, *ReproTable, error) {
+	return harness.SingleNode(cfg)
+}
+
+// ReproAblations runs HiPa's design ablations (compression, edge balancing,
+// thread-data pinning) on the named dataset.
+func ReproAblations(cfg *ReproConfig, dataset string) ([]harness.AblationResult, *ReproTable, error) {
+	return harness.Ablations(cfg, dataset)
+}
+
+// ReproNodeScaling projects HiPa onto 1/2/4/8-node machines (the paper's
+// §4.5 expectation).
+func ReproNodeScaling(cfg *ReproConfig, dataset string) ([]harness.NodeScalingRow, *ReproTable, error) {
+	return harness.NodeScaling(cfg, dataset)
+}
