@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-enabled test run; the simulated scheduler and the telemetry recorder
+# are exercised concurrently by every engine test, so this is the main
+# concurrency gate.
+race:
+	$(GO) test -race ./...
+
+ci: vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

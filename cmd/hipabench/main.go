@@ -4,6 +4,13 @@
 //
 //	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
+//	          [-format text|csv|json]
+//
+// -format json emits each experiment as a {"title","header","rows","notes"}
+// object, so benchmark trajectories (BENCH_*.json) can be produced
+// mechanically:
+//
+//	hipabench -exp table2 -format json > BENCH_table2.json
 //
 // Every experiment prints an aligned text table matching the corresponding
 // paper artifact (see DESIGN.md §3 for the index). The divisor scales both
@@ -30,7 +37,7 @@ func main() {
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: full catalog)")
 		seed     = flag.Uint64("seed", 0xC0FFEE, "simulated OS scheduler seed")
 		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation and node-scaling experiments")
-		format   = flag.String("format", "text", "output format: text or csv")
+		format   = flag.String("format", "text", "output format: text, csv, or json")
 	)
 	flag.Parse()
 
@@ -59,6 +66,18 @@ func main() {
 		{"ablation", func() (*harness.Table, error) { _, t, err := harness.Ablations(cfg, *ablGraph); return t, err }},
 	}
 
+	render := func(t *harness.Table, w *os.File) error { return t.Render(w) }
+	switch *format {
+	case "text":
+	case "csv":
+		render = func(t *harness.Table, w *os.File) error { return t.RenderCSV(w) }
+	case "json":
+		render = func(t *harness.Table, w *os.File) error { return t.RenderJSON(w) }
+	default:
+		fmt.Fprintf(os.Stderr, "hipabench: unknown format %q (want text, csv, or json)\n", *format)
+		os.Exit(2)
+	}
+
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
@@ -70,11 +89,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hipabench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		render := t.Render
-		if *format == "csv" {
-			render = t.RenderCSV
-		}
-		if err := render(os.Stdout); err != nil {
+		if err := render(t, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hipabench: render: %v\n", err)
 			os.Exit(1)
 		}

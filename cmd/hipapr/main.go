@@ -5,7 +5,15 @@
 //
 //	hipapr -graph g.bin [-engine hipa|p-pr|v-pr|gpop|polymer]
 //	       [-iters 20] [-threads 0] [-partition 256K] [-machine skylake]
-//	       [-divisor 1] [-top 10] [-verify]
+//	       [-divisor 1] [-top 10] [-verify] [-verify-tol 1e-6]
+//	       [-stats s.json] [-trace t.json]
+//
+// -stats writes a machine-readable run report (per-iteration residuals,
+// dangling mass, modelled local/remote accesses, counters, phase timers).
+// -trace writes a Chrome trace_event file loadable in chrome://tracing or
+// https://ui.perfetto.dev, with one lane per simulated thread.
+// -verify exits nonzero (with the diff on stderr) when the L∞ error
+// against the sequential float64 reference exceeds -verify-tol.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"hipa/internal/graph"
 	"hipa/internal/harness"
 	"hipa/internal/machine"
+	"hipa/internal/obs"
 )
 
 func main() {
@@ -31,8 +40,11 @@ func main() {
 		preset    = flag.String("machine", "skylake", "machine preset: skylake or haswell")
 		divisor   = flag.Int("divisor", 1, "machine capacity scale divisor (match the graph's)")
 		top       = flag.Int("top", 10, "print the top-K ranked vertices")
-		verify    = flag.Bool("verify", false, "validate against the sequential float64 reference")
+		verify    = flag.Bool("verify", false, "validate against the sequential float64 reference; exit 1 on failure")
+		verifyTol = flag.Float64("verify-tol", 1e-6, "max abs error tolerated by -verify")
 		damping   = flag.Float64("damping", 0.85, "damping factor")
+		statsPath = flag.String("stats", "", "write a machine-readable run report (JSON) to this file")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event file (JSON) to this file")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -52,11 +64,20 @@ func main() {
 	}
 	m := machine.Scaled(mk(), *divisor)
 
+	var rec *obs.Recorder
+	if *statsPath != "" || *tracePath != "" {
+		rec = &obs.Recorder{Collector: obs.NewCollector()}
+		if *tracePath != "" {
+			rec.Trace = obs.NewTrace()
+		}
+	}
+
 	o := common.Options{
 		Machine:    m,
 		Iterations: *iters,
 		Threads:    *threads,
 		Damping:    *damping,
+		Obs:        rec,
 	}
 	if *partition != "" {
 		pb, err := parseSize(*partition)
@@ -85,8 +106,31 @@ func main() {
 	fmt.Printf("memory     : %.2f bytes/edge (%.1f%% remote)\n", res.Model.MApE, 100*res.Model.RemoteFraction)
 	fmt.Printf("scheduler  : %d spawns, %d migrations\n", res.Sched.Spawned, res.Sched.Migrations)
 
+	if *statsPath != "" {
+		if err := harness.NewRunReport(g, m, res, rec).WriteJSONFile(*statsPath); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("stats      : wrote %s (%d iterations)\n", *statsPath, len(res.Iters))
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err.Error())
+		}
+		if err := rec.T().WriteJSON(f); err != nil {
+			f.Close()
+			fail(err.Error())
+		}
+		if err := f.Close(); err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("trace      : wrote %s (%d spans; load in chrome://tracing or ui.perfetto.dev)\n",
+			*tracePath, rec.T().NumSpans())
+	}
+
+	verifyFailed := false
 	if *verify {
-		ref := common.ReferencePageRank(g, *iters, *damping)
+		ref := common.ReferencePageRank(g, res.Iterations, *damping)
 		var worst float64
 		for v := range ref {
 			d := ref[v] - float64(res.Ranks[v])
@@ -97,7 +141,12 @@ func main() {
 				worst = d
 			}
 		}
-		fmt.Printf("verify     : max abs error vs reference = %.2e\n", worst)
+		if worst > *verifyTol {
+			verifyFailed = true
+			fmt.Fprintf(os.Stderr, "hipapr: verification FAILED: max abs error vs reference = %.6e exceeds tolerance %.6e\n", worst, *verifyTol)
+		} else {
+			fmt.Printf("verify     : OK, max abs error vs reference = %.2e (tolerance %.2e)\n", worst, *verifyTol)
+		}
 	}
 
 	if *top > 0 {
@@ -105,6 +154,9 @@ func main() {
 		for _, v := range topK(res.Ranks, *top) {
 			fmt.Printf("  %8d  %.6g\n", v, res.Ranks[v])
 		}
+	}
+	if verifyFailed {
+		os.Exit(1)
 	}
 }
 

@@ -20,10 +20,12 @@ package common
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"hipa/internal/graph"
 	"hipa/internal/machine"
+	"hipa/internal/obs"
 	"hipa/internal/perfmodel"
 	"hipa/internal/sched"
 )
@@ -69,6 +71,10 @@ type Options struct {
 	SchedSeed uint64
 	// GoParallelism caps real goroutines; 0 means min(Threads, GOMAXPROCS).
 	GoParallelism int
+	// Obs receives the run's telemetry (counters, phase timers, trace
+	// spans, per-iteration statistics). nil disables all instrumentation;
+	// the hot paths then pay only a pointer test.
+	Obs *obs.Recorder
 }
 
 // WithDefaults fills zero fields. defaultThreads is engine-specific.
@@ -139,6 +145,11 @@ type Result struct {
 	Model *perfmodel.Report
 	// Sched is the simulated scheduler activity (spawns, migrations).
 	Sched sched.Stats
+
+	// Iters holds per-iteration statistics (wall time, residual, dangling
+	// mass, modelled local/remote accesses, migrations). Populated only
+	// when Options.Obs was set for the run.
+	Iters []obs.IterationStats
 }
 
 // Engine is one PageRank implementation.
@@ -158,10 +169,11 @@ func RankSum(ranks []float32) float64 {
 	return s
 }
 
-// MaxAbsDiff returns the L∞ distance between two rank vectors.
+// MaxAbsDiff returns the L∞ distance between two rank vectors, or +Inf if
+// the vectors differ in length.
 func MaxAbsDiff(a, b []float32) float64 {
 	if len(a) != len(b) {
-		return 1e308
+		return math.Inf(1)
 	}
 	var m float64
 	for i := range a {

@@ -204,8 +204,24 @@ func TestMaxAbsDiff(t *testing.T) {
 	if d := MaxAbsDiff([]float32{1, 2}, []float32{1, 2.5}); math.Abs(d-0.5) > 1e-9 {
 		t.Fatalf("diff = %f", d)
 	}
-	if d := MaxAbsDiff([]float32{1}, []float32{1, 2}); d < 1e100 {
-		t.Fatal("length mismatch should be huge")
+	if d := MaxAbsDiff(nil, nil); d != 0 {
+		t.Fatalf("empty vectors: diff = %f, want 0", d)
+	}
+}
+
+func TestMaxAbsDiffLengthMismatch(t *testing.T) {
+	// A length mismatch is not a numeric distance: it must be +Inf so it
+	// can never be confused with (or compared against) a real residual.
+	for _, pair := range [][2][]float32{
+		{{1}, {1, 2}},
+		{{1, 2}, {1}},
+		{nil, {1}},
+		{{1}, nil},
+	} {
+		d := MaxAbsDiff(pair[0], pair[1])
+		if !math.IsInf(d, 1) {
+			t.Errorf("MaxAbsDiff(len %d, len %d) = %v, want +Inf", len(pair[0]), len(pair[1]), d)
+		}
 	}
 }
 

@@ -2,7 +2,9 @@ package common
 
 import (
 	"sync/atomic"
+	"time"
 
+	"hipa/internal/obs"
 	"hipa/internal/partition"
 )
 
@@ -11,32 +13,75 @@ import (
 // pool of `threads` workers, and partitions are claimed first-come-first-
 // serve from a shared atomic counter. This is the execution style of p-PR
 // and GPOP. With tolerance > 0 the loop stops once the L∞ rank change
-// falls below it; the performed iteration count is returned.
-func RunFCFS(s *SGState, iterations, threads int, tolerance float64) int {
+// falls below it; the performed iteration count is returned. A non-nil rec
+// receives per-iteration statistics and per-thread phase spans.
+func RunFCFS(s *SGState, iterations, threads int, tolerance float64, rec *obs.Recorder) int {
 	P := s.Hier.NumPartitions()
+	tr := rec.T()
+	runner := RunnerLane(threads)
 	for it := 0; it < iterations; it++ {
+		var itStart time.Time
+		if rec != nil {
+			itStart = time.Now()
+		}
 		var next atomic.Int64
 		RunThreads(threads, func(tid int) {
+			var spanStart time.Time
+			if tr != nil {
+				spanStart = time.Now()
+			}
 			for {
 				p := int(next.Add(1)) - 1
 				if p >= P {
-					return
+					break
 				}
 				s.ScatterPartition(p, tid)
 			}
+			if tr != nil {
+				tr.Span(tid, SpanScatter, it, spanStart)
+			}
 		})
+		var serialStart time.Time
+		if tr != nil {
+			serialStart = time.Now()
+		}
 		s.ReduceDangling()
+		if tr != nil {
+			tr.Span(runner, SpanReduce, it, serialStart)
+		}
 		next.Store(0)
 		RunThreads(threads, func(tid int) {
+			var spanStart time.Time
+			if tr != nil {
+				spanStart = time.Now()
+			}
 			for {
 				p := int(next.Add(1)) - 1
 				if p >= P {
-					return
+					break
 				}
 				s.GatherPartition(p, tid)
 			}
+			if tr != nil {
+				tr.Span(tid, SpanGather, it, spanStart)
+			}
 		})
-		if res := s.MaxResidual(); tolerance > 0 && res < tolerance {
+		if tr != nil {
+			serialStart = time.Now()
+		}
+		res := s.MaxResidual()
+		if tr != nil {
+			tr.Span(runner, SpanApply, it, serialStart)
+		}
+		if rec != nil {
+			rec.RecordIteration(obs.IterationStats{
+				Iter:         it,
+				WallSeconds:  time.Since(itStart).Seconds(),
+				Residual:     res,
+				DanglingMass: s.LastDanglingMass(),
+			})
+		}
+		if tolerance > 0 && res < tolerance {
 			return it + 1
 		}
 	}

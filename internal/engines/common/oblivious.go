@@ -55,7 +55,12 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 	if g.NumVertices() == 0 {
 		return nil, fmt.Errorf("%s: empty graph", cfg.Name)
 	}
+	rec := o.Obs
+	tr := rec.T()
+	RecordGraphCounters(rec.C(), g.NumVertices(), g.NumEdges())
+	runner := RunnerLane(o.Threads)
 
+	stopPrep := rec.C().Phase(PhasePrep)
 	prepStart := time.Now()
 	// NUMA-oblivious: a single flat list of cache-able partitions; no node
 	// assignment (NumNodes 1) and no pinned groups.
@@ -68,12 +73,22 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
+	if tr != nil {
+		tr.Span(runner, SpanPrepPartition, -1, prepStart)
+	}
+	layStart := time.Now()
 	lay, err := layout.Build(g, hier, !o.NoCompress)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
+	if tr != nil {
+		tr.Span(runner, SpanPrepLayout, -1, layStart)
+	}
 	lookup := partition.BuildLookup(hier)
 	prep := time.Since(prepStart)
+	stopPrep()
+	rec.C().Add("partition.partitions", int64(hier.NumPartitions()))
+	rec.C().Add("layout.messages", int64(lay.NumMessages()))
 
 	// Simulated scheduling: Algorithm 1 — a fresh pool per phase, threads
 	// placed arbitrarily by the OS, no binding.
@@ -82,12 +97,15 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
+	SetNodeLanes(tr, placementNodes)
 
 	// Real execution.
 	state := NewSGState(g, hier, lay, o.Damping, o.Threads)
+	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
-	performed := RunFCFS(state, o.Iterations, o.Threads, o.Tolerance)
+	performed := RunFCFS(state, o.Iterations, o.Threads, o.Tolerance, rec)
 	wall := time.Since(wallStart)
+	stopRun()
 	o.Iterations = performed
 
 	// Analytic model.
@@ -117,7 +135,7 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
 
-	return &Result{
+	res := &Result{
 		Engine:      cfg.Name,
 		Ranks:       state.Ranks,
 		Iterations:  o.Iterations,
@@ -126,7 +144,9 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 		PrepSeconds: prep.Seconds(),
 		Model:       rep,
 		Sched:       schedStats,
-	}, nil
+	}
+	FinishRun(rec, res, m, false)
+	return res, nil
 }
 
 // obliviousSchedule simulates Algorithm 1's thread lifecycle and returns the

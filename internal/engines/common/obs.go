@@ -1,0 +1,108 @@
+package common
+
+import (
+	"fmt"
+
+	"hipa/internal/machine"
+	"hipa/internal/obs"
+	"hipa/internal/sched"
+)
+
+// Span names of the engine pipeline, shared by all five engines so traces
+// from different engines line up in a viewer: preprocessing (partitioning,
+// layout/index construction), then per iteration scatter → reduce
+// (dangling-mass fold) → gather → apply (residual fold + convergence
+// check). Vertex-centric engines map their contribution pass to SpanScatter
+// and their pull pass to SpanGather.
+const (
+	SpanPrepPartition = "prep:partition"
+	SpanPrepLayout    = "prep:layout"
+	SpanPrepIndex     = "prep:index"
+	SpanScatter       = "scatter"
+	SpanReduce        = "reduce"
+	SpanGather        = "gather"
+	SpanApply         = "apply"
+)
+
+// Collector phase-timer names shared by the engines.
+const (
+	PhasePrep = "prep"
+	PhaseRun  = "iterations"
+)
+
+// RunnerLane is the trace lane for serial work done between parallel
+// regions (reductions, convergence checks, preprocessing): one past the
+// last worker lane.
+func RunnerLane(threads int) int { return threads }
+
+// SetPinnedLanes names one trace lane per pinned thread with its simulated
+// placement — NUMA node and logical core — plus the serial runner lane.
+// Used by Algorithm-2 engines whose threads keep one core for the whole
+// run.
+func SetPinnedLanes(tr *obs.Trace, pool []*sched.Thread, m *machine.Machine) {
+	if tr == nil {
+		return
+	}
+	for i, th := range pool {
+		tr.SetLane(i, fmt.Sprintf("t%02d node%d cpu%02d", i, m.NodeOfLogical(th.Logical), th.Logical))
+	}
+	tr.SetLane(RunnerLane(len(pool)), "runner")
+}
+
+// SetNodeLanes names trace lanes for Algorithm-1 engines, whose threads are
+// respawned every region: the lane carries the representative first-region
+// NUMA node from the scheduler snapshot (the same placement the cost model
+// prices).
+func SetNodeLanes(tr *obs.Trace, nodes []int) {
+	if tr == nil {
+		return
+	}
+	for i, nd := range nodes {
+		tr.SetLane(i, fmt.Sprintf("t%02d node%d", i, nd))
+	}
+	tr.SetLane(RunnerLane(len(nodes)), "runner")
+}
+
+// RecordGraphCounters feeds the standard graph-shape counters every engine
+// reports.
+func RecordGraphCounters(c *obs.Collector, vertices int, edges int64) {
+	c.Add("graph.vertices", int64(vertices))
+	c.Add("graph.edges", edges)
+}
+
+// FinishRun finalizes a run's telemetry once the Result is assembled:
+// standard counters and gauges on the collector, model-derived annotation
+// of the per-iteration statistics (equal traffic share per iteration;
+// migrations charged to iteration 0 for pinned engines, spread for
+// per-phase pools), and Result.Iters. No-op without a recorder.
+func FinishRun(rec *obs.Recorder, res *Result, m *machine.Machine, pinned bool) {
+	if rec == nil {
+		return
+	}
+	c := rec.C()
+	c.Add("run.iterations", int64(res.Iterations))
+	c.Add("run.threads", int64(res.Threads))
+	c.Add("sched.spawns", res.Sched.Spawned)
+	c.Add("sched.bindings", res.Sched.Bindings)
+	c.Add("sched.migrations", res.Sched.Migrations)
+	c.Add("sched.cross_node_migrations", res.Sched.CrossNodeMigrations)
+	c.Set("rank_sum", RankSum(res.Ranks))
+	c.Set("wall_seconds", res.WallSeconds)
+	c.Set("prep_seconds", res.PrepSeconds)
+	line := 64
+	if m != nil && m.L1.LineBytes > 0 {
+		line = m.L1.LineBytes
+	}
+	var localBytes, remoteBytes int64
+	if res.Model != nil {
+		localBytes, remoteBytes = res.Model.LocalBytes, res.Model.RemoteBytes
+		c.Add("model.local_bytes", localBytes)
+		c.Add("model.remote_bytes", remoteBytes)
+		c.Add("model.llc_accesses", res.Model.LLCAccesses)
+		c.Set("model.estimated_seconds", res.Model.EstimatedSeconds)
+		c.Set("model.mape", res.Model.MApE)
+		c.Set("model.remote_fraction", res.Model.RemoteFraction)
+	}
+	rec.AnnotateModel(localBytes, remoteBytes, line, res.Sched.Migrations, pinned)
+	res.Iters = rec.IterationStats()
+}

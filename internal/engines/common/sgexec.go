@@ -31,9 +31,16 @@ type SGState struct {
 	base    float32 // (1-d)/n
 	redis   float32 // d * danglingSum/n, set by ReduceDangling
 
-	partials  []padF64 // per-thread dangling partials
-	residuals []padF64 // per-thread L∞ rank-change partials
+	partials     []padF64 // per-thread dangling partials
+	residuals    []padF64 // per-thread L∞ rank-change partials
+	lastDangling float64  // raw dangling sum of the last ReduceDangling
 }
+
+// LastDanglingMass returns the summed dangling rank folded by the most
+// recent ReduceDangling — the redistribution mass of the current iteration.
+// Call it under the same serialization as ReduceDangling (barrier leader or
+// between parallel regions).
+func (s *SGState) LastDanglingMass() float64 { return s.lastDangling }
 
 // MaxResidual folds and resets the per-thread residual partials: the L∞
 // rank change of the last gather phase. Call from one thread between
@@ -108,6 +115,7 @@ func (s *SGState) ReduceDangling() {
 		sum += s.partials[i].v
 		s.partials[i].v = 0
 	}
+	s.lastDangling = sum
 	n := s.G.NumVertices()
 	if n > 0 {
 		s.redis = float32(s.Damping * sum / float64(n))

@@ -6,6 +6,7 @@ import (
 
 	"hipa/internal/graph"
 	"hipa/internal/machine"
+	"hipa/internal/obs"
 	"hipa/internal/perfmodel"
 )
 
@@ -49,9 +50,13 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	if threads > n {
 		threads = n
 	}
+	rec := o.Obs
+	tr := rec.T()
+	RecordGraphCounters(rec.C(), n, g.NumEdges())
 
 	// Preprocessing: the pull direction needs the in-edge (CSC) form plus
 	// the edge-balanced thread ranges.
+	stopPrep := rec.C().Phase(PhasePrep)
 	prepStart := time.Now()
 	g.BuildIn()
 	var bounds []int
@@ -84,6 +89,10 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 		bounds = SplitByWeight(g.InOffsets(), threads)
 	}
 	prep := time.Since(prepStart)
+	stopPrep()
+	if tr != nil {
+		tr.Span(RunnerLane(threads), SpanPrepIndex, -1, prepStart)
+	}
 
 	// Simulated scheduling: Algorithm-1 pools per phase; Polymer binds its
 	// threads to nodes (and pays the migrations), v-PR does not.
@@ -104,6 +113,7 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 			}
 		}
 	}
+	SetNodeLanes(tr, placementNodes)
 
 	// Real execution.
 	ranks := InitRanks(n)
@@ -115,14 +125,25 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	inOff := g.InOffsets()
 	inAdj := g.InEdges()
 
+	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
 	var redis float32
 	performed := 0
+	runner := RunnerLane(threads)
+	needResidual := o.Tolerance > 0 || rec != nil
 	residuals := make([]padF64, threads)
 	for it := 0; it < o.Iterations; it++ {
 		performed++
+		var itStart time.Time
+		if rec != nil {
+			itStart = time.Now()
+		}
 		// Region 1: contributions + dangling partials.
 		RunThreads(threads, func(tid int) {
+			var spanStart time.Time
+			if tr != nil {
+				spanStart = time.Now()
+			}
 			var dangling float64
 			for v := bounds[tid]; v < bounds[tid+1]; v++ {
 				iv := inv[v]
@@ -134,14 +155,28 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 				contrib[v] = ranks[v] * iv
 			}
 			partials[tid].v = dangling
+			if tr != nil {
+				tr.Span(tid, SpanScatter, it, spanStart)
+			}
 		})
+		var serialStart time.Time
+		if tr != nil {
+			serialStart = time.Now()
+		}
 		var sum float64
 		for i := range partials {
 			sum += partials[i].v
 		}
 		redis = d * float32(sum/float64(n))
+		if tr != nil {
+			tr.Span(runner, SpanReduce, it, serialStart)
+		}
 		// Region 2: pull.
 		RunThreads(threads, func(tid int) {
+			var spanStart time.Time
+			if tr != nil {
+				spanStart = time.Now()
+			}
 			res := residuals[tid].v
 			for v := bounds[tid]; v < bounds[tid+1]; v++ {
 				var acc float32
@@ -160,8 +195,14 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 				}
 			}
 			residuals[tid].v = res
+			if tr != nil {
+				tr.Span(tid, SpanGather, it, spanStart)
+			}
 		})
-		if o.Tolerance > 0 {
+		if needResidual {
+			if tr != nil {
+				serialStart = time.Now()
+			}
 			var maxRes float64
 			for i := range residuals {
 				if residuals[i].v > maxRes {
@@ -169,13 +210,25 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 				}
 				residuals[i].v = 0
 			}
-			if maxRes < o.Tolerance {
+			if tr != nil {
+				tr.Span(runner, SpanApply, it, serialStart)
+			}
+			if rec != nil {
+				rec.RecordIteration(obs.IterationStats{
+					Iter:         it,
+					WallSeconds:  time.Since(itStart).Seconds(),
+					Residual:     maxRes,
+					DanglingMass: sum,
+				})
+			}
+			if o.Tolerance > 0 && maxRes < o.Tolerance {
 				break
 			}
 		}
 	}
 	o.Iterations = performed
 	wall := time.Since(wallStart)
+	stopRun()
 
 	// Analytic model.
 	costs, barriers, err := BuildVertexModel(VertexModelSpec{
@@ -205,7 +258,7 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
 
-	return &Result{
+	res := &Result{
 		Engine:      cfg.Name,
 		Ranks:       ranks,
 		Iterations:  o.Iterations,
@@ -214,5 +267,7 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 		PrepSeconds: prep.Seconds(),
 		Model:       rep,
 		Sched:       schedStats,
-	}, nil
+	}
+	FinishRun(rec, res, m, false)
+	return res, nil
 }

@@ -24,6 +24,7 @@ import (
 	"hipa/internal/graph"
 	"hipa/internal/layout"
 	"hipa/internal/machine"
+	"hipa/internal/obs"
 	"hipa/internal/partition"
 	"hipa/internal/perfmodel"
 	"hipa/internal/sched"
@@ -62,8 +63,14 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 		return nil, fmt.Errorf("hipa: %d threads exceed the machine's %d logical cores", threads, m.LogicalCores())
 	}
 
+	rec := o.Obs
+	tr := rec.T()
+	common.RecordGraphCounters(rec.C(), g.NumVertices(), g.NumEdges())
+	runner := common.RunnerLane(threads)
+
 	// Preprocessing: hierarchical partitioning + layout construction. This
 	// is the overhead the paper amortises over iterations (§4.2).
+	stopPrep := rec.C().Phase(common.PhasePrep)
 	prepStart := time.Now()
 	hier, err := partition.Build(g, partition.Config{
 		PartitionBytes: o.PartitionBytes,
@@ -75,12 +82,23 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hipa: %w", err)
 	}
+	if tr != nil {
+		tr.Span(runner, common.SpanPrepPartition, -1, prepStart)
+	}
+	layStart := time.Now()
 	lay, err := layout.Build(g, hier, !o.NoCompress)
 	if err != nil {
 		return nil, fmt.Errorf("hipa: %w", err)
 	}
+	if tr != nil {
+		tr.Span(runner, common.SpanPrepLayout, -1, layStart)
+	}
 	lookup := partition.BuildLookup(hier)
 	prep := time.Since(prepStart)
+	stopPrep()
+	rec.C().Add("partition.partitions", int64(hier.NumPartitions()))
+	rec.C().Add("partition.groups", int64(len(hier.Groups)))
+	rec.C().Add("layout.messages", int64(lay.NumMessages()))
 
 	// Simulated scheduling: persistent threads spawned once and pinned
 	// (Algorithm 2). At most `threads` migrations can occur.
@@ -89,33 +107,78 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hipa: %w", err)
 	}
+	common.SetPinnedLanes(tr, pool, m)
 
 	// Real parallel execution.
 	state := common.NewSGState(g, hier, lay, o.Damping, threads)
+	stopRun := rec.C().Phase(common.PhaseRun)
 	wallStart := time.Now()
 	if o.FCFS {
 		// Ablation: keep HiPa's layout and placement but let threads claim
 		// partitions first-come-first-serve instead of the pinned one-to-
 		// many assignment.
-		o.Iterations = common.RunFCFS(state, o.Iterations, threads, o.Tolerance)
+		o.Iterations = common.RunFCFS(state, o.Iterations, threads, o.Tolerance, rec)
 	} else {
 		bar := common.NewBarrier(threads)
 		performed := 0
 		stop := false
+		// itStart is only touched by barrier leaders, whose callbacks are
+		// serialized under the barrier's mutex.
+		itStart := wallStart
 		common.RunThreads(threads, func(tid int) {
 			gr := hier.Groups[tid]
 			for it := 0; it < o.Iterations; it++ {
+				var spanStart time.Time
+				if tr != nil {
+					spanStart = time.Now()
+				}
 				for p := gr.PartStart; p < gr.PartEnd; p++ {
 					state.ScatterPartition(p, tid)
 				}
-				bar.WaitLeader(state.ReduceDangling)
+				if tr != nil {
+					tr.Span(tid, common.SpanScatter, it, spanStart)
+				}
+				bar.WaitLeader(func() {
+					var serialStart time.Time
+					if tr != nil {
+						serialStart = time.Now()
+					}
+					state.ReduceDangling()
+					if tr != nil {
+						tr.Span(runner, common.SpanReduce, it, serialStart)
+					}
+				})
+				if tr != nil {
+					spanStart = time.Now()
+				}
 				for p := gr.PartStart; p < gr.PartEnd; p++ {
 					state.GatherPartition(p, tid)
 				}
+				if tr != nil {
+					tr.Span(tid, common.SpanGather, it, spanStart)
+				}
 				bar.WaitLeader(func() {
 					performed++
-					if res := state.MaxResidual(); o.Tolerance > 0 && res < o.Tolerance {
+					var serialStart time.Time
+					if tr != nil {
+						serialStart = time.Now()
+					}
+					res := state.MaxResidual()
+					if o.Tolerance > 0 && res < o.Tolerance {
 						stop = true
+					}
+					if tr != nil {
+						tr.Span(runner, common.SpanApply, it, serialStart)
+					}
+					if rec != nil {
+						now := time.Now()
+						rec.RecordIteration(obs.IterationStats{
+							Iter:         it,
+							WallSeconds:  now.Sub(itStart).Seconds(),
+							Residual:     res,
+							DanglingMass: state.LastDanglingMass(),
+						})
+						itStart = now
 					}
 				})
 				if stop {
@@ -126,6 +189,7 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 		o.Iterations = performed
 	}
 	wall := time.Since(wallStart)
+	stopRun()
 
 	// Analytic model on the simulated machine.
 	threadNode, threadShared := common.ThreadPlacement(pool, m)
@@ -157,7 +221,7 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 		return nil, fmt.Errorf("hipa: %w", err)
 	}
 
-	return &common.Result{
+	res := &common.Result{
 		Engine:      "HiPa",
 		Ranks:       state.Ranks,
 		Iterations:  o.Iterations,
@@ -166,5 +230,10 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 		PrepSeconds: prep.Seconds(),
 		Model:       rep,
 		Sched:       schedStats,
-	}, nil
+	}
+	// Algorithm 2 binds once at spawn, so per-iteration migration
+	// attribution charges iteration 0 — also for the FCFS ablation, which
+	// keeps the pinned thread lifecycle.
+	common.FinishRun(rec, res, m, true)
+	return res, nil
 }

@@ -18,6 +18,7 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -225,6 +226,20 @@ func (t *Table) RenderCSV(w io.Writer) error {
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// RenderJSON writes the table as an indented JSON object
+// ({"title","header","rows","notes"}), the machine-readable form hipabench
+// emits for benchmark trajectories (BENCH_*.json).
+func (t *Table) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.Title, t.Header, t.Rows, t.Notes})
 }
 
 func f2(x float64) string  { return fmt.Sprintf("%.2f", x) }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+	"hipa/internal/obs"
+	"hipa/internal/perfmodel"
+	"hipa/internal/sched"
+)
+
+// RunReport is the machine-readable record of one engine run: the Result's
+// scalars, the analytic model report, the simulated scheduler stats, the
+// per-iteration statistics, and the collector's counters/gauges/phase
+// timers. It is what `hipapr -stats` writes and what benchmark
+// trajectories (BENCH_*.json) are built from.
+type RunReport struct {
+	Engine     string `json:"engine"`
+	Vertices   int    `json:"vertices"`
+	Edges      int64  `json:"edges"`
+	Threads    int    `json:"threads"`
+	Iterations int    `json:"iterations"`
+	Machine    string `json:"machine,omitempty"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+	PrepSeconds float64 `json:"prep_seconds"`
+
+	Model *perfmodel.Report `json:"model,omitempty"`
+	Sched sched.Stats       `json:"sched"`
+
+	Iters []obs.IterationStats `json:"iterations_detail,omitempty"`
+
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Phases   map[string]float64 `json:"phase_seconds,omitempty"`
+}
+
+// NewRunReport assembles the report for one run. g and m may be nil when
+// unknown; rec may be nil (Result.Iters is used either way, so reports from
+// un-instrumented runs still carry the scalar fields).
+func NewRunReport(g *graph.Graph, m *machine.Machine, res *common.Result, rec *obs.Recorder) *RunReport {
+	r := &RunReport{
+		Engine:      res.Engine,
+		Threads:     res.Threads,
+		Iterations:  res.Iterations,
+		WallSeconds: res.WallSeconds,
+		PrepSeconds: res.PrepSeconds,
+		Model:       res.Model,
+		Sched:       res.Sched,
+		Iters:       res.Iters,
+	}
+	if g != nil {
+		r.Vertices = g.NumVertices()
+		r.Edges = g.NumEdges()
+	}
+	if m != nil {
+		r.Machine = m.String()
+	}
+	if c := rec.C(); c != nil {
+		r.Counters = c.Counters()
+		r.Gauges = c.Gauges()
+		r.Phases = c.Phases()
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON. Struct field order and
+// encoding/json's sorted map keys keep the output deterministic for a
+// deterministic run.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path.
+func (r *RunReport) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,252 @@
+// Package obs is the engine telemetry layer: counters, gauges, and phase
+// timers (Collector), span-style tracing with Chrome trace_event export
+// (Trace), and per-iteration execution statistics (IterationStats), bundled
+// per run by a Recorder.
+//
+// The package substitutes for the hardware observability the paper's
+// evaluation leans on (VTune thread-migration counters, LLC traffic, memory
+// accesses per edge, §3.3/§4): every engine run can surface per-iteration
+// progress and convergence, phase-level timing, and exportable metrics.
+//
+// Everything is opt-in and nil-safe: a nil *Recorder, *Collector, or *Trace
+// accepts every call as a no-op, so engines instrument their hot paths
+// unconditionally and an un-instrumented run pays only a pointer test.
+// Only the standard library is used.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// IterationStats records one PageRank iteration of one engine run. The
+// in-loop fields (wall time, residual, dangling mass) are measured live at
+// the iteration barrier; the simulated-machine fields (local/remote
+// accesses, scheduler migrations) are annotated after the run from the
+// analytic model, apportioned per iteration.
+type IterationStats struct {
+	// Iter is the zero-based iteration index.
+	Iter int `json:"iter"`
+	// WallSeconds is the real elapsed time of this iteration.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Residual is the L∞ rank change of the iteration (the convergence
+	// metric checked against Options.Tolerance).
+	Residual float64 `json:"residual"`
+	// DanglingMass is the summed rank of dangling vertices redistributed
+	// this iteration.
+	DanglingMass float64 `json:"dangling_mass"`
+
+	// LocalBytes / RemoteBytes are the modelled DRAM traffic of the
+	// iteration on the simulated machine, split by NUMA locality.
+	LocalBytes  int64 `json:"local_bytes"`
+	RemoteBytes int64 `json:"remote_bytes"`
+	// LocalAccesses / RemoteAccesses are the same traffic in cache-line
+	// sized accesses (the unit of the paper's MApE figures).
+	LocalAccesses  int64 `json:"local_accesses"`
+	RemoteAccesses int64 `json:"remote_accesses"`
+	// SchedMigrations is the simulated thread migrations attributed to the
+	// iteration: all at iteration 0 for pinned engines (Algorithm 2), spread
+	// across iterations for per-phase thread pools (Algorithm 1).
+	SchedMigrations int64 `json:"sched_migrations"`
+}
+
+// Collector accumulates named counters, gauges, and phase timers. All
+// methods are safe for concurrent use and are no-ops on a nil receiver.
+type Collector struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	phases   map[string]float64 // accumulated seconds
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		phases:   map[string]float64{},
+	}
+}
+
+// Add increments counter name by delta.
+func (c *Collector) Add(name string, delta int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Set records gauge name at value v (last write wins).
+func (c *Collector) Set(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.gauges[name] = v
+	c.mu.Unlock()
+}
+
+// AddPhase accrues d onto phase timer name.
+func (c *Collector) AddPhase(name string, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.phases[name] += d.Seconds()
+	c.mu.Unlock()
+}
+
+var nopStop = func() {}
+
+// Phase starts the named phase timer and returns the stop function:
+//
+//	defer rec.C().Phase("prep")()
+//
+// On a nil receiver no clock is read and the returned stop is a no-op.
+func (c *Collector) Phase(name string) func() {
+	if c == nil {
+		return nopStop
+	}
+	start := time.Now()
+	return func() { c.AddPhase(name, time.Since(start)) }
+}
+
+// Counters returns a copy of the counter map.
+func (c *Collector) Counters() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counters))
+	for k, v := range c.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Gauges returns a copy of the gauge map.
+func (c *Collector) Gauges() map[string]float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.gauges))
+	for k, v := range c.gauges {
+		out[k] = v
+	}
+	return out
+}
+
+// Phases returns a copy of the phase-timer map (seconds).
+func (c *Collector) Phases() map[string]float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]float64, len(c.phases))
+	for k, v := range c.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Recorder bundles the telemetry of one engine run. Engines receive it via
+// Options.Obs; a nil Recorder disables all instrumentation. The Collector
+// and Trace fields are optional — leave either nil to skip that signal.
+type Recorder struct {
+	Collector *Collector
+	Trace     *Trace
+
+	mu    sync.Mutex
+	iters []IterationStats
+}
+
+// NewRecorder returns a Recorder with a Collector and a Trace attached.
+func NewRecorder() *Recorder {
+	return &Recorder{Collector: NewCollector(), Trace: NewTrace()}
+}
+
+// C returns the recorder's collector; nil-safe (nil recorder → nil
+// collector, whose methods are themselves no-ops).
+func (r *Recorder) C() *Collector {
+	if r == nil {
+		return nil
+	}
+	return r.Collector
+}
+
+// T returns the recorder's trace; nil-safe.
+func (r *Recorder) T() *Trace {
+	if r == nil {
+		return nil
+	}
+	return r.Trace
+}
+
+// RecordIteration appends one iteration's statistics.
+func (r *Recorder) RecordIteration(s IterationStats) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.iters = append(r.iters, s)
+	r.mu.Unlock()
+}
+
+// IterationStats returns the recorded iterations in order.
+func (r *Recorder) IterationStats() []IterationStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]IterationStats, len(r.iters))
+	copy(out, r.iters)
+	return out
+}
+
+// AnnotateModel distributes a run's modelled DRAM traffic and scheduler
+// migrations over the recorded iterations: the analytic model is linear in
+// the iteration count, so each iteration carries an equal share of the
+// traffic, while migrations are all charged to iteration 0 for pinned
+// engines (Algorithm 2 binds once at spawn) and spread evenly for
+// per-phase thread pools (Algorithm 1 respawns every region).
+func (r *Recorder) AnnotateModel(localBytes, remoteBytes int64, lineBytes int, migrations int64, pinned bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := int64(len(r.iters))
+	if n == 0 {
+		return
+	}
+	if lineBytes <= 0 {
+		lineBytes = 64
+	}
+	lb, rb := localBytes/n, remoteBytes/n
+	for i := range r.iters {
+		it := &r.iters[i]
+		it.LocalBytes = lb
+		it.RemoteBytes = rb
+		it.LocalAccesses = lb / int64(lineBytes)
+		it.RemoteAccesses = rb / int64(lineBytes)
+		if pinned {
+			if i == 0 {
+				it.SchedMigrations = migrations
+			} else {
+				it.SchedMigrations = 0
+			}
+		} else {
+			it.SchedMigrations = migrations / n
+			if int64(i) < migrations%n {
+				it.SchedMigrations++
+			}
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// buildDeterministicTrace constructs the fixture exported to the golden
+// file: two simulated threads plus a runner lane, two iterations of
+// scatter/gather with a reduce and apply in between — the span shapes the
+// engines emit.
+func buildDeterministicTrace() *Trace {
+	tr := NewTrace()
+	tr.SetLane(0, "t00 node0 cpu00")
+	tr.SetLane(1, "t01 node1 cpu20")
+	tr.SetLane(2, "runner")
+	tr.AddSpanAt(0, "prep:partition", -1, 0, 120)
+	tr.AddSpanAt(0, "prep:layout", -1, 120, 80)
+	for it := 0; it < 2; it++ {
+		base := int64(200 + it*400)
+		tr.AddSpanAt(0, "scatter", it, base, 90)
+		tr.AddSpanAt(1, "scatter", it, base+5, 100)
+		tr.AddSpanAt(2, "reduce", it, base+110, 10)
+		tr.AddSpanAt(0, "gather", it, base+125, 95)
+		tr.AddSpanAt(1, "gather", it, base+125, 105)
+		tr.AddSpanAt(2, "apply", it, base+235, 8)
+	}
+	return tr
+}
+
+// TestTraceGolden pins the exported trace_event format: stable field
+// ordering, byte-identical output for identical input. Run with
+// -update-golden after an intentional format change.
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDeterministicTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace export drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestTraceValidJSON checks the export parses as the trace_event container
+// format and that timestamps come out monotonically non-decreasing, which
+// chrome://tracing and Perfetto rely on.
+func TestTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildDeterministicTrace().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TS   int64           `json:"ts"`
+			Dur  int64           `json:"dur"`
+			PID  int             `json:"pid"`
+			TID  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	meta, spans := 0, 0
+	lastTS := int64(-1)
+	for _, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if spans > 0 {
+				t.Error("metadata events must precede all spans")
+			}
+		case "X":
+			spans++
+			if ev.TS < lastTS {
+				t.Errorf("timestamps not monotonic: %d after %d", ev.TS, lastTS)
+			}
+			lastTS = ev.TS
+			if ev.Dur < 0 {
+				t.Errorf("negative duration %d", ev.Dur)
+			}
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta != 3 {
+		t.Errorf("got %d thread_name events, want 3", meta)
+	}
+	if spans != 14 {
+		t.Errorf("got %d spans, want 14", spans)
+	}
+}
+
+func TestTraceRealClockSpans(t *testing.T) {
+	tr := NewTrace()
+	tr.SetLane(0, "t00")
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	tr.Span(0, "scatter", 0, start)
+	if tr.NumSpans() != 1 {
+		t.Fatalf("spans = %d, want 1", tr.NumSpans())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Dur int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" && ev.Dur < 1000 {
+			t.Errorf("span duration = %dus, want >= 1000us", ev.Dur)
+		}
+	}
+}

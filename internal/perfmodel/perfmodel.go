@@ -194,32 +194,33 @@ type Run struct {
 	Iterations     int
 }
 
-// Report is the model output.
+// Report is the model output. The json tags define the stable
+// machine-readable form exported by the obs run reports.
 type Report struct {
 	// EstimatedSeconds is the modelled execution time of the whole run.
-	EstimatedSeconds float64
+	EstimatedSeconds float64 `json:"estimated_seconds"`
 	// PerThreadSeconds is each thread's modelled busy time.
-	PerThreadSeconds []float64
+	PerThreadSeconds []float64 `json:"per_thread_seconds"`
 
 	// DRAM traffic totals (bytes), including random-access line fills.
-	LocalBytes  int64
-	RemoteBytes int64
+	LocalBytes  int64 `json:"local_bytes"`
+	RemoteBytes int64 `json:"remote_bytes"`
 
 	// MApE is memory accesses per edge in bytes (Fig. 5): total DRAM bytes
 	// divided by (|E| × iterations).
-	MApE float64
+	MApE float64 `json:"mape"`
 	// RemoteMApE is the remote portion of MApE.
-	RemoteMApE float64
+	RemoteMApE float64 `json:"remote_mape"`
 	// RemoteFraction = RemoteBytes / (LocalBytes + RemoteBytes).
-	RemoteFraction float64
+	RemoteFraction float64 `json:"remote_fraction"`
 
 	// LLCAccesses is the total modelled LLC traffic (for Fig. 7).
-	LLCAccesses int64
-	L2Accesses  int64
+	LLCAccesses int64 `json:"llc_accesses"`
+	L2Accesses  int64 `json:"l2_accesses"`
 	// RandomDRAMAccesses is the total random accesses that missed all
 	// caches; LLCAccesses/(LLCAccesses+RandomDRAMAccesses) approximates the
 	// LLC hit ratio the paper reads from hardware counters.
-	RandomDRAMAccesses int64
+	RandomDRAMAccesses int64 `json:"random_dram_accesses"`
 }
 
 // LLCHitRatio returns the modelled LLC hit ratio over random accesses.

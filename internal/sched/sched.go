@@ -54,19 +54,21 @@ type Thread struct {
 // Node returns the NUMA node the thread currently runs on.
 func (t *Thread) Node(m *machine.Machine) int { return m.NodeOfLogical(t.Logical) }
 
-// Stats accumulates scheduler events and their modelled costs.
+// Stats accumulates scheduler events and their modelled costs. The json
+// tags define the stable machine-readable form exported by the obs run
+// reports.
 type Stats struct {
-	Spawned    int64
-	Terminated int64
-	Bindings   int64
+	Spawned    int64 `json:"spawned"`
+	Terminated int64 `json:"terminated"`
+	Bindings   int64 `json:"bindings"`
 	// Migrations counts thread moves to a different logical core caused by
 	// binding or pinning.
-	Migrations int64
+	Migrations int64 `json:"migrations"`
 	// CrossNodeMigrations is the subset of Migrations that crossed NUMA
 	// nodes (the expensive kind: context transfer through remote memory).
-	CrossNodeMigrations int64
+	CrossNodeMigrations int64 `json:"cross_node_migrations"`
 	// CostNS is the summed modelled cost of spawns and migrations.
-	CostNS float64
+	CostNS float64 `json:"cost_ns"`
 }
 
 // Scheduler simulates the OS scheduler for one machine.
