@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench clean
+.PHONY: all build test vet race ci bench smoke clean
 
 all: build
 
@@ -19,10 +19,17 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+ci: vet build race smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# End-to-end smoke: a tiny fig6 sweep through the real CLI (exercising the
+# shared prep cache across the thread sweep) plus a compile-and-run pass of
+# the benchmarks at one iteration each.
+smoke:
+	$(GO) run ./cmd/hipabench -exp fig6 -divisor 16384 -iters 2 > /dev/null
+	$(GO) test -run '^$$' -bench . -benchtime 1x . > /dev/null
 
 clean:
 	$(GO) clean ./...

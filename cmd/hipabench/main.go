@@ -4,7 +4,13 @@
 //
 //	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
-//	          [-format text|csv|json]
+//	          [-repeat N] [-format text|csv|json]
+//
+// Experiments share one preprocessing-artifact cache (see Config.Prep), so
+// sweeps reuse each (graph, partition-size) artifact instead of rebuilding
+// it per data point; a cache summary is printed to stderr at exit. -repeat N
+// runs each selected experiment N times (rendering the last), which with the
+// shared cache isolates iterative-phase timing from preprocessing noise.
 //
 // -format json emits each experiment as a {"title","header","rows","notes"}
 // object, so benchmark trajectories (BENCH_*.json) can be produced
@@ -38,6 +44,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0xC0FFEE, "simulated OS scheduler seed")
 		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation and node-scaling experiments")
 		format   = flag.String("format", "text", "output format: text, csv, or json")
+		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
 	)
 	flag.Parse()
 
@@ -78,16 +85,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *repeat < 1 {
+		fmt.Fprintln(os.Stderr, "hipabench: -repeat must be >= 1")
+		os.Exit(2)
+	}
 	ran := false
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
 			continue
 		}
 		ran = true
-		t, err := e.run()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hipabench: %s: %v\n", e.name, err)
-			os.Exit(1)
+		var t *harness.Table
+		var err error
+		for i := 0; i < *repeat; i++ {
+			t, err = e.run()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hipabench: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
 		}
 		if err := render(t, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "hipabench: render: %v\n", err)
@@ -98,5 +113,9 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "hipabench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if s := cfg.Prep.Stats(); s.Hits+s.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "hipabench: prep cache: %d builds, %d hits, %d evictions\n",
+			s.Misses, s.Hits, s.Evictions)
 	}
 }

@@ -25,6 +25,37 @@ type Options = common.Options
 // simulated scheduler statistics (Sched).
 type Result = common.Result
 
+// Prepared is an engine's immutable preprocessing artifact — the partition
+// hierarchy and compressed layout for partition-centric engines, the
+// transpose and degree arrays for vertex-centric ones. Build it once with
+// Prepare, then execute the iterative phase any number of times (including
+// concurrently) with Exec.
+type Prepared = common.Prepared
+
+// PrepCache is a content-keyed, bounded LRU cache of preprocessing
+// artifacts. Set Options.PrepCache to share artifacts across runs that use
+// the same graph and partitioning parameters; nil (the default) rebuilds on
+// every Prepare.
+type PrepCache = common.PrepCache
+
+// PrepStats are a PrepCache's hit/miss/eviction counters; Misses counts
+// artifact builds.
+type PrepStats = common.PrepStats
+
+// NewPrepCache returns a PrepCache holding at most capacity artifacts
+// (capacity <= 0 selects a small default).
+func NewPrepCache(capacity int) *PrepCache { return common.NewPrepCache(capacity) }
+
+// Prepare runs the engine's preprocessing phase only, returning the
+// reusable artifact. Run is equivalent to Prepare followed by Exec.
+func Prepare(e Engine, g *Graph, o Options) (*Prepared, error) { return e.Prepare(g, o) }
+
+// Exec runs the engine's iterative phase against a previously Prepared
+// artifact. The artifact must come from the same engine with compatible
+// options; Exec validates and errors otherwise. A single Prepared is safe
+// for concurrent Exec calls.
+func Exec(e Engine, prep *Prepared, o Options) (*Result, error) { return e.Exec(prep, o) }
+
 // The five implementations evaluated in the paper (§4.1).
 var (
 	// HiPa is the paper's contribution: hierarchical NUMA- and cache-aware

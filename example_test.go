@@ -26,6 +26,46 @@ func Example() {
 	// Output: engine=HiPa threads=40 rank-sum=1.000 migrations<=threads=true
 }
 
+// ExamplePrepare shows the prepare-once / execute-many serving pattern: one
+// preprocessing artifact, shared through a PrepCache and executed twice,
+// with both executions producing bit-identical ranks.
+func ExamplePrepare() {
+	g, err := hipa.Generate("journal", 4096)
+	if err != nil {
+		panic(err)
+	}
+	o := hipa.Options{
+		Machine:        hipa.ScaledMachine(hipa.Skylake(), 4096),
+		Iterations:     10,
+		PartitionBytes: 64,
+		PrepCache:      hipa.NewPrepCache(8),
+	}
+	prep, err := hipa.Prepare(hipa.HiPa, g, o)
+	if err != nil {
+		panic(err)
+	}
+	r1, err := hipa.Exec(hipa.HiPa, prep, o)
+	if err != nil {
+		panic(err)
+	}
+	r2, err := hipa.Exec(hipa.HiPa, prep, o)
+	if err != nil {
+		panic(err)
+	}
+	same := len(r1.Ranks) == len(r2.Ranks)
+	for i := range r1.Ranks {
+		same = same && r1.Ranks[i] == r2.Ranks[i]
+	}
+	// A second Prepare on the same graph and options is a cache hit.
+	prep2, err := hipa.Prepare(hipa.HiPa, g, o)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("identical-ranks=%v cached=%v prep-paid-once=%v\n",
+		same, prep2.FromCache, r1.PrepFromCache == false)
+	// Output: identical-ranks=true cached=true prep-paid-once=true
+}
+
 // ExampleTopK ranks a tiny star graph: the hub collects the rank mass.
 func ExampleTopK() {
 	b := hipa.NewGraphBuilder(4)

@@ -39,8 +39,19 @@ type ObliviousPartitionConfig struct {
 }
 
 // RunObliviousPartitionEngine executes a NUMA-oblivious partition-centric
-// PageRank per cfg and returns the standard result.
+// PageRank per cfg: PrepareOblivious followed by ExecOblivious.
 func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (*Result, error) {
+	prep, err := PrepareOblivious(g, o, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ExecOblivious(prep, o, cfg)
+}
+
+// PrepareOblivious builds the preprocessing artifact of a NUMA-oblivious
+// partition-centric engine: a single flat list of cache-able partitions (no
+// node assignment, no pinned groups) plus the compressed message layout.
+func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (*Prepared, error) {
 	if o.Machine == nil {
 		o.Machine = machine.SkylakeSilver4210()
 	}
@@ -56,39 +67,76 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 		return nil, fmt.Errorf("%s: empty graph", cfg.Name)
 	}
 	rec := o.Obs
+	runner := RunnerLane(o.Threads)
+	key := PrepKey{
+		Kind:           PrepPartition,
+		PartitionBytes: o.PartitionBytes,
+		Compress:       !o.NoCompress,
+		Nodes:          1,
+	}
+	prep, err := MakePrepared(cfg.Name, g, m, o, key, func() (any, error) {
+		tr := rec.T()
+		partStart := time.Now()
+		hier, err := partition.Build(g, partition.Config{
+			PartitionBytes: o.PartitionBytes,
+			BytesPerVertex: 4,
+			NumNodes:       1,
+			GroupsPerNode:  1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		if tr != nil {
+			tr.Span(runner, SpanPrepPartition, -1, partStart)
+		}
+		layStart := time.Now()
+		lay, err := layout.Build(g, hier, !o.NoCompress)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		if tr != nil {
+			tr.Span(runner, SpanPrepLayout, -1, layStart)
+		}
+		return &PartArtifact{Hier: hier, Lay: lay, Inv: InvOutDegrees(g)}, nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	rec.C().Add("partition.partitions", int64(prep.part.Hier.NumPartitions()))
+	rec.C().Add("layout.messages", int64(prep.part.Lay.NumMessages()))
+	return prep, nil
+}
+
+// ExecOblivious runs the FCFS iterative phase of a NUMA-oblivious
+// partition-centric engine against a Prepared artifact. Safe for concurrent
+// calls sharing one artifact.
+func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Result, error) {
+	if err := prep.CheckExec(cfg.Name, PrepPartition); err != nil {
+		return nil, err
+	}
+	if o.Machine == nil {
+		o.Machine = prep.Machine()
+	}
+	m := o.Machine
+	if o.PartitionBytes == 0 {
+		o.PartitionBytes = prep.Key().PartitionBytes
+	}
+	o = o.WithDefaults(cfg.DefaultThreads(m))
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if o.PartitionBytes != prep.Key().PartitionBytes {
+		return nil, fmt.Errorf("%s: artifact was prepared with %dB partitions, not %dB", cfg.Name, prep.Key().PartitionBytes, o.PartitionBytes)
+	}
+	if !o.NoCompress != prep.Key().Compress {
+		return nil, fmt.Errorf("%s: artifact compression does not match NoCompress=%v", cfg.Name, o.NoCompress)
+	}
+	g := prep.Graph()
+	hier, lay := prep.part.Hier, prep.part.Lay
+	rec := o.Obs
 	tr := rec.T()
 	RecordGraphCounters(rec.C(), g.NumVertices(), g.NumEdges())
-	runner := RunnerLane(o.Threads)
-
-	stopPrep := rec.C().Phase(PhasePrep)
-	prepStart := time.Now()
-	// NUMA-oblivious: a single flat list of cache-able partitions; no node
-	// assignment (NumNodes 1) and no pinned groups.
-	hier, err := partition.Build(g, partition.Config{
-		PartitionBytes: o.PartitionBytes,
-		BytesPerVertex: 4,
-		NumNodes:       1,
-		GroupsPerNode:  1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
-	}
-	if tr != nil {
-		tr.Span(runner, SpanPrepPartition, -1, prepStart)
-	}
-	layStart := time.Now()
-	lay, err := layout.Build(g, hier, !o.NoCompress)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
-	}
-	if tr != nil {
-		tr.Span(runner, SpanPrepLayout, -1, layStart)
-	}
 	lookup := partition.BuildLookup(hier)
-	prep := time.Since(prepStart)
-	stopPrep()
-	rec.C().Add("partition.partitions", int64(hier.NumPartitions()))
-	rec.C().Add("layout.messages", int64(lay.NumMessages()))
 
 	// Simulated scheduling: Algorithm 1 — a fresh pool per phase, threads
 	// placed arbitrarily by the OS, no binding.
@@ -100,7 +148,7 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 	SetNodeLanes(tr, placementNodes)
 
 	// Real execution.
-	state := NewSGState(g, hier, lay, o.Damping, o.Threads)
+	state := NewSGStateWithInv(g, hier, lay, prep.part.Inv, o.Damping, o.Threads)
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
 	performed := RunFCFS(state, o.Iterations, o.Threads, o.Tolerance, rec)
@@ -136,14 +184,16 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 	}
 
 	res := &Result{
-		Engine:      cfg.Name,
-		Ranks:       state.Ranks,
-		Iterations:  o.Iterations,
-		Threads:     o.Threads,
-		WallSeconds: wall.Seconds(),
-		PrepSeconds: prep.Seconds(),
-		Model:       rep,
-		Sched:       schedStats,
+		Engine:           cfg.Name,
+		Ranks:            state.Ranks,
+		Iterations:       o.Iterations,
+		Threads:          o.Threads,
+		WallSeconds:      wall.Seconds(),
+		PrepSeconds:      prep.PrepSeconds,
+		PrepBuildSeconds: prep.BuildSeconds,
+		PrepFromCache:    prep.FromCache,
+		Model:            rep,
+		Sched:            schedStats,
 	}
 	FinishRun(rec, res, m, false)
 	return res, nil

@@ -89,6 +89,7 @@ func FinishRun(rec *obs.Recorder, res *Result, m *machine.Machine, pinned bool) 
 	c.Set("rank_sum", RankSum(res.Ranks))
 	c.Set("wall_seconds", res.WallSeconds)
 	c.Set("prep_seconds", res.PrepSeconds)
+	c.Set("prep_build_seconds", res.PrepBuildSeconds)
 	line := 64
 	if m != nil && m.L1.LineBytes > 0 {
 		line = m.L1.LineBytes

@@ -1,0 +1,163 @@
+package common
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"hipa/internal/gen"
+)
+
+func TestSchedSeedSentinel(t *testing.T) {
+	// 0 is documented as "use the paper's default seed", so runs that never
+	// set SchedSeed are reproducible — and identical to runs that set the
+	// default explicitly.
+	o := Options{}.WithDefaults(4)
+	if o.SchedSeed != 0xC0FFEE {
+		t.Errorf("zero SchedSeed defaulted to %#x, want 0xC0FFEE", o.SchedSeed)
+	}
+	o = Options{SchedSeed: 42}.WithDefaults(4)
+	if o.SchedSeed != 42 {
+		t.Errorf("explicit SchedSeed rewritten to %d, want 42", o.SchedSeed)
+	}
+	o = Options{SchedSeed: 0xC0FFEE}.WithDefaults(4)
+	if o.SchedSeed != 0xC0FFEE {
+		t.Errorf("explicit default seed rewritten to %#x", o.SchedSeed)
+	}
+}
+
+func TestGraphFingerprint(t *testing.T) {
+	g1, err := gen.Uniform(500, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := gen.Uniform(500, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := gen.Uniform(500, 4000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphFingerprint(g1) != GraphFingerprint(g1) {
+		t.Error("fingerprint not stable for one graph")
+	}
+	if GraphFingerprint(g1) != GraphFingerprint(g2) {
+		t.Error("content-identical graphs fingerprint differently")
+	}
+	if GraphFingerprint(g1) == GraphFingerprint(g3) {
+		t.Error("different graphs share a fingerprint")
+	}
+}
+
+func TestPrepCacheLRUAndStats(t *testing.T) {
+	c := NewPrepCache(2)
+	key := func(pb int) PrepKey { return PrepKey{Kind: PrepPartition, PartitionBytes: pb} }
+	builds := 0
+	build := func() (any, error) { builds++; return &PartArtifact{}, nil }
+
+	for _, pb := range []int{1, 2, 1, 2} { // two builds, then two hits
+		if _, _, _, err := c.getOrBuild(key(pb), build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+	// Insert a third key: capacity 2 evicts the least recently used, key 1
+	// (the access order was 1, 2, 1, 2, leaving key 1 older).
+	if _, _, _, err := c.getOrBuild(key(3), build); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, fromCache, err := c.getOrBuild(key(2), build); err != nil || !fromCache {
+		t.Errorf("recently used key evicted (fromCache=%v, err=%v)", fromCache, err)
+	}
+	if _, _, fromCache, err := c.getOrBuild(key(1), build); err != nil || fromCache {
+		t.Errorf("LRU key survived eviction (fromCache=%v, err=%v)", fromCache, err)
+	}
+	s := c.Stats()
+	if s.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	if s.Misses != int64(builds) {
+		t.Errorf("Misses = %d but %d builds ran", s.Misses, builds)
+	}
+	if c.Len() > 2 {
+		t.Errorf("cache holds %d entries, capacity 2", c.Len())
+	}
+}
+
+func TestPrepCacheBuildErrorNotCached(t *testing.T) {
+	c := NewPrepCache(4)
+	boom := errors.New("boom")
+	calls := 0
+	failing := func() (any, error) { calls++; return nil, boom }
+	k := PrepKey{Kind: PrepVertex}
+	if _, _, _, err := c.getOrBuild(k, failing); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not poison the key: a later build succeeds.
+	if _, _, fromCache, err := c.getOrBuild(k, func() (any, error) { return &VertexArtifact{}, nil }); err != nil || fromCache {
+		t.Fatalf("retry after failed build: fromCache=%v err=%v", fromCache, err)
+	}
+	if calls != 1 {
+		t.Fatalf("failing builder ran %d times, want 1", calls)
+	}
+}
+
+func TestPrepCacheSingleflight(t *testing.T) {
+	c := NewPrepCache(4)
+	var mu sync.Mutex
+	builds := 0
+	gate := make(chan struct{})
+	build := func() (any, error) {
+		mu.Lock()
+		builds++
+		mu.Unlock()
+		<-gate
+		return &PartArtifact{}, nil
+	}
+	k := PrepKey{Kind: PrepPartition, PartitionBytes: 64}
+	const workers = 8
+	var wg sync.WaitGroup
+	started := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			if _, _, _, err := c.getOrBuild(k, build); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	close(gate)
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("concurrent getOrBuild ran %d builds, want 1 (singleflight)", builds)
+	}
+}
+
+func TestNilPrepCacheBuildsDirectly(t *testing.T) {
+	var c *PrepCache
+	builds := 0
+	build := func() (any, error) { builds++; return &PartArtifact{}, nil }
+	for i := 0; i < 3; i++ {
+		_, _, fromCache, err := c.getOrBuild(PrepKey{}, build)
+		if err != nil || fromCache {
+			t.Fatalf("nil cache: fromCache=%v err=%v", fromCache, err)
+		}
+	}
+	if builds != 3 {
+		t.Errorf("nil cache ran %d builds, want 3 (no caching)", builds)
+	}
+	if s := c.Stats(); s != (PrepStats{}) {
+		t.Errorf("nil cache stats = %+v, want zero", s)
+	}
+	if c.Len() != 0 {
+		t.Errorf("nil cache Len = %d", c.Len())
+	}
+}

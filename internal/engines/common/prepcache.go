@@ -1,0 +1,143 @@
+package common
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// DefaultPrepCacheCapacity is the entry bound used when NewPrepCache is
+// given a non-positive capacity.
+const DefaultPrepCacheCapacity = 16
+
+// PrepStats counts PrepCache traffic. Misses equals the number of artifact
+// builds: every Prepare either reuses an entry (or joins a build already in
+// flight) — a hit — or triggers exactly one build — a miss.
+type PrepStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+}
+
+// PrepCache is a small content-keyed LRU cache of preprocessing artifacts,
+// shared by all engines: entries are keyed by graph fingerprint plus the
+// prep-relevant options (PrepKey), so a Fig. 6 thread sweep builds each
+// (graph, partition-size) artifact once, and v-PR and Polymer share one
+// vertex artifact per graph. Concurrent Prepare calls for the same key are
+// coalesced into a single build. Safe for concurrent use; a nil *PrepCache
+// is valid and disables reuse.
+type PrepCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List                // of *prepEntry; front = most recent
+	entries  map[PrepKey]*list.Element // resident artifacts
+	inflight map[PrepKey]*prepInflight // builds in progress
+	stats    PrepStats
+}
+
+type prepEntry struct {
+	key          PrepKey
+	payload      any // *PartArtifact or *VertexArtifact
+	buildSeconds float64
+}
+
+type prepInflight struct {
+	done chan struct{}
+	e    *prepEntry
+	err  error
+}
+
+// NewPrepCache returns a cache bounded to capacity artifacts
+// (DefaultPrepCacheCapacity if capacity <= 0), evicting least-recently-used
+// entries.
+func NewPrepCache(capacity int) *PrepCache {
+	if capacity <= 0 {
+		capacity = DefaultPrepCacheCapacity
+	}
+	return &PrepCache{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  map[PrepKey]*list.Element{},
+		inflight: map[PrepKey]*prepInflight{},
+	}
+}
+
+// Stats returns a snapshot of the cache counters. Nil-safe.
+func (c *PrepCache) Stats() PrepStats {
+	if c == nil {
+		return PrepStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Len returns the number of resident artifacts. Nil-safe.
+func (c *PrepCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// getOrBuild returns the payload for key, building it at most once per
+// concurrent wave of callers. It reports the payload's cold build cost and
+// whether this caller was served without building. A nil receiver builds
+// directly.
+func (c *PrepCache) getOrBuild(key PrepKey, build func() (any, error)) (payload any, buildSeconds float64, fromCache bool, err error) {
+	if c == nil {
+		start := time.Now()
+		payload, err = build()
+		return payload, time.Since(start).Seconds(), false, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		e := el.Value.(*prepEntry)
+		c.mu.Unlock()
+		return e.payload, e.buildSeconds, true, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, 0, false, fl.err
+		}
+		c.mu.Lock()
+		c.stats.Hits++
+		c.mu.Unlock()
+		return fl.e.payload, fl.e.buildSeconds, true, nil
+	}
+	fl := &prepInflight{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	start := time.Now()
+	payload, err = build()
+	e := &prepEntry{key: key, payload: payload, buildSeconds: time.Since(start).Seconds()}
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if err == nil {
+		c.entries[key] = c.order.PushFront(e)
+		for c.order.Len() > c.capacity {
+			old := c.order.Back()
+			c.order.Remove(old)
+			delete(c.entries, old.Value.(*prepEntry).key)
+			c.stats.Evictions++
+		}
+	}
+	c.mu.Unlock()
+
+	fl.e, fl.err = e, err
+	close(fl.done)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	return payload, e.buildSeconds, false, nil
+}

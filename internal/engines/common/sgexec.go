@@ -58,13 +58,20 @@ func (s *SGState) MaxResidual() float64 {
 
 // NewSGState allocates the execution state for threads workers.
 func NewSGState(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layout, damping float64, threads int) *SGState {
+	return NewSGStateWithInv(g, hier, lay, InvOutDegrees(g), damping, threads)
+}
+
+// NewSGStateWithInv is NewSGState with a precomputed 1/outdeg array, shared
+// read-only from a Prepared artifact so concurrent Execs skip the O(V)
+// recomputation.
+func NewSGStateWithInv(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layout, inv []float32, damping float64, threads int) *SGState {
 	n := g.NumVertices()
 	return &SGState{
 		G: g, Lay: lay, Hier: hier,
 		Ranks:     InitRanks(n),
 		Acc:       make([]float32, n),
 		Bins:      make([]float32, lay.NumMessages()),
-		Inv:       InvOutDegrees(g),
+		Inv:       inv,
 		Damping:   damping,
 		base:      float32((1 - damping) / float64(n)),
 		partials:  make([]padF64, threads),

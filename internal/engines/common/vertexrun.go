@@ -32,8 +32,21 @@ type VertexEngineConfig struct {
 	BoundaryRemoteFraction float64
 }
 
-// RunVertexEngine executes a pull-based vertex-centric PageRank per cfg.
+// RunVertexEngine executes a pull-based vertex-centric PageRank per cfg:
+// PrepareVertex followed by ExecVertex.
 func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result, error) {
+	prep, err := PrepareVertex(g, o, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ExecVertex(prep, o, cfg)
+}
+
+// PrepareVertex builds the preprocessing artifact of a vertex-centric
+// engine: the in-edge (CSC) form on the graph plus the 1/outdeg array. The
+// artifact is machine- and thread-independent, so v-PR and Polymer share
+// cache entries for the same graph.
+func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared, error) {
 	if o.Machine == nil {
 		o.Machine = machine.SkylakeSilver4210()
 	}
@@ -42,10 +55,43 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	n := g.NumVertices()
-	if n == 0 {
+	if g.NumVertices() == 0 {
 		return nil, fmt.Errorf("%s: empty graph", cfg.Name)
 	}
+	rec := o.Obs
+	key := PrepKey{Kind: PrepVertex}
+	return MakePrepared(cfg.Name, g, m, o, key, func() (any, error) {
+		start := time.Now()
+		BuildInSerialized(g)
+		inv := InvOutDegrees(g)
+		if tr := rec.T(); tr != nil {
+			tr.Span(RunnerLane(o.Threads), SpanPrepIndex, -1, start)
+		}
+		return &VertexArtifact{Inv: inv}, nil
+	}, func() {
+		// A cache hit built the payload from a content-identical graph; this
+		// pointer still needs its own CSC form.
+		BuildInSerialized(g)
+	})
+}
+
+// ExecVertex runs the pull-based iterative phase of a vertex-centric engine
+// against a Prepared artifact. Safe for concurrent calls sharing one
+// artifact.
+func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, error) {
+	if err := prep.CheckExec(cfg.Name, PrepVertex); err != nil {
+		return nil, err
+	}
+	if o.Machine == nil {
+		o.Machine = prep.Machine()
+	}
+	m := o.Machine
+	o = o.WithDefaults(cfg.DefaultThreads(m))
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	g := prep.Graph()
+	n := g.NumVertices()
 	threads := o.Threads
 	if threads > n {
 		threads = n
@@ -54,11 +100,8 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	tr := rec.T()
 	RecordGraphCounters(rec.C(), n, g.NumEdges())
 
-	// Preprocessing: the pull direction needs the in-edge (CSC) form plus
-	// the edge-balanced thread ranges.
-	stopPrep := rec.C().Phase(PhasePrep)
-	prepStart := time.Now()
-	g.BuildIn()
+	// Thread vertex ranges are thread-count-dependent, so they are computed
+	// per Exec on top of the artifact's CSC form (cheap: O(V)).
 	var bounds []int
 	if cfg.NUMAAware {
 		// Split vertices across nodes edge-balanced, then across each
@@ -88,11 +131,6 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	} else {
 		bounds = SplitByWeight(g.InOffsets(), threads)
 	}
-	prep := time.Since(prepStart)
-	stopPrep()
-	if tr != nil {
-		tr.Span(RunnerLane(threads), SpanPrepIndex, -1, prepStart)
-	}
 
 	// Simulated scheduling: Algorithm-1 pools per phase; Polymer binds its
 	// threads to nodes (and pays the migrations), v-PR does not.
@@ -118,7 +156,7 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	// Real execution.
 	ranks := InitRanks(n)
 	contrib := make([]float32, n)
-	inv := InvOutDegrees(g)
+	inv := prep.vert.Inv
 	base := float32((1 - o.Damping) / float64(n))
 	d := float32(o.Damping)
 	partials := make([]padF64, threads)
@@ -259,14 +297,16 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 	}
 
 	res := &Result{
-		Engine:      cfg.Name,
-		Ranks:       ranks,
-		Iterations:  o.Iterations,
-		Threads:     threads,
-		WallSeconds: wall.Seconds(),
-		PrepSeconds: prep.Seconds(),
-		Model:       rep,
-		Sched:       schedStats,
+		Engine:           cfg.Name,
+		Ranks:            ranks,
+		Iterations:       o.Iterations,
+		Threads:          threads,
+		WallSeconds:      wall.Seconds(),
+		PrepSeconds:      prep.PrepSeconds,
+		PrepBuildSeconds: prep.BuildSeconds,
+		PrepFromCache:    prep.FromCache,
+		Model:            rep,
+		Sched:            schedStats,
 	}
 	FinishRun(rec, res, m, false)
 	return res, nil

@@ -36,13 +36,27 @@ type Engine struct{}
 // Name implements common.Engine.
 func (Engine) Name() string { return "GPOP" }
 
-// Run executes the GPOP-like framework PageRank.
-func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
-	return common.RunObliviousPartitionEngine(g, o, common.ObliviousPartitionConfig{
+func config() common.ObliviousPartitionConfig {
+	return common.ObliviousPartitionConfig{
 		Name:                   "GPOP",
 		DefaultThreads:         func(m *machine.Machine) int { return m.PhysicalCores() },
 		DefaultPartitionBytes:  1 << 20,
 		ExtraBytesPerPartition: PartitionStateBytes,
 		ExtraCyclesPerEdge:     FrameworkCyclesPerEdge,
-	})
+	}
+}
+
+// Run executes the GPOP-like framework PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunObliviousPartitionEngine(g, o, config())
+}
+
+// Prepare builds the flat partition + layout artifact.
+func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
+	return common.PrepareOblivious(g, o, config())
+}
+
+// Exec runs the FCFS iterative phase against a Prepared artifact.
+func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, error) {
+	return common.ExecOblivious(prep, o, config())
 }

@@ -14,6 +14,12 @@
 //     iterative scatter-gather loop, synchronising at phase barriers. All
 //     logical cores are usable because each thread's working set is a
 //     quarter of the L2, so hyper-thread siblings co-reside (§3.3, §4.5).
+//
+// The lifecycle is two-phase: Prepare builds the node-level hierarchy and
+// compressed layout (the §4.2 overhead, reusable across thread counts
+// because the thread-dependent group stage is recomputed by Exec via
+// partition.Regroup), Exec runs the pinned iterative phase, and Run is
+// their composition.
 package hipa
 
 import (
@@ -36,8 +42,30 @@ type Engine struct{}
 // Name implements common.Engine.
 func (Engine) Name() string { return "HiPa" }
 
-// Run executes PageRank on g with HiPa's hierarchical partitioning.
-func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+// roundThreads returns HiPa's effective thread count for the requested one:
+// at least one thread per NUMA node (one group list per node), rounded down
+// to a node multiple, like the paper's per-node thread split.
+func roundThreads(requested, nodes int) (threads, groupsPerNode int) {
+	threads = requested
+	if threads < nodes {
+		threads = nodes
+	}
+	groupsPerNode = threads / nodes
+	return groupsPerNode * nodes, groupsPerNode
+}
+
+// Run executes PageRank on g with HiPa's hierarchical partitioning:
+// Prepare followed by Exec.
+func (e Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.PrepareAndExec(e, g, o)
+}
+
+// Prepare builds HiPa's preprocessing artifact: the node-level hierarchical
+// partitioning (level 0 cache-able partitions + level 1 NUMA assignment)
+// and the compressed inter-edge layout. The thread-dependent group level is
+// left to Exec, so one artifact serves every thread count on the same
+// machine topology.
+func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
 	if o.Machine == nil {
 		o.Machine = machine.SkylakeSilver4210()
 	}
@@ -49,16 +77,91 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 	if g.NumVertices() == 0 {
 		return nil, fmt.Errorf("hipa: empty graph")
 	}
+	nodes := m.NUMANodes
+	threads, _ := roundThreads(o.Threads, nodes)
+	if threads > m.LogicalCores() {
+		return nil, fmt.Errorf("hipa: %d threads exceed the machine's %d logical cores", threads, m.LogicalCores())
+	}
+	rec := o.Obs
+	runner := common.RunnerLane(threads)
+	key := common.PrepKey{
+		Kind:           common.PrepPartition,
+		PartitionBytes: o.PartitionBytes,
+		Compress:       !o.NoCompress,
+		VertexBalanced: o.VertexBalanced,
+		Nodes:          nodes,
+	}
+	prep, err := common.MakePrepared("HiPa", g, m, o, key, func() (any, error) {
+		tr := rec.T()
+		partStart := time.Now()
+		hier, err := partition.Build(g, partition.Config{
+			PartitionBytes: o.PartitionBytes,
+			BytesPerVertex: 4,
+			NumNodes:       nodes,
+			GroupsPerNode:  0, // one group per node; Exec regroups per thread count
+			VertexBalanced: o.VertexBalanced,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("hipa: %w", err)
+		}
+		if tr != nil {
+			tr.Span(runner, common.SpanPrepPartition, -1, partStart)
+		}
+		layStart := time.Now()
+		lay, err := layout.Build(g, hier, !o.NoCompress)
+		if err != nil {
+			return nil, fmt.Errorf("hipa: %w", err)
+		}
+		if tr != nil {
+			tr.Span(runner, common.SpanPrepLayout, -1, layStart)
+		}
+		return &common.PartArtifact{Hier: hier, Lay: lay, Inv: common.InvOutDegrees(g)}, nil
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	rec.C().Add("partition.partitions", int64(prep.Partition().Hier.NumPartitions()))
+	rec.C().Add("layout.messages", int64(prep.Partition().Lay.NumMessages()))
+	return prep, nil
+}
+
+// Exec runs HiPa's pinned iterative phase (Algorithm 2) against a Prepared
+// artifact: the thread-count-dependent group level is recomputed on the
+// artifact's node-level split, then persistent pinned threads run the
+// scatter-gather loop. Safe for concurrent calls sharing one artifact.
+func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, error) {
+	if err := prep.CheckExec("HiPa", common.PrepPartition); err != nil {
+		return nil, err
+	}
+	if o.Machine == nil {
+		o.Machine = prep.Machine()
+	}
+	m := o.Machine
+	if o.PartitionBytes == 0 {
+		o.PartitionBytes = prep.Key().PartitionBytes
+	}
+	o = o.WithDefaults(m.LogicalCores())
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if o.PartitionBytes != prep.Key().PartitionBytes {
+		return nil, fmt.Errorf("hipa: artifact was prepared with %dB partitions, not %dB", prep.Key().PartitionBytes, o.PartitionBytes)
+	}
+	if !o.NoCompress != prep.Key().Compress {
+		return nil, fmt.Errorf("hipa: artifact compression does not match NoCompress=%v", o.NoCompress)
+	}
+	if o.VertexBalanced != prep.Key().VertexBalanced {
+		return nil, fmt.Errorf("hipa: artifact was prepared with VertexBalanced=%v", prep.Key().VertexBalanced)
+	}
+	if m.NUMANodes != prep.Key().Nodes {
+		return nil, fmt.Errorf("hipa: artifact was prepared for %d NUMA nodes, machine has %d", prep.Key().Nodes, m.NUMANodes)
+	}
+	g := prep.Graph()
 
 	// Thread count must be a multiple of the node count (one group list per
 	// node); round down like the paper's per-node thread split.
 	nodes := m.NUMANodes
-	threads := o.Threads
-	if threads < nodes {
-		threads = nodes
-	}
-	groupsPerNode := threads / nodes
-	threads = groupsPerNode * nodes
+	threads, groupsPerNode := roundThreads(o.Threads, nodes)
 	if threads > m.LogicalCores() {
 		return nil, fmt.Errorf("hipa: %d threads exceed the machine's %d logical cores", threads, m.LogicalCores())
 	}
@@ -66,39 +169,19 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 	rec := o.Obs
 	tr := rec.T()
 	common.RecordGraphCounters(rec.C(), g.NumVertices(), g.NumEdges())
+	if threads != o.Threads {
+		// The silent adjustment, made visible (see Options.Threads).
+		rec.C().Set("hipa.threads.requested", float64(o.Threads))
+		rec.C().Set("hipa.threads.effective", float64(threads))
+	}
 	runner := common.RunnerLane(threads)
 
-	// Preprocessing: hierarchical partitioning + layout construction. This
-	// is the overhead the paper amortises over iterations (§4.2).
-	stopPrep := rec.C().Phase(common.PhasePrep)
-	prepStart := time.Now()
-	hier, err := partition.Build(g, partition.Config{
-		PartitionBytes: o.PartitionBytes,
-		BytesPerVertex: 4,
-		NumNodes:       nodes,
-		GroupsPerNode:  groupsPerNode,
-		VertexBalanced: o.VertexBalanced,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("hipa: %w", err)
-	}
-	if tr != nil {
-		tr.Span(runner, common.SpanPrepPartition, -1, prepStart)
-	}
-	layStart := time.Now()
-	lay, err := layout.Build(g, hier, !o.NoCompress)
-	if err != nil {
-		return nil, fmt.Errorf("hipa: %w", err)
-	}
-	if tr != nil {
-		tr.Span(runner, common.SpanPrepLayout, -1, layStart)
-	}
+	// Cache-aware group level on top of the artifact's node-level split —
+	// identical to building the full hierarchy at this thread count, but
+	// O(partitions) instead of O(V + E).
+	hier := partition.Regroup(prep.Partition().Hier, groupsPerNode)
 	lookup := partition.BuildLookup(hier)
-	prep := time.Since(prepStart)
-	stopPrep()
-	rec.C().Add("partition.partitions", int64(hier.NumPartitions()))
 	rec.C().Add("partition.groups", int64(len(hier.Groups)))
-	rec.C().Add("layout.messages", int64(lay.NumMessages()))
 
 	// Simulated scheduling: persistent threads spawned once and pinned
 	// (Algorithm 2). At most `threads` migrations can occur.
@@ -110,7 +193,7 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 	common.SetPinnedLanes(tr, pool, m)
 
 	// Real parallel execution.
-	state := common.NewSGState(g, hier, lay, o.Damping, threads)
+	state := common.NewSGStateWithInv(g, hier, prep.Partition().Lay, prep.Partition().Inv, o.Damping, threads)
 	stopRun := rec.C().Phase(common.PhaseRun)
 	wallStart := time.Now()
 	if o.FCFS {
@@ -200,7 +283,7 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 		slack = common.FCFSWorkingSetSlack
 	}
 	costs, barriers, err := common.BuildPartitionModel(common.PartitionModelSpec{
-		Machine: m, Hier: hier, Lay: lay, Lookup: lookup,
+		Machine: m, Hier: hier, Lay: prep.Partition().Lay, Lookup: lookup,
 		ThreadNode: threadNode, ThreadShared: threadShared,
 		PartThread:      partThread,
 		NUMAAware:       true,
@@ -222,14 +305,16 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 	}
 
 	res := &common.Result{
-		Engine:      "HiPa",
-		Ranks:       state.Ranks,
-		Iterations:  o.Iterations,
-		Threads:     threads,
-		WallSeconds: wall.Seconds(),
-		PrepSeconds: prep.Seconds(),
-		Model:       rep,
-		Sched:       schedStats,
+		Engine:           "HiPa",
+		Ranks:            state.Ranks,
+		Iterations:       o.Iterations,
+		Threads:          threads,
+		WallSeconds:      wall.Seconds(),
+		PrepSeconds:      prep.PrepSeconds,
+		PrepBuildSeconds: prep.BuildSeconds,
+		PrepFromCache:    prep.FromCache,
+		Model:            rep,
+		Sched:            schedStats,
 	}
 	// Algorithm 2 binds once at spawn, so per-iteration migration
 	// attribution charges iteration 0 — also for the FCFS ablation, which

@@ -40,9 +40,8 @@ type Engine struct{}
 // Name implements common.Engine.
 func (Engine) Name() string { return "Polymer" }
 
-// Run executes the NUMA-aware vertex-centric framework PageRank.
-func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
-	return common.RunVertexEngine(g, o, common.VertexEngineConfig{
+func config() common.VertexEngineConfig {
+	return common.VertexEngineConfig{
 		Name:                   "Polymer",
 		DefaultThreads:         func(m *machine.Machine) int { return m.LogicalCores() },
 		NUMAAware:              true,
@@ -51,5 +50,22 @@ func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 		SpatialReuseFactor:     SpatialReuseFactor,
 		BoundaryRemoteFraction: BoundaryRemoteFraction,
 		AtomicUpdates:          true,
-	})
+	}
+}
+
+// Run executes the NUMA-aware vertex-centric framework PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunVertexEngine(g, o, config())
+}
+
+// Prepare builds the transpose + degree artifact (shared with v-PR: the
+// artifact is machine- and thread-independent, so the two vertex-centric
+// engines reuse one cache entry per graph).
+func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
+	return common.PrepareVertex(g, o, config())
+}
+
+// Exec runs the pull iterative phase against a Prepared artifact.
+func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, error) {
+	return common.ExecVertex(prep, o, config())
 }

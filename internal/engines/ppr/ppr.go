@@ -18,13 +18,27 @@ type Engine struct{}
 // Name implements common.Engine.
 func (Engine) Name() string { return "p-PR" }
 
-// Run executes NUMA-oblivious partition-centric PageRank.
-func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
-	return common.RunObliviousPartitionEngine(g, o, common.ObliviousPartitionConfig{
+func config() common.ObliviousPartitionConfig {
+	return common.ObliviousPartitionConfig{
 		Name: "p-PR",
 		// The paper tunes p-PR to half the logical cores (§4.1): using all
 		// 40 would double L2 contention (§3.3.1).
 		DefaultThreads:        func(m *machine.Machine) int { return m.PhysicalCores() },
 		DefaultPartitionBytes: 256 << 10,
-	})
+	}
+}
+
+// Run executes NUMA-oblivious partition-centric PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunObliviousPartitionEngine(g, o, config())
+}
+
+// Prepare builds the flat partition + layout artifact.
+func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
+	return common.PrepareOblivious(g, o, config())
+}
+
+// Exec runs the FCFS iterative phase against a Prepared artifact.
+func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, error) {
+	return common.ExecOblivious(prep, o, config())
 }

@@ -18,10 +18,24 @@ type Engine struct{}
 // Name implements common.Engine.
 func (Engine) Name() string { return "v-PR" }
 
-// Run executes pull-based vertex-centric PageRank.
-func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
-	return common.RunVertexEngine(g, o, common.VertexEngineConfig{
+func config() common.VertexEngineConfig {
+	return common.VertexEngineConfig{
 		Name:           "v-PR",
 		DefaultThreads: func(m *machine.Machine) int { return m.LogicalCores() },
-	})
+	}
+}
+
+// Run executes pull-based vertex-centric PageRank.
+func (Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
+	return common.RunVertexEngine(g, o, config())
+}
+
+// Prepare builds the transpose + degree artifact (shared with Polymer).
+func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
+	return common.PrepareVertex(g, o, config())
+}
+
+// Exec runs the pull iterative phase against a Prepared artifact.
+func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, error) {
+	return common.ExecVertex(prep, o, config())
 }

@@ -131,12 +131,16 @@ func Table2(cfg *Config) ([]Table2Row, *Table, error) {
 
 // ---------------------------------------------------------------- Overhead
 
-// OverheadRow reports preprocessing cost and amortization (§4.2).
+// OverheadRow reports preprocessing cost and amortization (§4.2), cold and
+// cached: PrepSeconds is the one-time artifact build, PrepCachedSeconds the
+// artifact-fetch cost when a primed PrepCache serves a later query on the
+// same graph — the "serve many PageRank queries" workload.
 type OverheadRow struct {
-	Dataset       string
-	PrepSeconds   float64 // real preprocessing wall time
-	PerIteration  float64 // real per-iteration wall time
-	AmortizeIters float64 // prep / per-iteration
+	Dataset           string
+	PrepSeconds       float64 // cold preprocessing wall time
+	PrepCachedSeconds float64 // artifact fetch from a primed cache
+	PerIteration      float64 // real per-iteration wall time
+	AmortizeIters     float64 // cold prep / per-iteration
 }
 
 // Overhead regenerates the §4.2 preprocessing-overhead analysis for HiPa.
@@ -147,30 +151,54 @@ func Overhead(cfg *Config) ([]OverheadRow, *Table, error) {
 	}
 	t := &Table{
 		Title:  "Preprocessing overhead of HiPa (§4.2, real wall time on host)",
-		Header: []string{"graph", "prep(s)", "per-iter(s)", "amortized-by(iters)"},
-		Notes:  []string{"the paper reports amortization by ~12.7 iterations on average"},
+		Header: []string{"graph", "prep-cold(s)", "prep-cached(s)", "per-iter(s)", "amortized-by(iters)"},
+		Notes: []string{
+			"the paper reports amortization by ~12.7 iterations on average",
+			"prep-cached is the artifact-fetch cost once a PrepCache is primed (prepare-once / exec-many serving)",
+		},
 	}
+	e := hipa.Engine{}
 	var rows []OverheadRow
 	for _, name := range cfg.DatasetNames() {
 		g, err := cfg.Graph(name)
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := (hipa.Engine{}).Run(g, cfg.PaperOptions("hipa", m))
+		o := cfg.PaperOptions("hipa", m)
+
+		// Cold build: bypass the cache so the full §4.2 overhead is paid.
+		cold := o
+		cold.PrepCache = nil
+		coldPrep, err := e.Prepare(g, cold)
 		if err != nil {
 			return nil, nil, err
 		}
+		// Cached fetch: prime the config's cache, then measure a reuse.
+		if _, err := e.Prepare(g, o); err != nil {
+			return nil, nil, err
+		}
+		warmPrep, err := e.Prepare(g, o)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := e.Exec(warmPrep, o)
+		if err != nil {
+			return nil, nil, err
+		}
+
 		perIter := res.WallSeconds / float64(res.Iterations)
 		row := OverheadRow{
-			Dataset:      name,
-			PrepSeconds:  res.PrepSeconds,
-			PerIteration: perIter,
+			Dataset:           name,
+			PrepSeconds:       coldPrep.PrepSeconds,
+			PrepCachedSeconds: warmPrep.PrepSeconds,
+			PerIteration:      perIter,
 		}
 		if perIter > 0 {
-			row.AmortizeIters = res.PrepSeconds / perIter
+			row.AmortizeIters = row.PrepSeconds / perIter
 		}
 		rows = append(rows, row)
 		t.Rows = append(t.Rows, []string{name, fmt.Sprintf("%.4f", row.PrepSeconds),
+			fmt.Sprintf("%.4f", row.PrepCachedSeconds),
 			fmt.Sprintf("%.4f", row.PerIteration), fmt.Sprintf("%.1f", row.AmortizeIters)})
 	}
 	return rows, t, nil

@@ -47,6 +47,11 @@ type Config struct {
 	Datasets []string
 	// SchedSeed seeds the simulated OS scheduler.
 	SchedSeed uint64
+	// Prep is the shared preprocessing-artifact cache threaded into every
+	// engine run via PaperOptions, so sweep experiments (Fig. 6's thread
+	// counts, Fig. 7's partition sizes, Table 2's grid) build each (graph,
+	// partition-size) artifact exactly once. nil disables reuse.
+	Prep *common.PrepCache
 
 	mu    sync.Mutex
 	cache map[string]*graph.Graph
@@ -59,6 +64,7 @@ func NewConfig() *Config {
 		Divisor:    gen.DefaultDivisor,
 		Iterations: common.DefaultIterations,
 		SchedSeed:  0xC0FFEE,
+		Prep:       common.NewPrepCache(64),
 	}
 }
 
@@ -130,6 +136,7 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 		Machine:    m,
 		Iterations: c.Iterations,
 		SchedSeed:  c.SchedSeed,
+		PrepCache:  c.Prep,
 	}
 	switch strings.ToLower(engineName) {
 	case "hipa":

@@ -350,6 +350,32 @@ func TestOverheadAmortization(t *testing.T) {
 	if r.AmortizeIters <= 0 {
 		t.Errorf("amortization not computed: %+v", r)
 	}
+	if r.PrepCachedSeconds <= 0 {
+		t.Errorf("cached prep time not measured: %+v", r)
+	}
+}
+
+// TestFig6PrepCacheReuse: across Fig. 6's 5-engine × 7-thread-count sweep,
+// the shared prep cache builds each artifact exactly once — one per
+// partition-centric engine configuration (HiPa, p-PR, GPOP) plus one vertex
+// artifact shared by v-PR and Polymer. The other 31 runs are hits, because
+// thread count is not part of the artifact key.
+func TestFig6PrepCacheReuse(t *testing.T) {
+	cfg := testConfig()
+	if _, _, err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := cfg.Prep.Stats()
+	if s.Misses != 4 {
+		t.Errorf("artifact builds = %d, want 4 (thread sweep must reuse)", s.Misses)
+	}
+	runs := int64(5 * len(Fig6ThreadCounts))
+	if s.Hits != runs-4 {
+		t.Errorf("hits = %d, want %d", s.Hits, runs-4)
+	}
+	if s.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", s.Evictions)
+	}
 }
 
 func TestSingleNodeExperiment(t *testing.T) {

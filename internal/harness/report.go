@@ -27,7 +27,12 @@ type RunReport struct {
 	Machine    string `json:"machine,omitempty"`
 
 	WallSeconds float64 `json:"wall_seconds"`
-	PrepSeconds float64 `json:"prep_seconds"`
+	// PrepSeconds is this run's artifact-acquisition wall time; on a prep-
+	// cache hit it is the fetch cost, and PrepBuildSeconds keeps the cold
+	// construction cost of the artifact served.
+	PrepSeconds      float64 `json:"prep_seconds"`
+	PrepBuildSeconds float64 `json:"prep_build_seconds"`
+	PrepFromCache    bool    `json:"prep_from_cache,omitempty"`
 
 	Model *perfmodel.Report `json:"model,omitempty"`
 	Sched sched.Stats       `json:"sched"`
@@ -44,14 +49,16 @@ type RunReport struct {
 // un-instrumented runs still carry the scalar fields).
 func NewRunReport(g *graph.Graph, m *machine.Machine, res *common.Result, rec *obs.Recorder) *RunReport {
 	r := &RunReport{
-		Engine:      res.Engine,
-		Threads:     res.Threads,
-		Iterations:  res.Iterations,
-		WallSeconds: res.WallSeconds,
-		PrepSeconds: res.PrepSeconds,
-		Model:       res.Model,
-		Sched:       res.Sched,
-		Iters:       res.Iters,
+		Engine:           res.Engine,
+		Threads:          res.Threads,
+		Iterations:       res.Iterations,
+		WallSeconds:      res.WallSeconds,
+		PrepSeconds:      res.PrepSeconds,
+		PrepBuildSeconds: res.PrepBuildSeconds,
+		PrepFromCache:    res.PrepFromCache,
+		Model:            res.Model,
+		Sched:            res.Sched,
+		Iters:            res.Iters,
 	}
 	if g != nil {
 		r.Vertices = g.NumVertices()

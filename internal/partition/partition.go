@@ -250,6 +250,30 @@ func assignGroups(parts []Partition, nodes []NodeAssignment, groupsPerNode int) 
 	return out
 }
 
+// Regroup returns a copy of h with the cache-aware group level (level 2)
+// recomputed for groupsPerNode thread groups per node, sharing the partition
+// and node levels with h — they depend only on the partition size and the
+// node count, not on the thread count, which is what makes a node-level
+// Hierarchy reusable across thread-count sweeps. The shared levels must be
+// treated as immutable by the caller. groupsPerNode 0 means one group per
+// node, as in Build.
+func Regroup(h *Hierarchy, groupsPerNode int) *Hierarchy {
+	nh := *h
+	nh.Config.GroupsPerNode = groupsPerNode
+	nh.Groups = nil
+	if groupsPerNode > 0 {
+		nh.Groups = assignGroups(h.Partitions, h.Nodes, groupsPerNode)
+	} else {
+		for _, na := range h.Nodes {
+			nh.Groups = append(nh.Groups, Group{
+				Node: na.Node, IndexInNode: 0, ThreadID: na.Node,
+				PartStart: na.PartStart, PartEnd: na.PartEnd, EdgeCount: na.EdgeCount,
+			})
+		}
+	}
+	return &nh
+}
+
 // NumPartitions returns the total partition count.
 func (h *Hierarchy) NumPartitions() int { return len(h.Partitions) }
 

@@ -402,3 +402,42 @@ func TestPropertyLastGroupAbsorbsLeftovers(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRegroupMatchesBuild: Regroup on a node-level hierarchy (GroupsPerNode
+// 0) must reproduce exactly what a full Build with that group count
+// produces — this is what lets the two-phase engine lifecycle cache the
+// thread-independent levels and recompute only the group stage per Exec.
+func TestRegroupMatchesBuild(t *testing.T) {
+	g := degGraph(t, 200)
+	base, err := Build(g, smallConfig(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gpn := range []int{1, 2, 3, 5} {
+		full, err := Build(g, smallConfig(2, gpn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := Regroup(base, gpn)
+		if err := re.Validate(); err != nil {
+			t.Fatalf("gpn=%d: regrouped hierarchy invalid: %v", gpn, err)
+		}
+		if len(re.Groups) != len(full.Groups) {
+			t.Fatalf("gpn=%d: %d groups via Regroup, %d via Build", gpn, len(re.Groups), len(full.Groups))
+		}
+		for i := range full.Groups {
+			if re.Groups[i] != full.Groups[i] {
+				t.Errorf("gpn=%d: group %d = %+v via Regroup, %+v via Build",
+					gpn, i, re.Groups[i], full.Groups[i])
+			}
+		}
+		if re.Config.GroupsPerNode != gpn {
+			t.Errorf("gpn=%d: Config.GroupsPerNode = %d", gpn, re.Config.GroupsPerNode)
+		}
+	}
+	// Regroup must not mutate its input (Build at GroupsPerNode 0 emits one
+	// group per node; those must survive untouched).
+	if base.Config.GroupsPerNode != 0 || len(base.Groups) != len(base.Nodes) {
+		t.Error("Regroup mutated the base hierarchy")
+	}
+}

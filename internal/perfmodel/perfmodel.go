@@ -221,6 +221,11 @@ type Report struct {
 	// caches; LLCAccesses/(LLCAccesses+RandomDRAMAccesses) approximates the
 	// LLC hit ratio the paper reads from hardware counters.
 	RandomDRAMAccesses int64 `json:"random_dram_accesses"`
+
+	// Iterations echoes the performed (not configured) iteration count the
+	// run was priced for, so tolerance-terminated runs stay auditable
+	// against Result.Iterations and the per-iteration statistics.
+	Iterations int `json:"iterations"`
 }
 
 // LLCHitRatio returns the modelled LLC hit ratio over random accesses.
@@ -265,7 +270,7 @@ func Estimate(r Run) (*Report, error) {
 		totalRemoteDemanders += d
 	}
 
-	rep := &Report{PerThreadSeconds: make([]float64, len(r.Threads))}
+	rep := &Report{PerThreadSeconds: make([]float64, len(r.Threads)), Iterations: r.Iterations}
 	var slowest float64
 	for i, t := range r.Threads {
 		// Compute.
