@@ -341,7 +341,7 @@ func BenchmarkScatterGatherIteration(b *testing.B) {
 	b.SetBytes(g.NumEdges() * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		common.RunFCFS(state, 1, 8, 0, nil)
+		common.RunSupersteps(common.SuperstepConfig{Threads: 8, Iterations: 1}, common.FCFSKernels(state))
 	}
 }
 

@@ -4,8 +4,11 @@
 //
 //	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
-//	          [-repeat N] [-format text|csv|json]
+//	          [-repeat N] [-format text|csv|json] [-platform skylake]
 //
+// -platform picks the execution substrate: skylake or haswell run the full
+// modelled simulation (Table 3 always sweeps both regardless), native runs
+// the engines wall-clock-only, so modelled columns report zero.
 // Experiments share one preprocessing-artifact cache (see Config.Prep), so
 // sweeps reuse each (graph, partition-size) artifact instead of rebuilding
 // it per data point; a cache summary is printed to stderr at exit. -repeat N
@@ -45,6 +48,7 @@ func main() {
 		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation and node-scaling experiments")
 		format   = flag.String("format", "text", "output format: text, csv, or json")
 		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
+		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,15 @@ func main() {
 	cfg.Divisor = *divisor
 	cfg.Iterations = *iters
 	cfg.SchedSeed = *seed
+	switch *pfName {
+	case "native":
+		cfg.Native = true
+	case "skylake", "haswell":
+		cfg.Preset = *pfName
+	default:
+		fmt.Fprintf(os.Stderr, "hipabench: unknown platform %q (want skylake, haswell, or native)\n", *pfName)
+		os.Exit(2)
+	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
 	}

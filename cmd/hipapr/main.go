@@ -4,10 +4,15 @@
 // Usage:
 //
 //	hipapr -graph g.bin [-engine hipa|p-pr|v-pr|gpop|polymer]
-//	       [-iters 20] [-threads 0] [-partition 256K] [-machine skylake]
+//	       [-iters 20] [-threads 0] [-partition 256K] [-platform skylake]
 //	       [-divisor 1] [-top 10] [-verify] [-verify-tol 1e-6]
 //	       [-repeat 1] [-stats s.json] [-trace t.json]
 //
+// -platform selects the execution substrate: a modelled microarchitecture
+// (skylake, haswell — full scheduler/NUMA/cache simulation and a
+// performance report) or native (pure wall-clock execution; modelled
+// metrics are reported as zero, never fabricated, and the native run pays
+// no modelling overhead).
 // -repeat N prepares the engine's preprocessing artifact once and executes
 // the iterative phase N times against it (the prepare-once / query-many
 // serving pattern); the report and printout describe the last execution,
@@ -32,6 +37,7 @@ import (
 	"hipa/internal/harness"
 	"hipa/internal/machine"
 	"hipa/internal/obs"
+	"hipa/internal/platform"
 )
 
 func main() {
@@ -41,7 +47,7 @@ func main() {
 		iters     = flag.Int("iters", 20, "iterations")
 		threads   = flag.Int("threads", 0, "worker threads (0 = engine default)")
 		partition = flag.String("partition", "", "partition size, e.g. 256K or 1M (default: engine default)")
-		preset    = flag.String("machine", "skylake", "machine preset: skylake or haswell")
+		pfName    = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
 		divisor   = flag.Int("divisor", 1, "machine capacity scale divisor (match the graph's)")
 		top       = flag.Int("top", 10, "print the top-K ranked vertices")
 		verify    = flag.Bool("verify", false, "validate against the sequential float64 reference; exit 1 on failure")
@@ -63,9 +69,16 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
-	mk, ok := machine.Presets[*preset]
+	// "native" runs on the default (Skylake) topology for structural
+	// decisions — partitioning, NUMA placement — but skips all modelling.
+	native := *pfName == "native"
+	presetName := *pfName
+	if native {
+		presetName = "skylake"
+	}
+	mk, ok := machine.Presets[presetName]
 	if !ok {
-		fail("unknown machine preset " + *preset)
+		fail("unknown platform " + *pfName + " (want skylake, haswell, or native)")
 	}
 	m := machine.Scaled(mk(), *divisor)
 
@@ -84,21 +97,19 @@ func main() {
 		Damping:    *damping,
 		Obs:        rec,
 	}
+	if native {
+		o.Platform = platform.NewNative(m)
+	}
 	if *partition != "" {
 		pb, err := parseSize(*partition)
 		if err != nil {
 			fail(err.Error())
 		}
 		o.PartitionBytes = pb
-	} else if *divisor > 1 {
-		// Scale the paper's 256KB default with the machine divisor so the
-		// partition-to-cache ratio stays at paper scale.
-		pb := 256 << 10 / *divisor
-		if pb < 16 {
-			pb = 16
-		}
-		o.PartitionBytes = pb
 	}
+	// When -partition is absent the engines derive the size from the scaled
+	// machine's cache geometry (machine.TunedPartitionBytes), which keeps
+	// the partition-to-cache ratio at paper scale for any divisor.
 
 	if *repeat < 1 {
 		fail("-repeat must be >= 1")
@@ -141,9 +152,13 @@ func main() {
 		fmt.Printf("amortized  : %d executions in %.4fs; prep is %.1f%% of total\n",
 			*repeat, execTotal, 100*res.PrepSeconds/(res.PrepSeconds+execTotal))
 	}
-	fmt.Printf("modelled   : %.4fs on %s\n", res.Model.EstimatedSeconds, m)
-	fmt.Printf("memory     : %.2f bytes/edge (%.1f%% remote)\n", res.Model.MApE, 100*res.Model.RemoteFraction)
-	fmt.Printf("scheduler  : %d spawns, %d migrations\n", res.Sched.Spawned, res.Sched.Migrations)
+	if native {
+		fmt.Printf("modelled   : skipped (native platform; wall-clock only)\n")
+	} else {
+		fmt.Printf("modelled   : %.4fs on %s\n", res.Model.EstimatedSeconds, m)
+		fmt.Printf("memory     : %.2f bytes/edge (%.1f%% remote)\n", res.Model.MApE, 100*res.Model.RemoteFraction)
+		fmt.Printf("scheduler  : %d spawns, %d migrations\n", res.Sched.Spawned, res.Sched.Migrations)
+	}
 
 	if *statsPath != "" {
 		if err := harness.NewRunReport(g, m, res, rec).WriteJSONFile(*statsPath); err != nil {

@@ -8,6 +8,7 @@ import (
 	"hipa/internal/engines/ppr"
 	"hipa/internal/engines/vpr"
 	"hipa/internal/graph"
+	"hipa/internal/platform"
 )
 
 // Engine is one PageRank implementation. All five engines compute the same
@@ -24,6 +25,24 @@ type Options = common.Options
 // timings, the simulated-machine performance report (Model), and the
 // simulated scheduler statistics (Sched).
 type Result = common.Result
+
+// Platform is the execution substrate an engine runs on: a modelled
+// microarchitecture (scheduler simulation, NUMA placement, and cost
+// accounting feeding Result.Model) or the pass-through native platform.
+// Set Options.Platform to choose; nil selects the modelled platform of
+// Options.Machine.
+type Platform = platform.Platform
+
+// NewModeledPlatform returns the full-simulation platform for m (nil
+// selects the Skylake testbed).
+func NewModeledPlatform(m *Machine) Platform { return platform.NewModeled(m) }
+
+// NewNativePlatform returns the pass-through platform: engines run as
+// plain parallel Go programs with zero modelling overhead, and every
+// modelled metric in Result.Model is reported as zero — never fabricated.
+// m (nil selects Skylake) still drives structural decisions such as
+// partition sizing.
+func NewNativePlatform(m *Machine) Platform { return platform.NewNative(m) }
 
 // Prepared is an engine's immutable preprocessing artifact — the partition
 // hierarchy and compressed layout for partition-centric engines, the

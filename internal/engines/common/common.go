@@ -27,6 +27,7 @@ import (
 	"hipa/internal/machine"
 	"hipa/internal/obs"
 	"hipa/internal/perfmodel"
+	"hipa/internal/platform"
 	"hipa/internal/sched"
 )
 
@@ -37,12 +38,22 @@ const DefaultIterations = 20
 const DefaultDamping = 0.85
 
 // DefaultPartitionBytes is the paper's tuned partition size on Skylake.
+// Options.PartitionBytes defaults to the machine-derived
+// Machine.TunedPartitionBytes (equal to this constant on the Skylake
+// preset); the constant documents the paper's headline number.
 const DefaultPartitionBytes = 256 << 10
 
 // Options configures an engine run.
 type Options struct {
-	// Machine is the simulated machine; nil selects the Skylake preset.
+	// Machine is the simulated machine; nil selects the Platform's machine,
+	// or the Skylake preset when Platform is also nil. When both Machine and
+	// Platform are set they must agree (Validate rejects a mismatch).
 	Machine *machine.Machine
+	// Platform is the execution substrate (scheduling simulation, NUMA
+	// placement, cost accounting). nil derives a modelled platform from
+	// Machine; platform.NewNative gives pure wall-clock runs with all
+	// modelled metrics reported as zero.
+	Platform platform.Platform
 	// Threads is the number of worker threads; 0 selects the engine's paper
 	// default (all 40 logical cores for HiPa/v-PR/Polymer, 20 for p-PR and
 	// GPOP). HiPa needs one group list per NUMA node, so it adjusts the
@@ -92,10 +103,30 @@ type Options struct {
 	Obs *obs.Recorder
 }
 
+// ResolveMachine fills only the Machine field, so engine-specific defaults
+// (which depend on the topology) can be computed before WithDefaults: an
+// explicit Platform supplies its machine, then fallback (an Exec's prepared
+// artifact machine; may be nil), then the Skylake preset.
+func (o Options) ResolveMachine(fallback *machine.Machine) Options {
+	if o.Machine != nil {
+		return o
+	}
+	switch {
+	case o.Platform != nil:
+		o.Machine = o.Platform.Machine()
+	case fallback != nil:
+		o.Machine = fallback
+	default:
+		o.Machine = machine.SkylakeSilver4210()
+	}
+	return o
+}
+
 // WithDefaults fills zero fields. defaultThreads is engine-specific.
 func (o Options) WithDefaults(defaultThreads int) Options {
-	if o.Machine == nil {
-		o.Machine = machine.SkylakeSilver4210()
+	o = o.ResolveMachine(nil)
+	if o.Platform == nil {
+		o.Platform = platform.NewModeled(o.Machine)
 	}
 	if o.Threads == 0 {
 		o.Threads = defaultThreads
@@ -107,7 +138,10 @@ func (o Options) WithDefaults(defaultThreads int) Options {
 		o.Damping = DefaultDamping
 	}
 	if o.PartitionBytes == 0 {
-		o.PartitionBytes = DefaultPartitionBytes
+		// Cache-geometry-derived: the tuned partition size differs between
+		// the Skylake and Haswell presets, so default-option artifacts built
+		// on different machines never collide in a PrepCache.
+		o.PartitionBytes = o.Machine.TunedPartitionBytes()
 	}
 	if o.GoParallelism == 0 {
 		o.GoParallelism = o.Threads
@@ -123,6 +157,10 @@ func (o Options) WithDefaults(defaultThreads int) Options {
 
 // Validate rejects unusable option combinations.
 func (o Options) Validate() error {
+	if o.Platform != nil && o.Machine != nil && o.Platform.Machine() != o.Machine {
+		return fmt.Errorf("engines: Options.Machine does not match Options.Platform's machine (%s vs %s)",
+			o.Machine.Name, o.Platform.Machine().Name)
+	}
 	if o.Threads < 1 {
 		return fmt.Errorf("engines: need at least 1 thread, got %d", o.Threads)
 	}
@@ -165,6 +203,8 @@ type Result struct {
 	PrepFromCache bool
 
 	// Model is the simulated-machine estimate (time, MApE, LLC traffic).
+	// Always non-nil; on a Native platform it is zero-valued apart from
+	// Iterations — modelled metrics are reported as zero, not fabricated.
 	Model *perfmodel.Report
 	// Sched is the simulated scheduler activity (spawns, migrations).
 	Sched sched.Stats

@@ -8,11 +8,6 @@ import (
 
 	"hipa/internal/gen"
 	"hipa/internal/graph"
-	"hipa/internal/layout"
-	"hipa/internal/machine"
-	"hipa/internal/partition"
-	"hipa/internal/perfmodel"
-	"hipa/internal/sched"
 )
 
 func TestOptionsDefaults(t *testing.T) {
@@ -222,183 +217,5 @@ func TestMaxAbsDiffLengthMismatch(t *testing.T) {
 		if !math.IsInf(d, 1) {
 			t.Errorf("MaxAbsDiff(len %d, len %d) = %v, want +Inf", len(pair[0]), len(pair[1]), d)
 		}
-	}
-}
-
-func TestThreadPlacement(t *testing.T) {
-	m := machine.SkylakeSilver4210()
-	s := sched.New(m, 1)
-	pool, _, err := s.RunPinnedThreads(40)
-	if err != nil {
-		t.Fatal(err)
-	}
-	nodes, shared := ThreadPlacement(pool, m)
-	n0 := 0
-	for i := range nodes {
-		if nodes[i] == 0 {
-			n0++
-		}
-		if !shared[i] {
-			t.Fatalf("40 threads on 20 physical cores: thread %d should be HT-shared", i)
-		}
-	}
-	if n0 != 20 {
-		t.Fatalf("node 0 threads = %d, want 20", n0)
-	}
-
-	s2 := sched.New(m, 2)
-	pool2, _, err := s2.RunPinnedThreads(20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, shared2 := ThreadPlacement(pool2, m)
-	for i := range shared2 {
-		if shared2[i] {
-			t.Fatalf("20 pinned threads spread over physical cores: thread %d should not share", i)
-		}
-	}
-}
-
-func buildModelFixture(t *testing.T) (*graph.Graph, *partition.Hierarchy, *layout.Layout, *partition.LookupTable) {
-	t.Helper()
-	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 2048, Edges: 30000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 12})
-	if err != nil {
-		t.Fatal(err)
-	}
-	h, err := partition.Build(g, partition.Config{PartitionBytes: 512, BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	l, err := layout.Build(g, h, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return g, h, l, partition.BuildLookup(h)
-}
-
-func TestBuildPartitionModelNUMAAwareLessRemote(t *testing.T) {
-	g, h, l, lt := buildModelFixture(t)
-	_ = g
-	m := machine.SkylakeSilver4210()
-	nThreads := len(h.Groups)
-	nodes := make([]int, nThreads)
-	shareds := make([]bool, nThreads)
-	for i, gr := range h.Groups {
-		nodes[i] = gr.Node
-	}
-	spec := PartitionModelSpec{
-		Machine: m, Hier: h, Lay: l, Lookup: lt,
-		ThreadNode: nodes, ThreadShared: shareds,
-		PartThread: lt.PartThread,
-		NUMAAware:  true, Iterations: 10,
-	}
-	costsAware, barriers, err := BuildPartitionModel(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if barriers != 30 {
-		t.Errorf("barriers = %d, want 30", barriers)
-	}
-	spec.NUMAAware = false
-	costsObliv, _, err := BuildPartitionModel(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sum := func(cs []perfmodel.ThreadCost) (local, remote int64) {
-		for _, c := range cs {
-			local += c.StreamLocalBytes
-			remote += c.StreamRemoteBytes
-		}
-		return
-	}
-	la, ra := sum(costsAware)
-	lo, ro := sum(costsObliv)
-	fa := float64(ra) / float64(la+ra)
-	fo := float64(ro) / float64(lo+ro)
-	if fa >= fo {
-		t.Fatalf("NUMA-aware remote fraction %.3f should be below oblivious %.3f", fa, fo)
-	}
-	// The paper's headline: oblivious partition-centric ~49% remote,
-	// HiPa ~14%. Loose sanity bounds here.
-	if fo < 0.3 {
-		t.Errorf("oblivious remote fraction %.3f unexpectedly low", fo)
-	}
-	if fa > 0.35 {
-		t.Errorf("aware remote fraction %.3f unexpectedly high", fa)
-	}
-}
-
-func TestBuildPartitionModelErrors(t *testing.T) {
-	_, h, l, lt := buildModelFixture(t)
-	m := machine.SkylakeSilver4210()
-	if _, _, err := BuildPartitionModel(PartitionModelSpec{Machine: m, Hier: h, Lay: l, Lookup: lt, PartThread: lt.PartThread}); err == nil {
-		t.Error("expected error for no threads")
-	}
-	if _, _, err := BuildPartitionModel(PartitionModelSpec{
-		Machine: m, Hier: h, Lay: l, Lookup: lt,
-		ThreadNode: []int{0}, ThreadShared: []bool{false},
-		PartThread: []int32{0, 1},
-	}); err == nil {
-		t.Error("expected error for PartThread size mismatch")
-	}
-}
-
-func TestBuildVertexModelLocalityContrast(t *testing.T) {
-	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 4096, Edges: 50000, OutAlpha: 2.0, InAlpha: 1.0, Seed: 13})
-	if err != nil {
-		t.Fatal(err)
-	}
-	g.BuildIn()
-	// Scale the machine so the rank array (16KB) exceeds the LLC and real
-	// DRAM misses appear.
-	m := machine.Scaled(machine.SkylakeSilver4210(), 4096)
-	threads := 8
-	bounds := SplitByWeight(g.InOffsets(), threads)
-	nodes := make([]int, threads)
-	shared := make([]bool, threads)
-	for i := range nodes {
-		nodes[i] = i * 2 / threads
-	}
-	spec := VertexModelSpec{
-		Machine: m, G: g, ThreadNode: nodes, ThreadShared: shared,
-		Bounds: bounds, Iterations: 5,
-	}
-	costsObliv, barriers, err := BuildVertexModel(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if barriers != 10 {
-		t.Errorf("barriers = %d, want 10", barriers)
-	}
-	spec.NUMAAware = true
-	costsAware, _, err := BuildVertexModel(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	remFrac := func(cs []perfmodel.ThreadCost) float64 {
-		var loc, rem int64
-		for _, c := range cs {
-			loc += c.StreamLocalBytes + c.RandomLocal*64
-			rem += c.StreamRemoteBytes + c.RandomRemote*64
-		}
-		return float64(rem) / float64(loc+rem)
-	}
-	if remFrac(costsAware) >= remFrac(costsObliv) {
-		t.Fatalf("NUMA-aware vertex engine should have lower remote fraction: %.3f vs %.3f",
-			remFrac(costsAware), remFrac(costsObliv))
-	}
-}
-
-func TestBuildVertexModelErrors(t *testing.T) {
-	g, _ := gen.Uniform(100, 500, 1)
-	m := machine.SkylakeSilver4210()
-	if _, _, err := BuildVertexModel(VertexModelSpec{Machine: m, G: g}); err == nil {
-		t.Error("expected error for empty spec")
-	}
-	if _, _, err := BuildVertexModel(VertexModelSpec{
-		Machine: m, G: g, ThreadNode: []int{0}, ThreadShared: []bool{false}, Bounds: []int{0, 100},
-		Iterations: 1,
-	}); err == nil {
-		t.Error("expected error for missing in-edges")
 	}
 }

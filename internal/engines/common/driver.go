@@ -1,0 +1,173 @@
+package common
+
+import (
+	"sync/atomic"
+	"time"
+
+	"hipa/internal/obs"
+	"hipa/internal/partition"
+)
+
+// PhaseKernels are the engine-specific bodies of one superstep. The driver
+// owns everything else: phase fan-out, the serial sections between phases,
+// convergence checking, and telemetry. Scatter and Gather run on every
+// worker (tid in [0,threads)); the rest run serially between phases.
+//
+// Vertex-centric engines map their contribution pass to Scatter and their
+// pull pass to Gather, so traces from all five engines line up.
+type PhaseKernels struct {
+	// StartIteration, when non-nil, runs serially before each iteration's
+	// scatter phase (FCFS engines reset their claim counter here).
+	StartIteration func(it int)
+	// Scatter is the first parallel phase of an iteration.
+	Scatter func(tid int)
+	// Reduce folds the per-thread dangling partials between the phases.
+	Reduce func()
+	// Gather is the second parallel phase.
+	Gather func(tid int)
+	// Residual folds and resets the per-thread L∞ rank-change partials.
+	// Called only when convergence checking or telemetry needs it.
+	Residual func() float64
+	// DanglingMass returns the dangling mass folded by the last Reduce, for
+	// per-iteration statistics.
+	DanglingMass func() float64
+}
+
+// SuperstepConfig parameterises RunSupersteps.
+type SuperstepConfig struct {
+	// Threads is the logical worker count (tid space).
+	Threads int
+	// Parallelism caps the real goroutines executing a phase
+	// (Options.GoParallelism); <= 0 or >= Threads runs one goroutine per
+	// tid.
+	Parallelism int
+	// Iterations is the requested iteration count.
+	Iterations int
+	// Tolerance > 0 enables convergence-based early termination on the
+	// folded residual.
+	Tolerance float64
+	// Rec receives per-iteration statistics and phase spans; nil disables
+	// all instrumentation.
+	Rec *obs.Recorder
+}
+
+// RunSupersteps is the single superstep driver behind all five engines: it
+// runs scatter → reduce → gather → apply for up to cfg.Iterations
+// iterations, with the convergence check, span recording, and per-iteration
+// statistics in one place. Returns the number of iterations performed.
+func RunSupersteps(cfg SuperstepConfig, k PhaseKernels) int {
+	rec := cfg.Rec
+	tr := rec.T()
+	runner := RunnerLane(cfg.Threads)
+	needResidual := cfg.Tolerance > 0 || rec != nil
+	performed := 0
+	for it := 0; it < cfg.Iterations; it++ {
+		performed++
+		var itStart time.Time
+		if rec != nil {
+			itStart = time.Now()
+		}
+		if k.StartIteration != nil {
+			k.StartIteration(it)
+		}
+		runPhase(cfg, tr, SpanScatter, it, k.Scatter)
+		var serialStart time.Time
+		if tr != nil {
+			serialStart = time.Now()
+		}
+		k.Reduce()
+		if tr != nil {
+			tr.Span(runner, SpanReduce, it, serialStart)
+		}
+		runPhase(cfg, tr, SpanGather, it, k.Gather)
+		if !needResidual {
+			continue
+		}
+		if tr != nil {
+			serialStart = time.Now()
+		}
+		res := k.Residual()
+		if tr != nil {
+			tr.Span(runner, SpanApply, it, serialStart)
+		}
+		if rec != nil {
+			rec.RecordIteration(obs.IterationStats{
+				Iter:         it,
+				WallSeconds:  time.Since(itStart).Seconds(),
+				Residual:     res,
+				DanglingMass: k.DanglingMass(),
+			})
+		}
+		if cfg.Tolerance > 0 && res < cfg.Tolerance {
+			break
+		}
+	}
+	return performed
+}
+
+// runPhase fans one parallel phase out over the worker tids, recording one
+// span per worker.
+func runPhase(cfg SuperstepConfig, tr *obs.Trace, span string, it int, fn func(tid int)) {
+	RunThreadsCapped(cfg.Threads, cfg.Parallelism, func(tid int) {
+		var spanStart time.Time
+		if tr != nil {
+			spanStart = time.Now()
+		}
+		fn(tid)
+		if tr != nil {
+			tr.Span(tid, span, it, spanStart)
+		}
+	})
+}
+
+// FCFSKernels are the phase kernels of the NUMA-oblivious scatter-gather
+// engines (Algorithm 1): partitions are claimed first-come-first-serve from
+// a shared atomic counter, the execution style of p-PR and GPOP (and HiPa's
+// FCFS ablation).
+func FCFSKernels(s *SGState) PhaseKernels {
+	P := s.Hier.NumPartitions()
+	var next atomic.Int64
+	claim := func(tid int, phase func(p, tid int)) {
+		for {
+			p := int(next.Add(1)) - 1
+			if p >= P {
+				return
+			}
+			phase(p, tid)
+		}
+	}
+	return PhaseKernels{
+		StartIteration: func(int) { next.Store(0) },
+		Scatter:        func(tid int) { claim(tid, s.ScatterPartition) },
+		Reduce: func() {
+			s.ReduceDangling()
+			next.Store(0)
+		},
+		Gather:       func(tid int) { claim(tid, s.GatherPartition) },
+		Residual:     s.MaxResidual,
+		DanglingMass: s.LastDanglingMass,
+	}
+}
+
+// PinnedKernels are the phase kernels of HiPa's pinned execution
+// (Algorithm 2): thread tid processes exactly the partitions of its group,
+// every iteration — the one-to-many thread-data mapping.
+func PinnedKernels(s *SGState, groups []partition.Group) PhaseKernels {
+	return PhaseKernels{
+		Scatter: func(tid int) {
+			gr := groups[tid]
+			for p := gr.PartStart; p < gr.PartEnd; p++ {
+				s.ScatterPartition(p, tid)
+			}
+		},
+		Reduce: s.ReduceDangling,
+		Gather: func(tid int) {
+			gr := groups[tid]
+			for p := gr.PartStart; p < gr.PartEnd; p++ {
+				s.GatherPartition(p, tid)
+			}
+		},
+		Residual:     s.MaxResidual,
+		DanglingMass: s.LastDanglingMass,
+	}
+}

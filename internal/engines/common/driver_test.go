@@ -1,0 +1,106 @@
+package common
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGoParallelismDefaultsToGOMAXPROCS: the documented default —
+// min(Threads, GOMAXPROCS) — must hold regardless of how the process is
+// capped (regression: the FCFS path used to ignore the option entirely, so
+// nothing pinned the resolved value).
+func TestGoParallelismDefaultsToGOMAXPROCS(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	o := Options{}.WithDefaults(40)
+	if o.GoParallelism != 2 {
+		t.Fatalf("GoParallelism = %d, want 2 (GOMAXPROCS) for 40 simulated threads", o.GoParallelism)
+	}
+	o = Options{Threads: 1}.WithDefaults(40)
+	if o.GoParallelism != 1 {
+		t.Fatalf("GoParallelism = %d, want 1 (Threads < GOMAXPROCS)", o.GoParallelism)
+	}
+	o = Options{GoParallelism: 7}.WithDefaults(40)
+	if o.GoParallelism != 7 {
+		t.Fatalf("explicit GoParallelism rewritten to %d, want 7", o.GoParallelism)
+	}
+}
+
+// concurrencyProbe runs fn under RunThreadsCapped and reports the peak
+// number of simultaneously live calls and which tids ran.
+func concurrencyProbe(threads, parallelism int) (peak int64, ran []bool) {
+	var cur, hi atomic.Int64
+	seen := make([]atomic.Bool, threads)
+	RunThreadsCapped(threads, parallelism, func(tid int) {
+		c := cur.Add(1)
+		for {
+			p := hi.Load()
+			if c <= p || hi.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		seen[tid].Store(true)
+		runtime.Gosched()
+		cur.Add(-1)
+	})
+	ran = make([]bool, threads)
+	for i := range seen {
+		ran[i] = seen[i].Load()
+	}
+	return hi.Load(), ran
+}
+
+func TestRunThreadsCappedHighWaterMark(t *testing.T) {
+	const threads = 32
+	for _, par := range []int{1, 2, 4} {
+		peak, ran := concurrencyProbe(threads, par)
+		if peak > int64(par) {
+			t.Errorf("parallelism %d: observed %d concurrent bodies", par, peak)
+		}
+		for tid, ok := range ran {
+			if !ok {
+				t.Errorf("parallelism %d: tid %d never ran", par, tid)
+			}
+		}
+	}
+	// Degenerate cases fall through to plain RunThreads: every tid still runs.
+	for _, par := range []int{0, -1, threads, threads + 5} {
+		_, ran := concurrencyProbe(threads, par)
+		for tid, ok := range ran {
+			if !ok {
+				t.Errorf("parallelism %d: tid %d never ran", par, tid)
+			}
+		}
+	}
+}
+
+// TestRunSuperstepsHonorsParallelism: the driver must thread the cap into
+// every parallel phase — this is the fix for GoParallelism being silently
+// dropped on the FCFS path.
+func TestRunSuperstepsHonorsParallelism(t *testing.T) {
+	const threads, par = 16, 2
+	var cur, hi atomic.Int64
+	probe := func(int) {
+		c := cur.Add(1)
+		for {
+			p := hi.Load()
+			if c <= p || hi.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		runtime.Gosched()
+		cur.Add(-1)
+	}
+	performed := RunSupersteps(SuperstepConfig{
+		Threads:     threads,
+		Parallelism: par,
+		Iterations:  3,
+	}, PhaseKernels{Scatter: probe, Reduce: func() {}, Gather: probe})
+	if performed != 3 {
+		t.Fatalf("performed = %d, want 3", performed)
+	}
+	if hi.Load() > par {
+		t.Errorf("observed %d concurrent kernel bodies, cap is %d", hi.Load(), par)
+	}
+}

@@ -8,17 +8,8 @@ import (
 	"hipa/internal/layout"
 	"hipa/internal/machine"
 	"hipa/internal/partition"
-	"hipa/internal/perfmodel"
-	"hipa/internal/sched"
+	"hipa/internal/platform"
 )
-
-// FCFSWorkingSetSlack is the working-set factor for first-come-first-serve
-// partition processing: threads hop across non-contiguous partitions and
-// keep more live bin pages resident than HiPa's pinned threads over the
-// contiguous per-group layout (§3.4), so their resident set per partition is
-// larger. This is the mechanism behind the oblivious engines' degradation
-// beyond the physical core count (Fig. 6).
-const FCFSWorkingSetSlack = 2.25
 
 // ObliviousPartitionConfig parameterises the two NUMA-oblivious
 // partition-centric engines (p-PR and the GPOP-like framework), which share
@@ -52,9 +43,7 @@ func RunObliviousPartitionEngine(g *graph.Graph, o Options, cfg ObliviousPartiti
 // partition-centric engine: a single flat list of cache-able partitions (no
 // node assignment, no pinned groups) plus the compressed message layout.
 func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (*Prepared, error) {
-	if o.Machine == nil {
-		o.Machine = machine.SkylakeSilver4210()
-	}
+	o = o.ResolveMachine(nil)
 	m := o.Machine
 	if o.PartitionBytes == 0 {
 		o.PartitionBytes = cfg.DefaultPartitionBytes
@@ -71,6 +60,7 @@ func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (
 	key := PrepKey{
 		Kind:           PrepPartition,
 		PartitionBytes: o.PartitionBytes,
+		BytesPerVertex: 4,
 		Compress:       !o.NoCompress,
 		Nodes:          1,
 	}
@@ -114,9 +104,7 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 	if err := prep.CheckExec(cfg.Name, PrepPartition); err != nil {
 		return nil, err
 	}
-	if o.Machine == nil {
-		o.Machine = prep.Machine()
-	}
+	o = o.ResolveMachine(prep.Machine())
 	m := o.Machine
 	if o.PartitionBytes == 0 {
 		o.PartitionBytes = prep.Key().PartitionBytes
@@ -134,49 +122,53 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 	g := prep.Graph()
 	hier, lay := prep.part.Hier, prep.part.Lay
 	rec := o.Obs
-	tr := rec.T()
 	RecordGraphCounters(rec.C(), g.NumVertices(), g.NumEdges())
-	lookup := partition.BuildLookup(hier)
 
-	// Simulated scheduling: Algorithm 1 — a fresh pool per phase, threads
-	// placed arbitrarily by the OS, no binding.
+	// Platform thread lifecycle: Algorithm 1 — a fresh pool per phase,
+	// threads placed arbitrarily by the OS, no binding.
+	pf := o.Platform
 	regions := o.Iterations * 2
-	schedStats, placementNodes, placementShared, err := obliviousSchedule(m, o.SchedSeed, regions, o.Threads, false)
+	pool, err := pf.SpawnOblivious(o.SchedSeed, regions, o.Threads, false)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
-	SetNodeLanes(tr, placementNodes)
+	pool.SetLanes(rec.T())
 
-	// Real execution.
+	// Real execution through the shared superstep driver.
 	state := NewSGStateWithInv(g, hier, lay, prep.part.Inv, o.Damping, o.Threads)
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
-	performed := RunFCFS(state, o.Iterations, o.Threads, o.Tolerance, rec)
+	performed := RunSupersteps(SuperstepConfig{
+		Threads:     o.Threads,
+		Parallelism: o.GoParallelism,
+		Iterations:  o.Iterations,
+		Tolerance:   o.Tolerance,
+		Rec:         rec,
+	}, FCFSKernels(state))
 	wall := time.Since(wallStart)
 	stopRun()
 	o.Iterations = performed
 
-	// Analytic model.
-	costs, barriers, err := BuildPartitionModel(PartitionModelSpec{
-		Machine: m, Hier: hier, Lay: lay, Lookup: lookup,
-		ThreadNode: placementNodes, ThreadShared: placementShared,
-		PartThread: ModelFCFSAssignment(hier, o.Threads),
-		NUMAAware:  false,
-		Iterations: o.Iterations,
+	// Cost accounting on the platform.
+	acct := pf.NewAccounting(pool)
+	if pf.Modeled() {
+		lookup := partition.BuildLookup(hier)
+		if err := acct.AddPartitionRun(platform.PartitionRun{
+			Hier: hier, Lay: lay, Lookup: lookup,
+			PartThread: platform.FCFSAssignment(hier, o.Threads),
+			NUMAAware:  false,
+			Iterations: o.Iterations,
 
-		ExtraBytesPerPartition: cfg.ExtraBytesPerPartition,
-		ExtraCyclesPerEdge:     cfg.ExtraCyclesPerEdge,
-		WorkingSetSlack:        FCFSWorkingSetSlack,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+			ExtraBytesPerPartition: cfg.ExtraBytesPerPartition,
+			ExtraCyclesPerEdge:     cfg.ExtraCyclesPerEdge,
+			WorkingSetSlack:        platform.FCFSWorkingSetSlack,
+		}); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
 	}
-	rep, err := perfmodel.Estimate(perfmodel.Run{
-		Machine: m, Threads: costs,
-		Barriers:             barriers,
-		SchedCostNS:          schedStats.CostNS,
-		EdgesProcessed:       g.NumEdges() * int64(o.Iterations),
+	rep, err := pf.Finalize(acct, platform.RunShape{
 		Iterations:           o.Iterations,
+		EdgesProcessed:       g.NumEdges() * int64(o.Iterations),
 		UncoordinatedStreams: true,
 	})
 	if err != nil {
@@ -193,34 +185,8 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 		PrepBuildSeconds: prep.BuildSeconds,
 		PrepFromCache:    prep.FromCache,
 		Model:            rep,
-		Sched:            schedStats,
+		Sched:            pool.Stats,
 	}
 	FinishRun(rec, res, m, false)
 	return res, nil
-}
-
-// obliviousSchedule simulates Algorithm 1's thread lifecycle and returns the
-// scheduler stats plus a representative placement (the first region's pool)
-// for the cost model. bindNodes retrofits NUMA binding onto the oblivious
-// model (Polymer-style), triggering the migration storm of §3.3.2.
-func obliviousSchedule(m *machine.Machine, seed uint64, regions, threads int, bindNodes bool) (sched.Stats, []int, []bool, error) {
-	// Placement snapshot from an identical-seed scheduler's first pool.
-	snap := sched.New(m, seed)
-	pool := snap.SpawnN(threads, sched.PlacementRandom)
-	if bindNodes {
-		for i, t := range pool {
-			if err := snap.Bind(t, i%m.NUMANodes); err != nil {
-				return sched.Stats{}, nil, nil, err
-			}
-		}
-	}
-	nodes, shared := ThreadPlacement(pool, m)
-
-	// Full lifecycle stats.
-	sc := sched.New(m, seed)
-	stats, err := sc.RunObliviousRegions(regions, threads, bindNodes)
-	if err != nil {
-		return sched.Stats{}, nil, nil, err
-	}
-	return stats, nodes, shared, nil
 }

@@ -1,11 +1,8 @@
 package common
 
 import (
-	"fmt"
-
 	"hipa/internal/machine"
 	"hipa/internal/obs"
-	"hipa/internal/sched"
 )
 
 // Span names of the engine pipeline, shared by all five engines so traces
@@ -34,34 +31,6 @@ const (
 // regions (reductions, convergence checks, preprocessing): one past the
 // last worker lane.
 func RunnerLane(threads int) int { return threads }
-
-// SetPinnedLanes names one trace lane per pinned thread with its simulated
-// placement — NUMA node and logical core — plus the serial runner lane.
-// Used by Algorithm-2 engines whose threads keep one core for the whole
-// run.
-func SetPinnedLanes(tr *obs.Trace, pool []*sched.Thread, m *machine.Machine) {
-	if tr == nil {
-		return
-	}
-	for i, th := range pool {
-		tr.SetLane(i, fmt.Sprintf("t%02d node%d cpu%02d", i, m.NodeOfLogical(th.Logical), th.Logical))
-	}
-	tr.SetLane(RunnerLane(len(pool)), "runner")
-}
-
-// SetNodeLanes names trace lanes for Algorithm-1 engines, whose threads are
-// respawned every region: the lane carries the representative first-region
-// NUMA node from the scheduler snapshot (the same placement the cost model
-// prices).
-func SetNodeLanes(tr *obs.Trace, nodes []int) {
-	if tr == nil {
-		return
-	}
-	for i, nd := range nodes {
-		tr.SetLane(i, fmt.Sprintf("t%02d node%d", i, nd))
-	}
-	tr.SetLane(RunnerLane(len(nodes)), "runner")
-}
 
 // RecordGraphCounters feeds the standard graph-shape counters every engine
 // reports.

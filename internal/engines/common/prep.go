@@ -24,14 +24,20 @@ const (
 )
 
 // PrepKey identifies one preprocessing artifact by graph content and the
-// prep-relevant options. Thread count is deliberately absent: the
-// thread-dependent group stage is recomputed cheaply on top of the cached
-// node-level split (partition.Regroup), so all thread counts of a sweep
-// share one artifact.
+// complete set of machine and option fields that reach the build: partition
+// size (itself cache-geometry-derived when defaulted), bytes per vertex,
+// compression, balance flags, and the NUMA node count of the node-level
+// split. Thread count is deliberately absent: the thread-dependent group
+// stage is recomputed cheaply on top of the cached node-level split
+// (partition.Regroup), so all thread counts of a sweep share one artifact.
+// No other machine field shapes the artifact, so structurally identical
+// artifacts legitimately share entries across machines (Table 3 builds one
+// artifact per partition size, not per microarchitecture).
 type PrepKey struct {
 	GraphFP        uint64
 	Kind           PrepKind
 	PartitionBytes int  // 0 for vertex artifacts
+	BytesPerVertex int  // rank bytes per vertex in the partitioner; 0 for vertex artifacts
 	Compress       bool // inter-edge compression (partition artifacts)
 	VertexBalanced bool // NUMA-level vertex balancing ablation
 	Nodes          int  // NUMA node count of the node-level split; 0 for vertex artifacts

@@ -6,8 +6,7 @@ import (
 
 	"hipa/internal/graph"
 	"hipa/internal/machine"
-	"hipa/internal/obs"
-	"hipa/internal/perfmodel"
+	"hipa/internal/platform"
 )
 
 // VertexEngineConfig parameterises the two vertex-centric engines (v-PR and
@@ -27,7 +26,7 @@ type VertexEngineConfig struct {
 	FrameworkCyclesPerEdge float64
 	AtomicUpdates          bool
 	// SpatialReuseFactor and BoundaryRemoteFraction forward to the vertex
-	// cost model (see VertexModelSpec).
+	// cost accounting (see platform.VertexRun).
 	SpatialReuseFactor     float64
 	BoundaryRemoteFraction float64
 }
@@ -47,9 +46,7 @@ func RunVertexEngine(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Result
 // artifact is machine- and thread-independent, so v-PR and Polymer share
 // cache entries for the same graph.
 func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared, error) {
-	if o.Machine == nil {
-		o.Machine = machine.SkylakeSilver4210()
-	}
+	o = o.ResolveMachine(nil)
 	m := o.Machine
 	o = o.WithDefaults(cfg.DefaultThreads(m))
 	if err := o.Validate(); err != nil {
@@ -75,6 +72,81 @@ func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared
 	})
 }
 
+// vertexKernels builds the phase kernels of a pull-based vertex-centric
+// engine over static per-thread vertex ranges: the contribution pass maps
+// to Scatter, the pull pass to Gather.
+type vertexKernels struct {
+	bounds    []int
+	ranks     []float32
+	contrib   []float32
+	inv       []float32
+	inOff     []int64
+	inAdj     []graph.VertexID
+	base      float32
+	d         float32
+	redis     float32
+	sum       float64 // dangling mass of the last Reduce
+	n         int
+	partials  []padF64
+	residuals []padF64
+}
+
+func (k *vertexKernels) scatter(tid int) {
+	var dangling float64
+	for v := k.bounds[tid]; v < k.bounds[tid+1]; v++ {
+		iv := k.inv[v]
+		if iv == 0 {
+			dangling += float64(k.ranks[v])
+			k.contrib[v] = 0
+			continue
+		}
+		k.contrib[v] = k.ranks[v] * iv
+	}
+	k.partials[tid].v = dangling
+}
+
+func (k *vertexKernels) reduce() {
+	var sum float64
+	for i := range k.partials {
+		sum += k.partials[i].v
+	}
+	k.sum = sum
+	k.redis = k.d * float32(sum/float64(k.n))
+}
+
+func (k *vertexKernels) gather(tid int) {
+	res := k.residuals[tid].v
+	redis := k.redis
+	for v := k.bounds[tid]; v < k.bounds[tid+1]; v++ {
+		var acc float32
+		for _, u := range k.inAdj[k.inOff[v]:k.inOff[v+1]] {
+			acc += k.contrib[u]
+		}
+		old := k.ranks[v]
+		nv := k.base + k.d*acc + redis
+		k.ranks[v] = nv
+		diff := float64(nv - old)
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > res {
+			res = diff
+		}
+	}
+	k.residuals[tid].v = res
+}
+
+func (k *vertexKernels) residual() float64 {
+	var maxRes float64
+	for i := range k.residuals {
+		if k.residuals[i].v > maxRes {
+			maxRes = k.residuals[i].v
+		}
+		k.residuals[i].v = 0
+	}
+	return maxRes
+}
+
 // ExecVertex runs the pull-based iterative phase of a vertex-centric engine
 // against a Prepared artifact. Safe for concurrent calls sharing one
 // artifact.
@@ -82,9 +154,7 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 	if err := prep.CheckExec(cfg.Name, PrepVertex); err != nil {
 		return nil, err
 	}
-	if o.Machine == nil {
-		o.Machine = prep.Machine()
-	}
+	o = o.ResolveMachine(prep.Machine())
 	m := o.Machine
 	o = o.WithDefaults(cfg.DefaultThreads(m))
 	if err := o.Validate(); err != nil {
@@ -97,7 +167,6 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 		threads = n
 	}
 	rec := o.Obs
-	tr := rec.T()
 	RecordGraphCounters(rec.C(), n, g.NumEdges())
 
 	// Thread vertex ranges are thread-count-dependent, so they are computed
@@ -132,164 +201,81 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 		bounds = SplitByWeight(g.InOffsets(), threads)
 	}
 
-	// Simulated scheduling: Algorithm-1 pools per phase; Polymer binds its
-	// threads to nodes (and pays the migrations), v-PR does not.
+	// Platform thread lifecycle: Algorithm-1 pools per phase; Polymer binds
+	// its threads to nodes (and pays the migrations), v-PR does not.
+	pf := o.Platform
 	regions := o.Iterations * 2
-	schedStats, placementNodes, placementShared, err := obliviousSchedule(m, o.SchedSeed, regions, threads, cfg.NUMAAware)
+	pool, err := pf.SpawnOblivious(o.SchedSeed, regions, threads, cfg.NUMAAware)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
-	if cfg.NUMAAware {
-		// The model's locality accounting keys off the thread's node, which
-		// for Polymer is determined by its vertex range, not the random
+	if cfg.NUMAAware && pool.Nodes != nil {
+		// The accounting's locality keys off the thread's node, which for
+		// Polymer is determined by its vertex range, not the random
 		// placement snapshot.
 		perNode := threads / m.NUMANodes
-		for t := range placementNodes {
-			placementNodes[t] = t / perNode
-			if placementNodes[t] >= m.NUMANodes {
-				placementNodes[t] = m.NUMANodes - 1
+		for t := range pool.Nodes {
+			pool.Nodes[t] = t / perNode
+			if pool.Nodes[t] >= m.NUMANodes {
+				pool.Nodes[t] = m.NUMANodes - 1
 			}
 		}
 	}
-	SetNodeLanes(tr, placementNodes)
+	pool.SetLanes(rec.T())
 
-	// Real execution.
-	ranks := InitRanks(n)
-	contrib := make([]float32, n)
-	inv := prep.vert.Inv
-	base := float32((1 - o.Damping) / float64(n))
-	d := float32(o.Damping)
-	partials := make([]padF64, threads)
-	inOff := g.InOffsets()
-	inAdj := g.InEdges()
-
+	// Real execution through the shared superstep driver.
+	k := &vertexKernels{
+		bounds:    bounds,
+		ranks:     InitRanks(n),
+		contrib:   make([]float32, n),
+		inv:       prep.vert.Inv,
+		inOff:     g.InOffsets(),
+		inAdj:     g.InEdges(),
+		base:      float32((1 - o.Damping) / float64(n)),
+		d:         float32(o.Damping),
+		n:         n,
+		partials:  make([]padF64, threads),
+		residuals: make([]padF64, threads),
+	}
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
-	var redis float32
-	performed := 0
-	runner := RunnerLane(threads)
-	needResidual := o.Tolerance > 0 || rec != nil
-	residuals := make([]padF64, threads)
-	for it := 0; it < o.Iterations; it++ {
-		performed++
-		var itStart time.Time
-		if rec != nil {
-			itStart = time.Now()
-		}
-		// Region 1: contributions + dangling partials.
-		RunThreads(threads, func(tid int) {
-			var spanStart time.Time
-			if tr != nil {
-				spanStart = time.Now()
-			}
-			var dangling float64
-			for v := bounds[tid]; v < bounds[tid+1]; v++ {
-				iv := inv[v]
-				if iv == 0 {
-					dangling += float64(ranks[v])
-					contrib[v] = 0
-					continue
-				}
-				contrib[v] = ranks[v] * iv
-			}
-			partials[tid].v = dangling
-			if tr != nil {
-				tr.Span(tid, SpanScatter, it, spanStart)
-			}
-		})
-		var serialStart time.Time
-		if tr != nil {
-			serialStart = time.Now()
-		}
-		var sum float64
-		for i := range partials {
-			sum += partials[i].v
-		}
-		redis = d * float32(sum/float64(n))
-		if tr != nil {
-			tr.Span(runner, SpanReduce, it, serialStart)
-		}
-		// Region 2: pull.
-		RunThreads(threads, func(tid int) {
-			var spanStart time.Time
-			if tr != nil {
-				spanStart = time.Now()
-			}
-			res := residuals[tid].v
-			for v := bounds[tid]; v < bounds[tid+1]; v++ {
-				var acc float32
-				for _, u := range inAdj[inOff[v]:inOff[v+1]] {
-					acc += contrib[u]
-				}
-				old := ranks[v]
-				nv := base + d*acc + redis
-				ranks[v] = nv
-				diff := float64(nv - old)
-				if diff < 0 {
-					diff = -diff
-				}
-				if diff > res {
-					res = diff
-				}
-			}
-			residuals[tid].v = res
-			if tr != nil {
-				tr.Span(tid, SpanGather, it, spanStart)
-			}
-		})
-		if needResidual {
-			if tr != nil {
-				serialStart = time.Now()
-			}
-			var maxRes float64
-			for i := range residuals {
-				if residuals[i].v > maxRes {
-					maxRes = residuals[i].v
-				}
-				residuals[i].v = 0
-			}
-			if tr != nil {
-				tr.Span(runner, SpanApply, it, serialStart)
-			}
-			if rec != nil {
-				rec.RecordIteration(obs.IterationStats{
-					Iter:         it,
-					WallSeconds:  time.Since(itStart).Seconds(),
-					Residual:     maxRes,
-					DanglingMass: sum,
-				})
-			}
-			if o.Tolerance > 0 && maxRes < o.Tolerance {
-				break
-			}
-		}
-	}
+	performed := RunSupersteps(SuperstepConfig{
+		Threads:     threads,
+		Parallelism: o.GoParallelism,
+		Iterations:  o.Iterations,
+		Tolerance:   o.Tolerance,
+		Rec:         rec,
+	}, PhaseKernels{
+		Scatter:      k.scatter,
+		Reduce:       k.reduce,
+		Gather:       k.gather,
+		Residual:     k.residual,
+		DanglingMass: func() float64 { return k.sum },
+	})
 	o.Iterations = performed
 	wall := time.Since(wallStart)
 	stopRun()
 
-	// Analytic model.
-	costs, barriers, err := BuildVertexModel(VertexModelSpec{
-		Machine: m, G: g,
-		ThreadNode: placementNodes, ThreadShared: placementShared,
-		Bounds:                 bounds,
-		NUMAAware:              cfg.NUMAAware,
-		FrontierBytesPerVertex: cfg.FrontierBytesPerVertex,
-		FrameworkCyclesPerEdge: cfg.FrameworkCyclesPerEdge,
-		SpatialReuseFactor:     cfg.SpatialReuseFactor,
-		BoundaryRemoteFraction: cfg.BoundaryRemoteFraction,
-		AtomicUpdates:          cfg.AtomicUpdates,
-		Iterations:             o.Iterations,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+	// Cost accounting on the platform.
+	acct := pf.NewAccounting(pool)
+	if pf.Modeled() {
+		if err := acct.AddVertexRun(platform.VertexRun{
+			G:                      g,
+			Bounds:                 bounds,
+			NUMAAware:              cfg.NUMAAware,
+			FrontierBytesPerVertex: cfg.FrontierBytesPerVertex,
+			FrameworkCyclesPerEdge: cfg.FrameworkCyclesPerEdge,
+			SpatialReuseFactor:     cfg.SpatialReuseFactor,
+			BoundaryRemoteFraction: cfg.BoundaryRemoteFraction,
+			AtomicUpdates:          cfg.AtomicUpdates,
+			Iterations:             o.Iterations,
+		}); err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
 	}
-	rep, err := perfmodel.Estimate(perfmodel.Run{
-		Machine: m, Threads: costs,
-		Barriers:             barriers,
-		SchedCostNS:          schedStats.CostNS,
-		EdgesProcessed:       g.NumEdges() * int64(o.Iterations),
+	rep, err := pf.Finalize(acct, platform.RunShape{
 		Iterations:           o.Iterations,
+		EdgesProcessed:       g.NumEdges() * int64(o.Iterations),
 		UncoordinatedStreams: true,
 	})
 	if err != nil {
@@ -298,7 +284,7 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 
 	res := &Result{
 		Engine:           cfg.Name,
-		Ranks:            ranks,
+		Ranks:            k.ranks,
 		Iterations:       o.Iterations,
 		Threads:          threads,
 		WallSeconds:      wall.Seconds(),
@@ -306,7 +292,7 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 		PrepBuildSeconds: prep.BuildSeconds,
 		PrepFromCache:    prep.FromCache,
 		Model:            rep,
-		Sched:            schedStats,
+		Sched:            pool.Stats,
 	}
 	FinishRun(rec, res, m, false)
 	return res, nil

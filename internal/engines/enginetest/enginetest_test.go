@@ -32,6 +32,21 @@ func testOptions(iters int) common.Options {
 	}
 }
 
+// presetMachines are the modelled microarchitectures the cross-engine
+// contracts run on (scaled so tests stay fast).
+func presetMachines() []struct {
+	name string
+	m    *machine.Machine
+} {
+	return []struct {
+		name string
+		m    *machine.Machine
+	}{
+		{"skylake", machine.Scaled(machine.SkylakeSilver4210(), 1024)},
+		{"haswell", machine.Scaled(machine.HaswellE52667(), 1024)},
+	}
+}
+
 func refAsFloat32Diff(t *testing.T, g *graph.Graph, got []float32, iters int, damping float64) float64 {
 	t.Helper()
 	ref := common.ReferencePageRank(g, iters, damping)
@@ -84,21 +99,26 @@ func TestEnginesAgreePairwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := testOptions(8)
-	var first []float32
-	var firstName string
-	for _, e := range allEngines() {
-		res, err := e.Run(g, o)
-		if err != nil {
-			t.Fatalf("%s: %v", e.Name(), err)
-		}
-		if first == nil {
-			first, firstName = res.Ranks, e.Name()
-			continue
-		}
-		if d := common.MaxAbsDiff(first, res.Ranks); d > 1e-6 {
-			t.Errorf("%s vs %s: max abs diff %g", firstName, e.Name(), d)
-		}
+	for _, pm := range presetMachines() {
+		t.Run(pm.name, func(t *testing.T) {
+			o := testOptions(8)
+			o.Machine = pm.m
+			var first []float32
+			var firstName string
+			for _, e := range allEngines() {
+				res, err := e.Run(g, o)
+				if err != nil {
+					t.Fatalf("%s: %v", e.Name(), err)
+				}
+				if first == nil {
+					first, firstName = res.Ranks, e.Name()
+					continue
+				}
+				if d := common.MaxAbsDiff(first, res.Ranks); d > 1e-6 {
+					t.Errorf("%s vs %s: max abs diff %g", firstName, e.Name(), d)
+				}
+			}
+		})
 	}
 }
 
@@ -188,6 +208,35 @@ func TestHiPaAblations(t *testing.T) {
 		}
 		if worst := refAsFloat32Diff(t, g, res.Ranks, 8, common.DefaultDamping); worst > 1e-3 {
 			t.Errorf("ablation %s: worst relative error %g (correctness must be invariant)", variant.name, worst)
+		}
+	}
+}
+
+// TestGoParallelismRankInvariant: capping real goroutines must not change
+// results — every engine (including the FCFS claimers, where the cap used
+// to be silently dropped) produces bit-identical ranks at GoParallelism 1.
+func TestGoParallelismRankInvariant(t *testing.T) {
+	g, err := gen.Uniform(1500, 18000, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range allEngines() {
+		o := testOptions(6)
+		base, err := e.Run(g, o)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		o.GoParallelism = 1
+		capped, err := e.Run(g, o)
+		if err != nil {
+			t.Fatalf("%s capped: %v", e.Name(), err)
+		}
+		if d := common.MaxAbsDiff(base.Ranks, capped.Ranks); d != 0 {
+			t.Errorf("%s: GoParallelism=1 changed ranks by %g (must be bit-identical)", e.Name(), d)
+		}
+		if capped.Model.EstimatedSeconds != base.Model.EstimatedSeconds {
+			t.Errorf("%s: GoParallelism changed the modelled estimate (%g vs %g) — it is a host knob, not a simulated one",
+				e.Name(), capped.Model.EstimatedSeconds, base.Model.EstimatedSeconds)
 		}
 	}
 }

@@ -1,0 +1,196 @@
+package enginetest
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/engines/hipa"
+	"hipa/internal/graph"
+	"hipa/internal/machine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json from the current implementation")
+
+// goldenGraph builds a deterministic graph where every vertex has out-degree
+// >= 1 (a ring plus LCG-derived extra edges). The no-dangling property is
+// load-bearing: with dangling vertices, FCFS partition claiming groups the
+// float64 dangling partials by claim order, which is goroutine-schedule-
+// dependent — the ranks would then differ bit-wise between runs. Without
+// dangling mass every engine is bit-deterministic.
+func goldenGraph() *graph.Graph {
+	const n = 2000
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%n))
+		x := uint64(v)*2654435761 + 12345
+		deg := int(x>>59) % 6
+		for j := 0; j < deg; j++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			b.AddEdge(graph.VertexID(v), graph.VertexID(int(x>>33)%n))
+		}
+	}
+	return b.Build()
+}
+
+// goldenEntry pins one engine run down to the bit level: an FNV-1a hash of
+// the rank vector's float32 bits, the exact bits of the modelled seconds,
+// and the modelled traffic and scheduler totals.
+type goldenEntry struct {
+	RanksFNV64       string `json:"ranks_fnv64"`
+	ModelSecondsBits string `json:"modelled_seconds_bits"`
+	LocalBytes       int64  `json:"local_bytes"`
+	RemoteBytes      int64  `json:"remote_bytes"`
+	LLCAccesses      int64  `json:"llc_accesses"`
+	SchedCostNSBits  string `json:"sched_cost_ns_bits"`
+	Spawned          int64  `json:"spawned"`
+	Migrations       int64  `json:"migrations"`
+}
+
+func ranksFNV64(ranks []float32) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, r := range ranks {
+		bits := math.Float32bits(r)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(bits >> s))
+			h *= prime64
+		}
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func goldenCases() []struct {
+	key    string
+	engine common.Engine
+	opts   common.Options
+} {
+	base := func(preset func() *machine.Machine) common.Options {
+		return common.Options{
+			Machine:        machine.Scaled(preset(), 1024),
+			Threads:        8,
+			Iterations:     5,
+			PartitionBytes: 256,
+		}
+	}
+	var cases []struct {
+		key    string
+		engine common.Engine
+		opts   common.Options
+	}
+	for _, preset := range []struct {
+		name string
+		mk   func() *machine.Machine
+	}{
+		{"skylake", machine.SkylakeSilver4210},
+		{"haswell", machine.HaswellE52667},
+	} {
+		for _, e := range allEngines() {
+			cases = append(cases, struct {
+				key    string
+				engine common.Engine
+				opts   common.Options
+			}{preset.name + "/" + e.Name(), e, base(preset.mk)})
+		}
+	}
+	for _, abl := range []struct {
+		name string
+		mut  func(*common.Options)
+	}{
+		{"fcfs", func(o *common.Options) { o.FCFS = true }},
+		{"no-compress", func(o *common.Options) { o.NoCompress = true }},
+		{"vertex-balanced", func(o *common.Options) { o.VertexBalanced = true }},
+	} {
+		o := base(machine.SkylakeSilver4210)
+		abl.mut(&o)
+		cases = append(cases, struct {
+			key    string
+			engine common.Engine
+			opts   common.Options
+		}{"skylake/HiPa+" + abl.name, hipa.Engine{}, o})
+	}
+	return cases
+}
+
+// TestGoldenBitExactness is the refactoring safety net: for a fixed
+// SchedSeed, every engine's Run must keep producing bit-identical rank
+// vectors and identical modelled metrics across code changes. Regenerate
+// with `go test ./internal/engines/enginetest -run Golden -update` ONLY when
+// an intentional numerical change has been reviewed.
+func TestGoldenBitExactness(t *testing.T) {
+	g := goldenGraph()
+	got := map[string]goldenEntry{}
+	for _, c := range goldenCases() {
+		res, err := c.engine.Run(g, c.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.key, err)
+		}
+		got[c.key] = goldenEntry{
+			RanksFNV64:       ranksFNV64(res.Ranks),
+			ModelSecondsBits: fmt.Sprintf("%016x", math.Float64bits(res.Model.EstimatedSeconds)),
+			LocalBytes:       res.Model.LocalBytes,
+			RemoteBytes:      res.Model.RemoteBytes,
+			LLCAccesses:      res.Model.LLCAccesses,
+			SchedCostNSBits:  fmt.Sprintf("%016x", math.Float64bits(res.Sched.CostNS)),
+			Spawned:          res.Sched.Spawned,
+			Migrations:       res.Sched.Migrations,
+		}
+	}
+
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d cases)", path, len(got))
+		return
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	var want map[string]goldenEntry
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d cases, run produced %d", len(want), len(got))
+	}
+	for key, w := range want {
+		gi, ok := got[key]
+		if !ok {
+			t.Errorf("%s: case missing from run", key)
+			continue
+		}
+		if gi != w {
+			t.Errorf("%s: drifted from golden:\n got  %+v\n want %+v", key, gi, w)
+		}
+	}
+}
+
+// TestGoldenGraphHasNoDanglingVertices guards the property the golden
+// fixture depends on (see goldenGraph).
+func TestGoldenGraphHasNoDanglingVertices(t *testing.T) {
+	g := goldenGraph()
+	for v := 0; v < g.NumVertices(); v++ {
+		if g.OutDegree(graph.VertexID(v)) == 0 {
+			t.Fatalf("vertex %d is dangling; the golden fixture must have none", v)
+		}
+	}
+}

@@ -6,56 +6,63 @@ import (
 
 	"hipa/internal/engines/common"
 	"hipa/internal/gen"
+	"hipa/internal/machine"
 )
 
-// TestPrepareExecMatchesRun: for every engine, Prepare followed by Exec is
-// bit-identical to Run — same ranks, iteration counts, and model estimate.
+// TestPrepareExecMatchesRun: for every engine on every modelled preset,
+// Prepare followed by Exec is bit-identical to Run — same ranks, iteration
+// counts, and model estimate.
 func TestPrepareExecMatchesRun(t *testing.T) {
 	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 2500, Edges: 30000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := testOptions(8)
-	for _, e := range allEngines() {
-		run, err := e.Run(g, o)
-		if err != nil {
-			t.Fatalf("%s: Run: %v", e.Name(), err)
-		}
-		prep, err := e.Prepare(g, o)
-		if err != nil {
-			t.Fatalf("%s: Prepare: %v", e.Name(), err)
-		}
-		if prep.Engine() != e.Name() {
-			t.Errorf("%s: prepared artifact labelled %q", e.Name(), prep.Engine())
-		}
-		if prep.PrepSeconds <= 0 || prep.BuildSeconds <= 0 {
-			t.Errorf("%s: prep timings not measured: prep=%g build=%g",
-				e.Name(), prep.PrepSeconds, prep.BuildSeconds)
-		}
-		res, err := e.Exec(prep, o)
-		if err != nil {
-			t.Fatalf("%s: Exec: %v", e.Name(), err)
-		}
-		if len(res.Ranks) != len(run.Ranks) {
-			t.Fatalf("%s: rank vector length %d vs Run's %d", e.Name(), len(res.Ranks), len(run.Ranks))
-		}
-		for i := range run.Ranks {
-			if res.Ranks[i] != run.Ranks[i] {
-				t.Fatalf("%s: rank[%d] = %g via Prepare+Exec, %g via Run (must be bit-identical)",
-					e.Name(), i, res.Ranks[i], run.Ranks[i])
+	for _, pm := range presetMachines() {
+		t.Run(pm.name, func(t *testing.T) {
+			o := testOptions(8)
+			o.Machine = pm.m
+			for _, e := range allEngines() {
+				run, err := e.Run(g, o)
+				if err != nil {
+					t.Fatalf("%s: Run: %v", e.Name(), err)
+				}
+				prep, err := e.Prepare(g, o)
+				if err != nil {
+					t.Fatalf("%s: Prepare: %v", e.Name(), err)
+				}
+				if prep.Engine() != e.Name() {
+					t.Errorf("%s: prepared artifact labelled %q", e.Name(), prep.Engine())
+				}
+				if prep.PrepSeconds <= 0 || prep.BuildSeconds <= 0 {
+					t.Errorf("%s: prep timings not measured: prep=%g build=%g",
+						e.Name(), prep.PrepSeconds, prep.BuildSeconds)
+				}
+				res, err := e.Exec(prep, o)
+				if err != nil {
+					t.Fatalf("%s: Exec: %v", e.Name(), err)
+				}
+				if len(res.Ranks) != len(run.Ranks) {
+					t.Fatalf("%s: rank vector length %d vs Run's %d", e.Name(), len(res.Ranks), len(run.Ranks))
+				}
+				for i := range run.Ranks {
+					if res.Ranks[i] != run.Ranks[i] {
+						t.Fatalf("%s: rank[%d] = %g via Prepare+Exec, %g via Run (must be bit-identical)",
+							e.Name(), i, res.Ranks[i], run.Ranks[i])
+					}
+				}
+				if res.Iterations != run.Iterations {
+					t.Errorf("%s: iterations %d vs Run's %d", e.Name(), res.Iterations, run.Iterations)
+				}
+				if res.Model.EstimatedSeconds != run.Model.EstimatedSeconds {
+					t.Errorf("%s: model estimate %g vs Run's %g",
+						e.Name(), res.Model.EstimatedSeconds, run.Model.EstimatedSeconds)
+				}
+				if res.Model.LocalBytes != run.Model.LocalBytes || res.Model.RemoteBytes != run.Model.RemoteBytes {
+					t.Errorf("%s: model traffic (%d,%d) vs Run's (%d,%d)", e.Name(),
+						res.Model.LocalBytes, res.Model.RemoteBytes, run.Model.LocalBytes, run.Model.RemoteBytes)
+				}
 			}
-		}
-		if res.Iterations != run.Iterations {
-			t.Errorf("%s: iterations %d vs Run's %d", e.Name(), res.Iterations, run.Iterations)
-		}
-		if res.Model.EstimatedSeconds != run.Model.EstimatedSeconds {
-			t.Errorf("%s: model estimate %g vs Run's %g",
-				e.Name(), res.Model.EstimatedSeconds, run.Model.EstimatedSeconds)
-		}
-		if res.Model.LocalBytes != run.Model.LocalBytes || res.Model.RemoteBytes != run.Model.RemoteBytes {
-			t.Errorf("%s: model traffic (%d,%d) vs Run's (%d,%d)", e.Name(),
-				res.Model.LocalBytes, res.Model.RemoteBytes, run.Model.LocalBytes, run.Model.RemoteBytes)
-		}
+		})
 	}
 }
 
@@ -182,6 +189,50 @@ func TestPrepCacheSharedArtifact(t *testing.T) {
 	}
 	if s.Evictions != 0 {
 		t.Errorf("evictions = %d, want 0", s.Evictions)
+	}
+}
+
+// TestPrepCacheGeometryNoCollision: with PartitionBytes defaulted, the
+// partition size is derived from the machine's cache geometry
+// (TunedPartitionBytes), so a cache shared between Skylake (non-inclusive
+// 1MB L2 → 256KB partitions) and Haswell (inclusive 256KB L2 → 128KB) must
+// hold two distinct entries — regression test for geometry being absent
+// from the prep key and one machine's layout silently serving the other.
+func TestPrepCacheGeometryNoCollision(t *testing.T) {
+	g, err := gen.Uniform(1200, 14000, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := common.NewPrepCache(16)
+	e := allEngines()[0] // HiPa
+	oSky := common.Options{Machine: machine.SkylakeSilver4210(), Iterations: 2, PrepCache: cache}
+	oHas := common.Options{Machine: machine.HaswellE52667(), Iterations: 2, PrepCache: cache}
+	pSky, err := e.Prepare(g, oSky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHas, err := e.Prepare(g, oHas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pSky.Key() == pHas.Key() {
+		t.Fatalf("Skylake and Haswell default preps share key %+v", pSky.Key())
+	}
+	if pHas.FromCache {
+		t.Error("Haswell Prepare was served the Skylake artifact")
+	}
+	if s := cache.Stats(); s.Misses != 2 || s.Hits != 0 {
+		t.Errorf("stats = %+v, want 2 misses / 0 hits (one entry per geometry)", s)
+	}
+	// Each machine hits its own entry on re-prepare.
+	for _, o := range []common.Options{oSky, oHas} {
+		p, err := e.Prepare(g, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.FromCache {
+			t.Errorf("re-Prepare on %s missed its own entry", o.Machine.Name)
+		}
 	}
 }
 

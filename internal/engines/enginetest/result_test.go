@@ -23,9 +23,9 @@ import (
 type spawnModel int
 
 const (
-	pinnedOnce spawnModel = iota // Algorithm 2
-	perPhase                     // Algorithm 1, unbound
-	perPhaseBound                // Algorithm 1, bound to nodes
+	pinnedOnce    spawnModel = iota // Algorithm 2
+	perPhase                        // Algorithm 1, unbound
+	perPhaseBound                   // Algorithm 1, bound to nodes
 )
 
 // TestResultInvariants checks, for every engine, the Result contract: rank

@@ -29,11 +29,8 @@ import (
 	"hipa/internal/engines/common"
 	"hipa/internal/graph"
 	"hipa/internal/layout"
-	"hipa/internal/machine"
-	"hipa/internal/obs"
 	"hipa/internal/partition"
-	"hipa/internal/perfmodel"
-	"hipa/internal/sched"
+	"hipa/internal/platform"
 )
 
 // Engine is the HiPa implementation of common.Engine.
@@ -66,9 +63,7 @@ func (e Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 // left to Exec, so one artifact serves every thread count on the same
 // machine topology.
 func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
-	if o.Machine == nil {
-		o.Machine = machine.SkylakeSilver4210()
-	}
+	o = o.ResolveMachine(nil)
 	m := o.Machine
 	o = o.WithDefaults(m.LogicalCores())
 	if err := o.Validate(); err != nil {
@@ -87,6 +82,7 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 	key := common.PrepKey{
 		Kind:           common.PrepPartition,
 		PartitionBytes: o.PartitionBytes,
+		BytesPerVertex: 4,
 		Compress:       !o.NoCompress,
 		VertexBalanced: o.VertexBalanced,
 		Nodes:          nodes,
@@ -133,9 +129,7 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	if err := prep.CheckExec("HiPa", common.PrepPartition); err != nil {
 		return nil, err
 	}
-	if o.Machine == nil {
-		o.Machine = prep.Machine()
-	}
+	o = o.ResolveMachine(prep.Machine())
 	m := o.Machine
 	if o.PartitionBytes == 0 {
 		o.PartitionBytes = prep.Key().PartitionBytes
@@ -174,7 +168,6 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 		rec.C().Set("hipa.threads.requested", float64(o.Threads))
 		rec.C().Set("hipa.threads.effective", float64(threads))
 	}
-	runner := common.RunnerLane(threads)
 
 	// Cache-aware group level on top of the artifact's node-level split —
 	// identical to building the full hierarchy at this thread count, but
@@ -183,122 +176,58 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	lookup := partition.BuildLookup(hier)
 	rec.C().Add("partition.groups", int64(len(hier.Groups)))
 
-	// Simulated scheduling: persistent threads spawned once and pinned
+	// Platform thread lifecycle: persistent threads spawned once and pinned
 	// (Algorithm 2). At most `threads` migrations can occur.
-	scheduler := sched.New(m, o.SchedSeed)
-	pool, schedStats, err := scheduler.RunPinnedThreads(threads)
+	pf := o.Platform
+	pool, err := pf.SpawnPinned(o.SchedSeed, threads)
 	if err != nil {
 		return nil, fmt.Errorf("hipa: %w", err)
 	}
-	common.SetPinnedLanes(tr, pool, m)
+	pool.SetLanes(tr)
 
-	// Real parallel execution.
+	// Real parallel execution through the shared superstep driver. The FCFS
+	// ablation keeps HiPa's layout and placement but lets threads claim
+	// partitions first-come-first-serve instead of the pinned one-to-many
+	// assignment.
 	state := common.NewSGStateWithInv(g, hier, prep.Partition().Lay, prep.Partition().Inv, o.Damping, threads)
+	kernels := common.PinnedKernels(state, hier.Groups)
+	if o.FCFS {
+		kernels = common.FCFSKernels(state)
+	}
 	stopRun := rec.C().Phase(common.PhaseRun)
 	wallStart := time.Now()
-	if o.FCFS {
-		// Ablation: keep HiPa's layout and placement but let threads claim
-		// partitions first-come-first-serve instead of the pinned one-to-
-		// many assignment.
-		o.Iterations = common.RunFCFS(state, o.Iterations, threads, o.Tolerance, rec)
-	} else {
-		bar := common.NewBarrier(threads)
-		performed := 0
-		stop := false
-		// itStart is only touched by barrier leaders, whose callbacks are
-		// serialized under the barrier's mutex.
-		itStart := wallStart
-		common.RunThreads(threads, func(tid int) {
-			gr := hier.Groups[tid]
-			for it := 0; it < o.Iterations; it++ {
-				var spanStart time.Time
-				if tr != nil {
-					spanStart = time.Now()
-				}
-				for p := gr.PartStart; p < gr.PartEnd; p++ {
-					state.ScatterPartition(p, tid)
-				}
-				if tr != nil {
-					tr.Span(tid, common.SpanScatter, it, spanStart)
-				}
-				bar.WaitLeader(func() {
-					var serialStart time.Time
-					if tr != nil {
-						serialStart = time.Now()
-					}
-					state.ReduceDangling()
-					if tr != nil {
-						tr.Span(runner, common.SpanReduce, it, serialStart)
-					}
-				})
-				if tr != nil {
-					spanStart = time.Now()
-				}
-				for p := gr.PartStart; p < gr.PartEnd; p++ {
-					state.GatherPartition(p, tid)
-				}
-				if tr != nil {
-					tr.Span(tid, common.SpanGather, it, spanStart)
-				}
-				bar.WaitLeader(func() {
-					performed++
-					var serialStart time.Time
-					if tr != nil {
-						serialStart = time.Now()
-					}
-					res := state.MaxResidual()
-					if o.Tolerance > 0 && res < o.Tolerance {
-						stop = true
-					}
-					if tr != nil {
-						tr.Span(runner, common.SpanApply, it, serialStart)
-					}
-					if rec != nil {
-						now := time.Now()
-						rec.RecordIteration(obs.IterationStats{
-							Iter:         it,
-							WallSeconds:  now.Sub(itStart).Seconds(),
-							Residual:     res,
-							DanglingMass: state.LastDanglingMass(),
-						})
-						itStart = now
-					}
-				})
-				if stop {
-					return
-				}
-			}
-		})
-		o.Iterations = performed
-	}
+	o.Iterations = common.RunSupersteps(common.SuperstepConfig{
+		Threads:     threads,
+		Parallelism: o.GoParallelism,
+		Iterations:  o.Iterations,
+		Tolerance:   o.Tolerance,
+		Rec:         rec,
+	}, kernels)
 	wall := time.Since(wallStart)
 	stopRun()
 
-	// Analytic model on the simulated machine.
-	threadNode, threadShared := common.ThreadPlacement(pool, m)
-	partThread := lookup.PartThread
-	var slack float64
-	if o.FCFS {
-		partThread = common.ModelFCFSAssignment(hier, threads)
-		slack = common.FCFSWorkingSetSlack
+	// Cost accounting on the platform.
+	acct := pf.NewAccounting(pool)
+	if pf.Modeled() {
+		partThread := lookup.PartThread
+		var slack float64
+		if o.FCFS {
+			partThread = platform.FCFSAssignment(hier, threads)
+			slack = platform.FCFSWorkingSetSlack
+		}
+		if err := acct.AddPartitionRun(platform.PartitionRun{
+			Hier: hier, Lay: prep.Partition().Lay, Lookup: lookup,
+			PartThread:      partThread,
+			NUMAAware:       true,
+			Iterations:      o.Iterations,
+			WorkingSetSlack: slack,
+		}); err != nil {
+			return nil, fmt.Errorf("hipa: %w", err)
+		}
 	}
-	costs, barriers, err := common.BuildPartitionModel(common.PartitionModelSpec{
-		Machine: m, Hier: hier, Lay: prep.Partition().Lay, Lookup: lookup,
-		ThreadNode: threadNode, ThreadShared: threadShared,
-		PartThread:      partThread,
-		NUMAAware:       true,
-		Iterations:      o.Iterations,
-		WorkingSetSlack: slack,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("hipa: %w", err)
-	}
-	rep, err := perfmodel.Estimate(perfmodel.Run{
-		Machine: m, Threads: costs,
-		Barriers:       barriers,
-		SchedCostNS:    schedStats.CostNS,
-		EdgesProcessed: g.NumEdges() * int64(o.Iterations),
+	rep, err := pf.Finalize(acct, platform.RunShape{
 		Iterations:     o.Iterations,
+		EdgesProcessed: g.NumEdges() * int64(o.Iterations),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("hipa: %w", err)
@@ -314,7 +243,7 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 		PrepBuildSeconds: prep.BuildSeconds,
 		PrepFromCache:    prep.FromCache,
 		Model:            rep,
-		Sched:            schedStats,
+		Sched:            pool.Stats,
 	}
 	// Algorithm 2 binds once at spawn, so per-iteration migration
 	// attribution charges iteration 0 — also for the FCFS ablation, which

@@ -2,7 +2,9 @@ package graph
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -394,6 +396,51 @@ func TestReadEdgeListErrors(t *testing.T) {
 		if _, err := ReadEdgeList(bytes.NewBufferString(c), 0); err == nil {
 			t.Errorf("input %q: expected error", c)
 		}
+	}
+}
+
+func TestReadEdgeListLongLine(t *testing.T) {
+	// One line far past bufio.Scanner's 64KB default: padding around a valid
+	// edge must still parse (regression: the scanner buffer used to cap out
+	// and the parse failed on long real-world dump lines).
+	var buf bytes.Buffer
+	buf.WriteString("# header\n0 1")
+	for i := 0; i < 2<<20; i++ {
+		buf.WriteByte(' ')
+	}
+	buf.WriteString("\n1 0\n")
+	g, err := ReadEdgeList(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 2 {
+		t.Fatalf("got %d vertices %d edges, want 2/2", g.NumVertices(), g.NumEdges())
+	}
+}
+
+// failAfterReader yields its buffered content, then a non-EOF error.
+type failAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+func TestReadEdgeListScannerErrorCarriesLine(t *testing.T) {
+	boom := errors.New("disk gone")
+	_, err := ReadEdgeList(&failAfterReader{data: []byte("0 1\n1 0\n"), err: boom}, 0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped read failure", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want the failing line number (3)", err)
 	}
 }
 

@@ -40,6 +40,11 @@ const (
 	// hundreds of megabytes of offsets. Pass numVertices explicitly to
 	// ReadEdgeList for larger graphs.
 	MaxInferredVertices = 1 << 24 // 16M
+	// MaxLineBytes is the longest edge-list line ReadEdgeList accepts.
+	// bufio.Scanner's 64KB default silently fails on real-world dumps that
+	// pack many records per line; lines beyond this cap are a clean error
+	// carrying the line number, not an allocation hazard.
+	MaxLineBytes = 1 << 26 // 64MB
 )
 
 // WriteBinary serialises g in the HGR1 binary format.
@@ -197,7 +202,7 @@ func readUint32s(r io.Reader, n int) ([]uint32, error) {
 // an error).
 func ReadEdgeList(r io.Reader, numVertices int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sc.Buffer(make([]byte, 64<<10), MaxLineBytes)
 	var edges []Edge
 	maxID := int64(-1)
 	lineNo := 0
@@ -231,7 +236,9 @@ func ReadEdgeList(r io.Reader, numVertices int) (*Graph, error) {
 		edges = append(edges, Edge{VertexID(src), VertexID(dst)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Scanner errors (a too-long line, a failing reader) surface on the
+		// line after the last one successfully scanned.
+		return nil, fmt.Errorf("graph: line %d: %w", lineNo+1, err)
 	}
 	n := int(maxID + 1)
 	if numVertices > 0 {

@@ -90,7 +90,7 @@ func (r Table2Row) Best(skip string) (string, float64) {
 // Table2 regenerates the execution-time comparison (paper Table 2): 20
 // iterations of PageRank under each engine's tuned settings.
 func Table2(cfg *Config) ([]Table2Row, *Table, error) {
-	m, err := cfg.Machine("skylake")
+	m, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -114,7 +114,7 @@ func Table2(cfg *Config) ([]Table2Row, *Table, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("table2 %s/%s: %w", name, e.Name(), err)
 			}
-			row.Seconds[e.Name()] = res.Model.EstimatedSeconds
+			row.Seconds[e.Name()] = cfg.Seconds(res)
 			row.Wall[e.Name()] = res.WallSeconds
 		}
 		rows = append(rows, row)
@@ -145,7 +145,7 @@ type OverheadRow struct {
 
 // Overhead regenerates the §4.2 preprocessing-overhead analysis for HiPa.
 func Overhead(cfg *Config) ([]OverheadRow, *Table, error) {
-	m, err := cfg.Machine("skylake")
+	m, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -218,7 +218,7 @@ type Fig5Row struct {
 // Fig5 regenerates the memory-utility figure: MApE (total and remote) for
 // every engine on every graph.
 func Fig5(cfg *Config) ([]Fig5Row, *Table, error) {
-	m, err := cfg.Machine("skylake")
+	m, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -280,7 +280,7 @@ func (s Fig6Series) BestThreads() int {
 
 // Fig6 regenerates the scalability study on journal.
 func Fig6(cfg *Config) ([]Fig6Series, *Table, error) {
-	m, err := cfg.Machine("skylake")
+	m, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -306,7 +306,7 @@ func Fig6(cfg *Config) ([]Fig6Series, *Table, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("fig6 %s@%d: %w", e.Name(), th, err)
 			}
-			s.SecondsAt = append(s.SecondsAt, res.Model.EstimatedSeconds)
+			s.SecondsAt = append(s.SecondsAt, cfg.Seconds(res))
 		}
 		at40 := s.SecondsAt[len(s.SecondsAt)-1]
 		cells := []string{e.Name()}
@@ -337,7 +337,7 @@ type Fig7Point struct {
 // Fig7 regenerates the partition-size sensitivity study on journal for the
 // three partition-centric engines.
 func Fig7(cfg *Config) ([]Fig7Point, *Table, error) {
-	m, err := cfg.Machine("skylake")
+	m, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -369,7 +369,7 @@ func Fig7(cfg *Config) ([]Fig7Point, *Table, error) {
 			p := Fig7Point{
 				Engine:      name,
 				PaperBytes:  paperBytes,
-				Seconds:     res.Model.EstimatedSeconds,
+				Seconds:     cfg.Seconds(res),
 				LLCAccesses: res.Model.LLCAccesses,
 				LLCHitRatio: res.Model.LLCHitRatio(),
 			}
@@ -458,7 +458,7 @@ func Table3(cfg *Config) ([]Table3Row, *Table, error) {
 					if err != nil {
 						return nil, nil, fmt.Errorf("table3 %s/%s/%s: %w", arch, method, name, err)
 					}
-					secs[i] = res.Model.EstimatedSeconds
+					secs[i] = cfg.Seconds(res)
 				}
 				for i := range secs {
 					avg[i] += secs[i] / secs[normIdx] / float64(len(datasets))
@@ -494,7 +494,7 @@ func SingleNode(cfg *Config) (*SingleNodeResult, *Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	two, err := cfg.Machine("skylake")
+	two, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -507,7 +507,7 @@ func SingleNode(cfg *Config) (*SingleNodeResult, *Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	r.OneNodeSeconds = res.Model.EstimatedSeconds
+	r.OneNodeSeconds = cfg.Seconds(res)
 
 	oHipa2 := cfg.PaperOptions("hipa", two)
 	oHipa2.Threads = 20
@@ -515,7 +515,7 @@ func SingleNode(cfg *Config) (*SingleNodeResult, *Table, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	r.TwoNodeSeconds = res.Model.EstimatedSeconds
+	r.TwoNodeSeconds = cfg.Seconds(res)
 
 	for name, dst := range map[string]*float64{"p-PR": &r.PPRSeconds, "GPOP": &r.GPOPSeconds} {
 		e, err := EngineByName(name)
@@ -528,7 +528,7 @@ func SingleNode(cfg *Config) (*SingleNodeResult, *Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		*dst = res.Model.EstimatedSeconds
+		*dst = cfg.Seconds(res)
 	}
 
 	t := &Table{
@@ -564,7 +564,7 @@ func NodeScaling(cfg *Config, dataset string) ([]NodeScalingRow, *Table, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	base, err := cfg.Machine("skylake")
+	base, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -584,14 +584,14 @@ func NodeScaling(cfg *Config, dataset string) ([]NodeScalingRow, *Table, error) 
 			return nil, nil, err
 		}
 		if nodes == 1 {
-			oneNode = res.Model.EstimatedSeconds
+			oneNode = cfg.Seconds(res)
 		}
 		row := NodeScalingRow{
 			Nodes:      nodes,
 			Threads:    res.Threads,
-			Seconds:    res.Model.EstimatedSeconds,
+			Seconds:    cfg.Seconds(res),
 			RemoteFrac: res.Model.RemoteFraction,
-			Speedup:    oneNode / res.Model.EstimatedSeconds,
+			Speedup:    oneNode / cfg.Seconds(res),
 		}
 		rows = append(rows, row)
 		t.Rows = append(t.Rows, []string{
@@ -616,7 +616,7 @@ type AblationResult struct {
 
 // Ablations runs HiPa's design ablations on the named dataset.
 func Ablations(cfg *Config, dataset string) ([]AblationResult, *Table, error) {
-	m, err := cfg.Machine("skylake")
+	m, err := cfg.DefaultMachine()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -647,7 +647,7 @@ func Ablations(cfg *Config, dataset string) ([]AblationResult, *Table, error) {
 		}
 		a := AblationResult{
 			Variant: v.name,
-			Seconds: res.Model.EstimatedSeconds,
+			Seconds: cfg.Seconds(res),
 			MApE:    res.Model.MApE,
 			Remote:  res.Model.RemoteFraction,
 			Sched:   res.Sched.Migrations,

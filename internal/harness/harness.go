@@ -33,6 +33,7 @@ import (
 	"hipa/internal/gen"
 	"hipa/internal/graph"
 	"hipa/internal/machine"
+	"hipa/internal/platform"
 )
 
 // Config parameterises a reproduction run.
@@ -47,6 +48,13 @@ type Config struct {
 	Datasets []string
 	// SchedSeed seeds the simulated OS scheduler.
 	SchedSeed uint64
+	// Preset names the machine preset experiments run on when they don't
+	// pick one themselves (Table 3 sweeps both); NewConfig sets "skylake".
+	Preset string
+	// Native runs every engine on the pass-through native platform: real
+	// wall-clock execution with no scheduler/cache/cost modelling, so all
+	// modelled columns report zero (see platform.Native).
+	Native bool
 	// Prep is the shared preprocessing-artifact cache threaded into every
 	// engine run via PaperOptions, so sweep experiments (Fig. 6's thread
 	// counts, Fig. 7's partition sizes, Table 2's grid) build each (graph,
@@ -64,6 +72,7 @@ func NewConfig() *Config {
 		Divisor:    gen.DefaultDivisor,
 		Iterations: common.DefaultIterations,
 		SchedSeed:  0xC0FFEE,
+		Preset:     "skylake",
 		Prep:       common.NewPrepCache(64),
 	}
 }
@@ -103,6 +112,17 @@ func (c *Config) Machine(preset string) (*machine.Machine, error) {
 	return machine.Scaled(f(), c.Divisor), nil
 }
 
+// DefaultMachine returns the configured preset (Config.Preset, "skylake"
+// when unset) scaled by the divisor — what every experiment that doesn't
+// sweep microarchitectures runs on.
+func (c *Config) DefaultMachine() (*machine.Machine, error) {
+	preset := c.Preset
+	if preset == "" {
+		preset = "skylake"
+	}
+	return c.Machine(preset)
+}
+
 // PartBytes converts a paper-scale partition size to the scaled equivalent.
 func (c *Config) PartBytes(paperBytes int) int {
 	b := paperBytes / c.Divisor
@@ -138,6 +158,9 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 		SchedSeed:  c.SchedSeed,
 		PrepCache:  c.Prep,
 	}
+	if c.Native {
+		o.Platform = platform.NewNative(m)
+	}
 	switch strings.ToLower(engineName) {
 	case "hipa":
 		o.Threads = m.LogicalCores()
@@ -152,6 +175,16 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 		o.Threads = m.LogicalCores()
 	}
 	return o
+}
+
+// Seconds returns the run time experiments report for res: the modelled
+// estimate on a simulated platform, the real wall-clock time on the native
+// platform (where modelled metrics are zero by contract, never fabricated).
+func (c *Config) Seconds(res *common.Result) float64 {
+	if c.Native {
+		return res.WallSeconds
+	}
+	return res.Model.EstimatedSeconds
 }
 
 // Table is a rendered experiment result.

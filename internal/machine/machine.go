@@ -121,6 +121,25 @@ func (m *Machine) PhysicalOfLogical(id int) int {
 	return id / m.ThreadsPerCore
 }
 
+// TunedPartitionBytes returns the cache-geometry-derived partition size the
+// paper's tuning arrives at for this machine: a quarter of the private L2 on
+// non-inclusive hierarchies, where evicted L2 lines survive in the LLC
+// (Skylake: 1MB L2 → the §4.1 256KB), and half of it on inclusive
+// hierarchies, where LLC evictions invalidate L2 and the partition working
+// set must fit comfortably in the private level (Haswell: 256KB L2 → 128KB,
+// the §4.5 contrast). Floored at 16 bytes for heavily scaled machines.
+func (m *Machine) TunedPartitionBytes() int {
+	frac := 4
+	if m.LLCInclusive {
+		frac = 2
+	}
+	pb := m.L2.SizeBytes / frac
+	if pb < 16 {
+		pb = 16
+	}
+	return pb
+}
+
 // SiblingOfLogical returns the other hyper-thread on the same physical core,
 // or -1 when ThreadsPerCore == 1.
 func (m *Machine) SiblingOfLogical(id int) int {

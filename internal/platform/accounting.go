@@ -1,4 +1,4 @@
-package common
+package platform
 
 import (
 	"fmt"
@@ -31,21 +31,148 @@ const (
 	// subset is supposed to be smaller than the L2 cache size, so that the
 	// edge subset and buffer are co-located").
 	WorkingSetSlack = 1.5
+	// FCFSWorkingSetSlack is the working-set factor for first-come-first-
+	// serve partition processing: threads hop across non-contiguous
+	// partitions and keep more live bin pages resident than HiPa's pinned
+	// threads over the contiguous per-group layout (§3.4), so their
+	// resident set per partition is larger. This is the mechanism behind
+	// the oblivious engines' degradation beyond the physical core count
+	// (Fig. 6).
+	FCFSWorkingSetSlack = 2.25
 )
 
-// PartitionModelSpec feeds BuildPartitionModel with everything the analytic
-// model needs about a partition-centric run (HiPa, p-PR, GPOP).
-type PartitionModelSpec struct {
-	Machine *machine.Machine
-	Hier    *partition.Hierarchy
-	Lay     *layout.Layout
-	Lookup  *partition.LookupTable
+// Accounting accumulates per-thread memory and compute events against a
+// pool's placement. A zero Accounting (from the Native platform) ignores
+// every call: the engines account unconditionally and pay only a nil test.
+//
+// Engines feed it either with the aggregate run descriptions
+// (AddPartitionRun / AddVertexRun — event counts driven by the real layout)
+// or with the fine-grained Account* primitives.
+type Accounting struct {
+	m      *machine.Machine // nil => no-op (Native)
+	nodes  []int
+	shared []bool
+	costs  []perfmodel.ThreadCost
 
-	// ThreadNode[t] is the NUMA node thread t runs on; ThreadShared[t]
-	// reports whether its hyper-thread sibling is also active. Both come
-	// from the scheduler simulation.
-	ThreadNode   []int
-	ThreadShared []bool
+	barriers    int64
+	schedCostNS float64
+
+	// Random-access classification context, set by AddPartitionRun and used
+	// by AccountRandom: the cached working set per thread.
+	partBytes     int64
+	slack         float64
+	capBytes      int64
+	threadsOnNode []int
+}
+
+// Enabled reports whether events are being recorded (false on Native).
+func (a *Accounting) Enabled() bool { return a.m != nil }
+
+// Costs exposes the accumulated per-thread costs — the perfmodel input
+// Finalize prices. nil on Native.
+func (a *Accounting) Costs() []perfmodel.ThreadCost { return a.costs }
+
+// Barriers exposes the accumulated barrier count.
+func (a *Accounting) Barriers() int64 { return a.barriers }
+
+// AccountBarriers adds n barrier synchronisations to the run.
+func (a *Accounting) AccountBarriers(n int64) {
+	if a.m == nil {
+		return
+	}
+	a.barriers += n
+}
+
+// AccountCompute adds raw compute cycles to thread t.
+func (a *Accounting) AccountCompute(t int, cycles float64) {
+	if a.m == nil {
+		return
+	}
+	a.costs[t].ComputeCycles += cycles
+}
+
+// AccountAtomic adds the atomic read-modify-write penalty for count
+// operations on thread t.
+func (a *Accounting) AccountAtomic(t int, count int64) {
+	if a.m == nil {
+		return
+	}
+	a.costs[t].ComputeCycles += AtomicPenaltyCycles * float64(count)
+}
+
+// AccountRead classifies `bytes` of streamed reads by thread t against the
+// node the data lives on (dataNode < 0 means interleaved).
+func (a *Accounting) AccountRead(t int, dataNode int, bytes int64) {
+	a.stream(t, dataNode, bytes)
+}
+
+// AccountWrite classifies `bytes` of streamed writes by thread t. Streamed
+// reads and writes price identically in the bandwidth model; the two names
+// keep call sites self-describing.
+func (a *Accounting) AccountWrite(t int, dataNode int, bytes int64) {
+	a.stream(t, dataNode, bytes)
+}
+
+// AccountRandom classifies `count` random accesses by thread t within its
+// partition working set across L2/LLC/DRAM fractions. Requires the working-
+// set context established by AddPartitionRun.
+func (a *Accounting) AccountRandom(t int, dataNode int, count int64) {
+	a.random(t, dataNode, count)
+}
+
+// stream splits bytes into local/remote for a thread given the node the
+// data lives on (dataNode < 0 means interleaved).
+func (a *Accounting) stream(t int, dataNode int, bytes int64) {
+	if a.m == nil || bytes == 0 {
+		return
+	}
+	c := &a.costs[t]
+	if dataNode >= 0 {
+		if dataNode == c.Node {
+			c.StreamLocalBytes += bytes
+		} else {
+			c.StreamRemoteBytes += bytes
+		}
+		return
+	}
+	local := bytes / int64(a.m.NUMANodes)
+	c.StreamLocalBytes += local
+	c.StreamRemoteBytes += bytes - local
+}
+
+// random classifies count random accesses across L2/LLC/DRAM fractions
+// using the partition working-set context.
+func (a *Accounting) random(t int, dataNode int, count int64) {
+	if a.m == nil || count == 0 {
+		return
+	}
+	m := a.m
+	c := &a.costs[t]
+	fL2, fLLC, fDRAM := perfmodel.ClassifyPartitionRandom(m, a.partBytes, a.slack, c.PhysShared, a.threadsOnNode[c.Node], a.capBytes)
+	c.L2Accesses += int64(float64(count) * fL2)
+	c.LLCAccesses += int64(float64(count) * fLLC)
+	dram := int64(float64(count) * fDRAM)
+	if dram == 0 {
+		return
+	}
+	if dataNode < 0 {
+		local := dram / int64(m.NUMANodes)
+		c.RandomLocal += local
+		c.RandomRemote += dram - local
+	} else if dataNode == c.Node {
+		c.RandomLocal += dram
+	} else {
+		c.RandomRemote += dram
+	}
+}
+
+// PartitionRun describes a partition-centric scatter-gather run (HiPa,
+// p-PR, GPOP) for aggregate accounting.
+type PartitionRun struct {
+	Hier   *partition.Hierarchy
+	Lay    *layout.Layout
+	Lookup *partition.LookupTable
+
 	// PartThread[p] is the thread that processes partition p (the pinned
 	// assignment for HiPa, or the modelled average assignment for FCFS
 	// engines).
@@ -67,31 +194,30 @@ type PartitionModelSpec struct {
 	// non-zero. Pinned threads over the contiguous per-group layout (§3.4)
 	// keep a tight resident set (default 1.5×); FCFS threads hop across
 	// non-contiguous partitions and keep more live bin pages resident, so
-	// the oblivious engines pass a larger factor — this is the L2
+	// the oblivious engines pass FCFSWorkingSetSlack — this is the L2
 	// contention that makes them degrade past the physical core count
 	// (§3.3.1, Fig. 6).
 	WorkingSetSlack float64
 }
 
-// BuildPartitionModel classifies the memory events of a partition-centric
-// scatter-gather run and returns the per-thread costs plus the barrier
-// count. Event counts are exact (driven by the real layout); placement
-// classification is exact for NUMA-aware runs and expectation-based for
-// interleaved ones.
-func BuildPartitionModel(s PartitionModelSpec) ([]perfmodel.ThreadCost, int64, error) {
-	if len(s.ThreadNode) == 0 {
-		return nil, 0, fmt.Errorf("common: no threads in model spec")
+// AddPartitionRun classifies the memory events of a partition-centric
+// scatter-gather run into the accumulators, plus the barrier count (three
+// per iteration). Event counts are exact (driven by the real layout);
+// placement classification is exact for NUMA-aware runs and expectation-
+// based for interleaved ones. The placement comes from the pool the
+// Accounting was opened on.
+func (a *Accounting) AddPartitionRun(s PartitionRun) error {
+	if a.m == nil {
+		return nil
+	}
+	if len(a.nodes) == 0 {
+		return fmt.Errorf("platform: no threads in accounting")
 	}
 	if len(s.PartThread) != s.Hier.NumPartitions() {
-		return nil, 0, fmt.Errorf("common: PartThread has %d entries for %d partitions", len(s.PartThread), s.Hier.NumPartitions())
+		return fmt.Errorf("platform: PartThread has %d entries for %d partitions", len(s.PartThread), s.Hier.NumPartitions())
 	}
-	nThreads := len(s.ThreadNode)
-	m := s.Machine
-	costs := make([]perfmodel.ThreadCost, nThreads)
-	for t, nd := range s.ThreadNode {
-		costs[t].Node = nd
-		costs[t].PhysShared = s.ThreadShared[t]
-	}
+	nThreads := len(a.nodes)
+	m := a.m
 	// LLC demand counts only *active* threads (those owning at least one
 	// partition); a huge partition size can leave most threads idle.
 	active := make([]bool, nThreads)
@@ -101,7 +227,7 @@ func BuildPartitionModel(s PartitionModelSpec) ([]perfmodel.ThreadCost, int64, e
 		}
 	}
 	threadsOnNode := make([]int, m.NUMANodes)
-	for t, nd := range s.ThreadNode {
+	for t, nd := range a.nodes {
 		if active[t] {
 			threadsOnNode[nd]++
 		}
@@ -126,63 +252,23 @@ func BuildPartitionModel(s PartitionModelSpec) ([]perfmodel.ThreadCost, int64, e
 	if slack == 0 {
 		slack = WorkingSetSlack
 	}
-	partBytes := int64(s.Hier.VerticesPerPartition * s.Hier.Config.BytesPerVertex)
-
-	// addStream splits bytes into local/remote for a thread given the node
-	// the data lives on (dataNode < 0 means interleaved).
-	addStream := func(t int, dataNode int, bytes int64) {
-		if bytes == 0 {
-			return
-		}
-		c := &costs[t]
-		if dataNode >= 0 {
-			if dataNode == c.Node {
-				c.StreamLocalBytes += bytes
-			} else {
-				c.StreamRemoteBytes += bytes
-			}
-			return
-		}
-		local := bytes / int64(m.NUMANodes)
-		c.StreamLocalBytes += local
-		c.StreamRemoteBytes += bytes - local
-	}
+	// Establish the random-access classification context for this run (also
+	// used by any subsequent AccountRandom calls).
+	a.partBytes = int64(s.Hier.VerticesPerPartition * s.Hier.Config.BytesPerVertex)
+	a.slack = slack
 	// The aggregate LLC demand can never exceed the per-node footprint of
 	// the vertex attribute arrays (rank + accumulator); without this cap
 	// the model overstates DRAM spill for large partitions on small graphs
 	// (cross-checked against the exact simulator in internal/validate).
-	capBytes := int64(s.Hier.NumVertices) * int64(s.Hier.Config.BytesPerVertex) * 2 / int64(m.NUMANodes)
-	// addRandom classifies `count` random accesses within the thread's
-	// partition working set across L2/LLC/DRAM fractions.
-	addRandom := func(t int, dataNode int, count int64) {
-		if count == 0 {
-			return
-		}
-		c := &costs[t]
-		fL2, fLLC, fDRAM := perfmodel.ClassifyPartitionRandom(m, partBytes, slack, c.PhysShared, threadsOnNode[c.Node], capBytes)
-		c.L2Accesses += int64(float64(count) * fL2)
-		c.LLCAccesses += int64(float64(count) * fLLC)
-		dram := int64(float64(count) * fDRAM)
-		if dram == 0 {
-			return
-		}
-		if dataNode < 0 {
-			local := dram / int64(m.NUMANodes)
-			c.RandomLocal += local
-			c.RandomRemote += dram - local
-		} else if dataNode == c.Node {
-			c.RandomLocal += dram
-		} else {
-			c.RandomRemote += dram
-		}
-	}
+	a.capBytes = int64(s.Hier.NumVertices) * int64(s.Hier.Config.BytesPerVertex) * 2 / int64(m.NUMANodes)
+	a.threadsOnNode = threadsOnNode
 
 	iters := int64(s.Iterations)
 	vb := int64(s.Hier.Config.BytesPerVertex)
 	for p := 0; p < P; p++ {
 		t := int(s.PartThread[p])
 		if t < 0 || t >= nThreads {
-			return nil, 0, fmt.Errorf("common: partition %d assigned to thread %d of %d", p, t, nThreads)
+			return fmt.Errorf("platform: partition %d assigned to thread %d of %d", p, t, nThreads)
 		}
 		part := s.Hier.Partitions[p]
 		vp := int64(part.Vertices())
@@ -197,52 +283,50 @@ func BuildPartitionModel(s PartitionModelSpec) ([]perfmodel.ThreadCost, int64, e
 
 		// --- Scatter phase (per iteration) ---
 		// Stream: rank slice, intra-edge structure, message sources.
-		addStream(t, dataNode, iters*(vp*vb+intra*4+msgsOut[p]*4))
+		a.stream(t, dataNode, iters*(vp*vb+intra*4+msgsOut[p]*4))
 		// Bin writes: bins live with the *destination* partition when
 		// NUMA-aware, so cross-node messages are the remote traffic of the
 		// scatter phase (Fig. 1's "node 2 sends out updated data").
 		if s.NUMAAware {
 			for bi := s.Lay.SrcBlockStart[p]; bi < s.Lay.SrcBlockEnd[p]; bi++ {
 				b := s.Lay.Blocks[bi]
-				addStream(t, int(s.Lookup.PartNode[b.DstPart]), iters*b.Messages()*4)
+				a.stream(t, int(s.Lookup.PartNode[b.DstPart]), iters*b.Messages()*4)
 			}
 		} else {
-			addStream(t, -1, iters*msgsOut[p]*4)
+			a.stream(t, -1, iters*msgsOut[p]*4)
 		}
 		// Random: intra-edge accumulator updates stay inside the cached
 		// partition.
-		addRandom(t, dataNode, iters*intra)
+		a.random(t, dataNode, iters*intra)
 
 		// --- Gather phase (per iteration) ---
 		// Stream: bins targeting q (local when NUMA-aware), destination
 		// lists, rank recompute (read accumulator + write rank).
-		addStream(t, dataNode, iters*(msgsIn[p]*4+dstsIn[p]*4+vp*vb*2))
+		a.stream(t, dataNode, iters*(msgsIn[p]*4+dstsIn[p]*4+vp*vb*2))
 		// Random: decoded destination updates within the cached partition.
-		addRandom(t, dataNode, iters*dstsIn[p])
+		a.random(t, dataNode, iters*dstsIn[p])
 
 		// Framework per-partition state (GPOP), streamed each phase.
 		if s.ExtraBytesPerPartition > 0 {
-			addStream(t, -1, iters*2*s.ExtraBytesPerPartition)
+			a.stream(t, -1, iters*2*s.ExtraBytesPerPartition)
 		}
 
 		// Compute.
-		costs[t].ComputeCycles += float64(iters) * ((CyclesPerEdge+s.ExtraCyclesPerEdge)*float64(intra+dstsIn[p]) +
+		a.costs[t].ComputeCycles += float64(iters) * ((CyclesPerEdge+s.ExtraCyclesPerEdge)*float64(intra+dstsIn[p]) +
 			CyclesPerVertex*2*float64(vp) +
 			CyclesPerMessage*float64(msgsOut[p]+msgsIn[p]))
 	}
 	// Three barriers per iteration: after scatter, after gather, after the
 	// dangling-mass reduction.
-	return costs, iters * 3, nil
+	a.barriers += iters * 3
+	return nil
 }
 
-// VertexModelSpec feeds BuildVertexModel for vertex-centric runs (v-PR,
-// Polymer).
-type VertexModelSpec struct {
-	Machine *machine.Machine
-	G       *graph.Graph
+// VertexRun describes a vertex-centric pull run (v-PR, Polymer) for
+// aggregate accounting.
+type VertexRun struct {
+	G *graph.Graph
 
-	ThreadNode   []int
-	ThreadShared []bool
 	// Bounds are the per-thread destination vertex ranges (len threads+1).
 	Bounds []int
 
@@ -273,21 +357,22 @@ type VertexModelSpec struct {
 	Iterations int
 }
 
-// BuildVertexModel classifies the events of a pull/push vertex-centric run.
-func BuildVertexModel(s VertexModelSpec) ([]perfmodel.ThreadCost, int64, error) {
-	nThreads := len(s.ThreadNode)
+// AddVertexRun classifies the events of a pull/push vertex-centric run into
+// the accumulators, plus the barrier count (two per iteration).
+func (a *Accounting) AddVertexRun(s VertexRun) error {
+	if a.m == nil {
+		return nil
+	}
+	nThreads := len(a.nodes)
 	if nThreads == 0 || len(s.Bounds) != nThreads+1 {
-		return nil, 0, fmt.Errorf("common: bad vertex model spec (threads=%d bounds=%d)", nThreads, len(s.Bounds))
+		return fmt.Errorf("platform: bad vertex run (threads=%d bounds=%d)", nThreads, len(s.Bounds))
 	}
 	if !s.G.HasInEdges() {
-		return nil, 0, fmt.Errorf("common: vertex model needs in-edges")
+		return fmt.Errorf("platform: vertex accounting needs in-edges")
 	}
-	m := s.Machine
-	costs := make([]perfmodel.ThreadCost, nThreads)
+	m := a.m
 	threadsOnNode := make([]int, m.NUMANodes)
-	for t, nd := range s.ThreadNode {
-		costs[t].Node = nd
-		costs[t].PhysShared = s.ThreadShared[t]
+	for _, nd := range a.nodes {
 		threadsOnNode[nd]++
 	}
 
@@ -337,7 +422,7 @@ func BuildVertexModel(s VertexModelSpec) ([]perfmodel.ThreadCost, int64, error) 
 		lo, hi := s.Bounds[t], s.Bounds[t+1]
 		verts := int64(hi - lo)
 		inEdges := edgesOf(t)
-		c := &costs[t]
+		c := &a.costs[t]
 
 		dataNode := -1
 		if s.NUMAAware {
@@ -403,5 +488,29 @@ func BuildVertexModel(s VertexModelSpec) ([]perfmodel.ThreadCost, int64, error) 
 		c.ComputeCycles += cyc
 	}
 	// Two barriers per iteration (contribution pass, rank pass).
-	return costs, iters * 2, nil
+	a.barriers += iters * 2
+	return nil
+}
+
+// FCFSAssignment models the steady-state outcome of first-come-first-serve
+// partition claiming for the analytic cost model: dynamic scheduling
+// approximates a greedy least-loaded assignment, so each partition (in
+// order) goes to the thread with the least accumulated edge work. With many
+// small partitions this is near-perfectly balanced; with fewer partitions
+// than threads (GPOP's 1MB partitions on a small graph) the imbalance the
+// paper observes emerges naturally.
+func FCFSAssignment(h *partition.Hierarchy, threads int) []int32 {
+	out := make([]int32, h.NumPartitions())
+	load := make([]int64, threads)
+	for p, part := range h.Partitions {
+		best := 0
+		for t := 1; t < threads; t++ {
+			if load[t] < load[best] {
+				best = t
+			}
+		}
+		out[p] = int32(best)
+		load[best] += part.EdgeCount + 1
+	}
+	return out
 }

@@ -1,0 +1,60 @@
+package platform
+
+import (
+	"hipa/internal/machine"
+	"hipa/internal/perfmodel"
+)
+
+// Native is the pass-through platform for pure wall-clock runs: spawns cost
+// nothing and produce no placement, accounting calls are no-ops, and
+// Finalize returns a zero-valued report. Modelled metrics are reported as
+// zero, never fabricated — a zero EstimatedSeconds means "not modelled",
+// and consumers must not read it as "instant".
+//
+// Native still carries a machine description: engines use the topology
+// (node counts, logical cores, cache-derived partition-size defaults) for
+// structural decisions even when nothing is priced.
+type Native struct {
+	m *machine.Machine
+}
+
+// NewNative wraps a topology as a pass-through platform. nil selects the
+// Skylake preset (its topology matches common host core counts).
+func NewNative(m *machine.Machine) *Native {
+	if m == nil {
+		m = machine.SkylakeSilver4210()
+	}
+	return &Native{m: m}
+}
+
+// Name implements Platform.
+func (p *Native) Name() string { return "native" }
+
+// Machine implements Platform (topology only; nothing is priced on it).
+func (p *Native) Machine() *machine.Machine { return p.m }
+
+// Modeled implements Platform.
+func (p *Native) Modeled() bool { return false }
+
+// SpawnPinned implements Platform: no scheduler simulation runs; the pool
+// carries only the thread count.
+func (p *Native) SpawnPinned(seed uint64, threads int) (*Pool, error) {
+	return &Pool{Threads: threads}, nil
+}
+
+// SpawnOblivious implements Platform: no scheduler simulation runs.
+func (p *Native) SpawnOblivious(seed uint64, regions, threads int, bindNodes bool) (*Pool, error) {
+	return &Pool{Threads: threads}, nil
+}
+
+// NewAccounting implements Platform: a no-op accumulator (every Account*
+// call returns immediately).
+func (p *Native) NewAccounting(pool *Pool) *Accounting {
+	return &Accounting{}
+}
+
+// Finalize implements Platform: a zero report, with only the structural
+// iteration count filled in so iteration-agreement invariants hold.
+func (p *Native) Finalize(a *Accounting, shape RunShape) (*perfmodel.Report, error) {
+	return &perfmodel.Report{Iterations: shape.Iterations}, nil
+}

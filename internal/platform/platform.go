@@ -1,0 +1,133 @@
+// Package platform is the execution substrate the PageRank engines run on:
+// one interface binding a machine.Machine to its scheduler simulation, NUMA
+// placement, cache simulation, and per-thread cost accounting.
+//
+// Every HiPa design decision is a function of the platform — topology,
+// placement, cache geometry, scheduler behaviour (paper §3–§4) — so the
+// engines never touch machine/sched/memsim/cachesim/perfmodel directly.
+// They speak to a Platform:
+//
+//	Spawn*        simulate the thread lifecycle, yielding a Pool (the
+//	              placement: NUMA node and hyper-thread sharing per thread)
+//	NewAccounting open per-thread cost accumulators for the run
+//	Account*      classify memory events into those accumulators
+//	Finalize      turn the accumulators into the perfmodel input and price
+//	              the run
+//
+// Two implementations exist. Modeled wraps a simulated machine (the Skylake
+// and Haswell presets) and produces the paper-shape performance reports.
+// Native skips all modelling: spawns are free, accounting is a no-op, and
+// Finalize returns a zero-valued report — modelled metrics are reported as
+// zero, never fabricated — so pure wall-clock runs pay nothing for the
+// substrate.
+package platform
+
+import (
+	"fmt"
+
+	"hipa/internal/machine"
+	"hipa/internal/obs"
+	"hipa/internal/perfmodel"
+	"hipa/internal/sched"
+)
+
+// Platform binds a machine description to scheduling, placement, and cost
+// accounting. Implementations are stateless and safe for concurrent use;
+// all per-run state lives in Pool and Accounting values.
+type Platform interface {
+	// Name identifies the platform ("skylake", "haswell", "native", ...).
+	Name() string
+	// Machine returns the topology the platform describes. Native platforms
+	// keep a real topology too: engines still need node counts and default
+	// thread counts for structural decisions.
+	Machine() *machine.Machine
+	// Modeled reports whether the platform prices runs on the simulated
+	// machine. When false, Account* calls are no-ops and Finalize returns a
+	// zero report.
+	Modeled() bool
+	// SpawnPinned simulates Algorithm 2's thread lifecycle: threads spawned
+	// once, each pinned to a distinct logical core for the whole run.
+	SpawnPinned(seed uint64, threads int) (*Pool, error)
+	// SpawnOblivious simulates Algorithm 1's lifecycle: a fresh pool of
+	// `threads` workers per parallel region, placed arbitrarily by the OS.
+	// bindNodes retrofits NUMA binding onto the oblivious model
+	// (Polymer-style), triggering the migration storm of §3.3.2.
+	SpawnOblivious(seed uint64, regions, threads int, bindNodes bool) (*Pool, error)
+	// NewAccounting opens per-thread cost accumulators against the pool's
+	// placement.
+	NewAccounting(pool *Pool) *Accounting
+	// Finalize prices the accumulated events, producing the performance
+	// report (the perfmodel input and output in one step).
+	Finalize(a *Accounting, shape RunShape) (*perfmodel.Report, error)
+}
+
+// RunShape carries the run-level quantities Finalize needs beyond the
+// per-thread accumulators.
+type RunShape struct {
+	// Iterations actually performed (after tolerance-based early exit).
+	Iterations int
+	// EdgesProcessed across all iterations (for MApE).
+	EdgesProcessed int64
+	// UncoordinatedStreams marks per-phase thread pools whose streams are
+	// not coordinated with data placement (Algorithm-1 engines).
+	UncoordinatedStreams bool
+}
+
+// Pool is the outcome of a simulated thread-lifecycle spawn: the per-thread
+// NUMA placement the cost model prices, plus the scheduler activity stats.
+// On a Native platform only Threads is populated.
+type Pool struct {
+	// Threads is the worker count.
+	Threads int
+	// Nodes[t] is the NUMA node thread t runs on (nil on Native). Engines
+	// that derive placement from data ownership rather than the scheduler
+	// snapshot (Polymer's sub-graph-per-node structure) may overwrite
+	// entries before opening an Accounting.
+	Nodes []int
+	// Shared[t] reports whether thread t's hyper-thread sibling is also
+	// busy (nil on Native).
+	Shared []bool
+	// Stats is the simulated scheduler activity (zero on Native).
+	Stats sched.Stats
+
+	m      *machine.Machine // nil on Native
+	pinned []int            // logical core per thread for pinned pools
+}
+
+// SetLanes names one trace lane per pool thread plus the serial runner lane
+// (one past the last worker). Pinned pools carry their simulated placement
+// in the lane name ("t03 node1 cpu23"); oblivious pools the representative
+// first-region node; native pools just the index.
+func (p *Pool) SetLanes(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for i := 0; i < p.Threads; i++ {
+		switch {
+		case p.pinned != nil:
+			tr.SetLane(i, fmt.Sprintf("t%02d node%d cpu%02d", i, p.m.NodeOfLogical(p.pinned[i]), p.pinned[i]))
+		case p.Nodes != nil:
+			tr.SetLane(i, fmt.Sprintf("t%02d node%d", i, p.Nodes[i]))
+		default:
+			tr.SetLane(i, fmt.Sprintf("t%02d", i))
+		}
+	}
+	tr.SetLane(p.Threads, "runner")
+}
+
+// ThreadPlacement derives the model inputs from a simulated thread pool:
+// each thread's NUMA node and whether it shares a physical core with another
+// pool thread (the hyper-thread contention condition).
+func ThreadPlacement(pool []*sched.Thread, m *machine.Machine) (nodes []int, shared []bool) {
+	nodes = make([]int, len(pool))
+	shared = make([]bool, len(pool))
+	perPhys := make([]int, m.PhysicalCores())
+	for _, t := range pool {
+		perPhys[m.PhysicalOfLogical(t.Logical)]++
+	}
+	for i, t := range pool {
+		nodes[i] = m.NodeOfLogical(t.Logical)
+		shared[i] = perPhys[m.PhysicalOfLogical(t.Logical)] >= 2
+	}
+	return nodes, shared
+}

@@ -1,0 +1,313 @@
+package platform_test
+
+import (
+	"testing"
+
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/machine"
+	"hipa/internal/partition"
+	"hipa/internal/perfmodel"
+	"hipa/internal/platform"
+	"hipa/internal/sched"
+)
+
+func TestThreadPlacement(t *testing.T) {
+	m := machine.SkylakeSilver4210()
+	s := sched.New(m, 1)
+	pool, _, err := s.RunPinnedThreads(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, shared := platform.ThreadPlacement(pool, m)
+	n0 := 0
+	for i := range nodes {
+		if nodes[i] == 0 {
+			n0++
+		}
+		if !shared[i] {
+			t.Fatalf("40 threads on 20 physical cores: thread %d should be HT-shared", i)
+		}
+	}
+	if n0 != 20 {
+		t.Fatalf("node 0 threads = %d, want 20", n0)
+	}
+
+	s2 := sched.New(m, 2)
+	pool2, _, err := s2.RunPinnedThreads(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, shared2 := platform.ThreadPlacement(pool2, m)
+	for i := range shared2 {
+		if shared2[i] {
+			t.Fatalf("20 pinned threads spread over physical cores: thread %d should not share", i)
+		}
+	}
+}
+
+func buildFixture(t *testing.T) (*graph.Graph, *partition.Hierarchy, *layout.Layout, *partition.LookupTable) {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 2048, Edges: 30000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := partition.Build(g, partition.Config{PartitionBytes: 512, BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := layout.Build(g, h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, h, l, partition.BuildLookup(h)
+}
+
+// partitionCosts runs one AddPartitionRun through a fresh Accounting on the
+// given placement and returns the accumulated costs and barriers.
+func partitionCosts(t *testing.T, pf *platform.Modeled, nodes []int, shared []bool, run platform.PartitionRun) ([]perfmodel.ThreadCost, int64) {
+	t.Helper()
+	a := pf.NewAccounting(&platform.Pool{Threads: len(nodes), Nodes: nodes, Shared: shared})
+	if err := a.AddPartitionRun(run); err != nil {
+		t.Fatal(err)
+	}
+	return a.Costs(), a.Barriers()
+}
+
+func TestAddPartitionRunNUMAAwareLessRemote(t *testing.T) {
+	_, h, l, lt := buildFixture(t)
+	pf := platform.NewModeled(machine.SkylakeSilver4210())
+	nThreads := len(h.Groups)
+	nodes := make([]int, nThreads)
+	shareds := make([]bool, nThreads)
+	for i, gr := range h.Groups {
+		nodes[i] = gr.Node
+	}
+	run := platform.PartitionRun{
+		Hier: h, Lay: l, Lookup: lt,
+		PartThread: lt.PartThread,
+		NUMAAware:  true, Iterations: 10,
+	}
+	costsAware, barriers := partitionCosts(t, pf, nodes, shareds, run)
+	if barriers != 30 {
+		t.Errorf("barriers = %d, want 30", barriers)
+	}
+	run.NUMAAware = false
+	costsObliv, _ := partitionCosts(t, pf, nodes, shareds, run)
+	sum := func(cs []perfmodel.ThreadCost) (local, remote int64) {
+		for _, c := range cs {
+			local += c.StreamLocalBytes
+			remote += c.StreamRemoteBytes
+		}
+		return
+	}
+	la, ra := sum(costsAware)
+	lo, ro := sum(costsObliv)
+	fa := float64(ra) / float64(la+ra)
+	fo := float64(ro) / float64(lo+ro)
+	if fa >= fo {
+		t.Fatalf("NUMA-aware remote fraction %.3f should be below oblivious %.3f", fa, fo)
+	}
+	// The paper's headline: oblivious partition-centric ~49% remote,
+	// HiPa ~14%. Loose sanity bounds here.
+	if fo < 0.3 {
+		t.Errorf("oblivious remote fraction %.3f unexpectedly low", fo)
+	}
+	if fa > 0.35 {
+		t.Errorf("aware remote fraction %.3f unexpectedly high", fa)
+	}
+}
+
+func TestAddPartitionRunErrors(t *testing.T) {
+	_, h, l, lt := buildFixture(t)
+	pf := platform.NewModeled(machine.SkylakeSilver4210())
+	a := pf.NewAccounting(&platform.Pool{Threads: 0})
+	if err := a.AddPartitionRun(platform.PartitionRun{Hier: h, Lay: l, Lookup: lt, PartThread: lt.PartThread}); err == nil {
+		t.Error("expected error for no threads")
+	}
+	a = pf.NewAccounting(&platform.Pool{Threads: 1, Nodes: []int{0}, Shared: []bool{false}})
+	if err := a.AddPartitionRun(platform.PartitionRun{
+		Hier: h, Lay: l, Lookup: lt,
+		PartThread: []int32{0, 1},
+	}); err == nil {
+		t.Error("expected error for PartThread size mismatch")
+	}
+}
+
+func TestAddVertexRunLocalityContrast(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 4096, Edges: 50000, OutAlpha: 2.0, InAlpha: 1.0, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.BuildIn()
+	// Scale the machine so the rank array (16KB) exceeds the LLC and real
+	// DRAM misses appear.
+	pf := platform.NewModeled(machine.Scaled(machine.SkylakeSilver4210(), 4096))
+	threads := 8
+	bounds := splitByWeight(g.InOffsets(), threads)
+	nodes := make([]int, threads)
+	shared := make([]bool, threads)
+	for i := range nodes {
+		nodes[i] = i * 2 / threads
+	}
+	run := platform.VertexRun{
+		G: g, Bounds: bounds, Iterations: 5,
+	}
+	vertexCosts := func(run platform.VertexRun) ([]perfmodel.ThreadCost, int64) {
+		a := pf.NewAccounting(&platform.Pool{Threads: threads, Nodes: nodes, Shared: shared})
+		if err := a.AddVertexRun(run); err != nil {
+			t.Fatal(err)
+		}
+		return a.Costs(), a.Barriers()
+	}
+	costsObliv, barriers := vertexCosts(run)
+	if barriers != 10 {
+		t.Errorf("barriers = %d, want 10", barriers)
+	}
+	run.NUMAAware = true
+	costsAware, _ := vertexCosts(run)
+	remFrac := func(cs []perfmodel.ThreadCost) float64 {
+		var loc, rem int64
+		for _, c := range cs {
+			loc += c.StreamLocalBytes + c.RandomLocal*64
+			rem += c.StreamRemoteBytes + c.RandomRemote*64
+		}
+		return float64(rem) / float64(loc+rem)
+	}
+	if remFrac(costsAware) >= remFrac(costsObliv) {
+		t.Fatalf("NUMA-aware vertex engine should have lower remote fraction: %.3f vs %.3f",
+			remFrac(costsAware), remFrac(costsObliv))
+	}
+}
+
+// splitByWeight mirrors common.SplitByWeight for the fixture (platform must
+// not import engines/common).
+func splitByWeight(prefix []int64, parts int) []int {
+	n := len(prefix) - 1
+	bounds := make([]int, parts+1)
+	bounds[parts] = n
+	total := prefix[n]
+	for p := 1; p < parts; p++ {
+		target := total * int64(p) / int64(parts)
+		lo, hi := bounds[p-1], n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if prefix[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > bounds[p-1] && prefix[lo]-target > target-prefix[lo-1] {
+			lo--
+		}
+		bounds[p] = lo
+	}
+	return bounds
+}
+
+func TestAddVertexRunErrors(t *testing.T) {
+	g, _ := gen.Uniform(100, 500, 1)
+	pf := platform.NewModeled(machine.SkylakeSilver4210())
+	a := pf.NewAccounting(&platform.Pool{Threads: 0})
+	if err := a.AddVertexRun(platform.VertexRun{G: g}); err == nil {
+		t.Error("expected error for empty run")
+	}
+	a = pf.NewAccounting(&platform.Pool{Threads: 1, Nodes: []int{0}, Shared: []bool{false}})
+	if err := a.AddVertexRun(platform.VertexRun{
+		G: g, Bounds: []int{0, 100}, Iterations: 1,
+	}); err == nil {
+		t.Error("expected error for missing in-edges")
+	}
+}
+
+// TestModeledSpawnsMatchScheduler: the platform's spawn paths are thin,
+// deterministic wrappers over the scheduler simulation — same seed, same
+// placement and stats.
+func TestModeledSpawnsMatchScheduler(t *testing.T) {
+	m := machine.SkylakeSilver4210()
+	pf := platform.NewModeled(m)
+	p1, err := pf.SpawnPinned(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := pf.SpawnPinned(7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Stats != p2.Stats {
+		t.Errorf("same seed, different pinned stats: %+v vs %+v", p1.Stats, p2.Stats)
+	}
+	for i := range p1.Nodes {
+		if p1.Nodes[i] != p2.Nodes[i] || p1.Shared[i] != p2.Shared[i] {
+			t.Fatalf("same seed, different placement at thread %d", i)
+		}
+	}
+	if p1.Stats.Spawned != 40 {
+		t.Errorf("pinned spawns = %d, want 40", p1.Stats.Spawned)
+	}
+
+	ob, err := pf.SpawnOblivious(7, 10, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob.Stats.Spawned != 10*20 {
+		t.Errorf("oblivious spawns = %d, want 200 (fresh pool per region)", ob.Stats.Spawned)
+	}
+}
+
+// TestNativeSemantics: the Native platform reports modelled metrics as
+// zero, never fabricated — and performs no scheduler simulation.
+func TestNativeSemantics(t *testing.T) {
+	pf := platform.NewNative(nil)
+	if pf.Modeled() {
+		t.Fatal("Native.Modeled() = true")
+	}
+	if pf.Name() != "native" {
+		t.Fatalf("name = %q", pf.Name())
+	}
+	if pf.Machine() == nil {
+		t.Fatal("Native must keep a topology for structural decisions")
+	}
+	pool, err := pf.SpawnPinned(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Threads != 16 || pool.Nodes != nil || pool.Shared != nil {
+		t.Fatalf("native pool should carry only the thread count: %+v", pool)
+	}
+	if pool.Stats != (sched.Stats{}) {
+		t.Fatalf("native pool has scheduler stats: %+v", pool.Stats)
+	}
+	a := pf.NewAccounting(pool)
+	if a.Enabled() {
+		t.Fatal("native accounting should be disabled")
+	}
+	// Accounting calls must be harmless no-ops.
+	a.AccountRead(3, 0, 1<<20)
+	a.AccountWrite(3, -1, 1<<20)
+	a.AccountRandom(3, 0, 1000)
+	a.AccountAtomic(3, 10)
+	a.AccountCompute(3, 1e6)
+	a.AccountBarriers(5)
+	if err := a.AddPartitionRun(platform.PartitionRun{}); err != nil {
+		t.Fatalf("native AddPartitionRun: %v", err)
+	}
+	if err := a.AddVertexRun(platform.VertexRun{}); err != nil {
+		t.Fatalf("native AddVertexRun: %v", err)
+	}
+	rep, err := pf.Finalize(a, platform.RunShape{Iterations: 9, EdgesProcessed: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("native Finalize must return a non-nil zero report")
+	}
+	if rep.Iterations != 9 {
+		t.Errorf("native report iterations = %d, want 9", rep.Iterations)
+	}
+	if rep.EstimatedSeconds != 0 || rep.LocalBytes != 0 || rep.RemoteBytes != 0 || rep.LLCAccesses != 0 {
+		t.Errorf("native report must be zero-valued, got %+v", rep)
+	}
+}
