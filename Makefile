@@ -19,7 +19,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race smoke
+# The lazy-CSC / fingerprint hammer tests, explicitly under -race: these are
+# the regression tests for the graph-layer publication races and must run
+# with the detector even when the full race suite is trimmed.
+race-prep:
+	$(GO) test -race -run 'Concurrent|Race' ./internal/graph/ ./internal/engines/...
+
+# One-iteration pass over the Prepare benchmarks so the parallel build paths
+# (counting-sort CSR, CSC, fingerprint, partition+layout) are exercised in CI.
+bench-prep:
+	$(GO) test -run '^$$' -bench 'BenchmarkPrepare' -benchtime 1x ./internal/graph/ .
+
+ci: vet build race race-prep bench-prep smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -282,6 +282,70 @@ func BenchmarkEngineWallClock(b *testing.B) {
 	}
 }
 
+// --- Prepare-pipeline benches ---
+
+// BenchmarkPrepare measures HiPa's full Prepare pipeline — partition
+// hierarchy, compressed message layout, inverse degrees (the fingerprint is
+// memoized on the shared graph after the first op) — on the largest catalog
+// analog, serial vs 8 workers. Artifacts are bit-identical across settings
+// (tested in enginetest), so the ratio is pure build speedup.
+func BenchmarkPrepare(b *testing.B) {
+	cfg := benchCfg()
+	g, err := cfg.Graph("mpi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := cfg.Machine("skylake")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"workers8", 8}} {
+		b.Run(pc.name, func(b *testing.B) {
+			o := cfg.PaperOptions("hipa", m)
+			o.PrepCache = nil // every op pays the cold build
+			o.PrepParallelism = pc.workers
+			b.SetBytes(g.NumEdges() * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := HiPa.Prepare(g, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPrepareLayout isolates the layout stage of the pipeline at serial
+// vs 8-worker parallelism.
+func BenchmarkPrepareLayout(b *testing.B) {
+	cfg := benchCfg()
+	g, err := cfg.Graph("mpi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := partition.Build(g, partition.Config{PartitionBytes: cfg.PartBytes(256 << 10), BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"workers8", 8}} {
+		b.Run(pc.name, func(b *testing.B) {
+			b.SetBytes(g.NumEdges() * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := layout.BuildWorkers(g, h, true, pc.workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Substrate micro-benches ---
 
 // BenchmarkPartitionBuild measures hierarchical partitioning throughput.

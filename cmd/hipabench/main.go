@@ -49,6 +49,7 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv, or json")
 		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
 		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
+		prepPar  = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 	cfg.Divisor = *divisor
 	cfg.Iterations = *iters
 	cfg.SchedSeed = *seed
+	cfg.PrepParallelism = *prepPar
 	switch *pfName {
 	case "native":
 		cfg.Native = true

@@ -54,6 +54,7 @@ func main() {
 		verifyTol = flag.Float64("verify-tol", 1e-6, "max abs error tolerated by -verify")
 		damping   = flag.Float64("damping", 0.85, "damping factor")
 		repeat    = flag.Int("repeat", 1, "execute the iterative phase N times against one prepared artifact")
+		prepPar   = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
 		statsPath = flag.String("stats", "", "write a machine-readable run report (JSON) to this file")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event file (JSON) to this file")
 	)
@@ -91,11 +92,12 @@ func main() {
 	}
 
 	o := common.Options{
-		Machine:    m,
-		Iterations: *iters,
-		Threads:    *threads,
-		Damping:    *damping,
-		Obs:        rec,
+		Machine:         m,
+		Iterations:      *iters,
+		Threads:         *threads,
+		Damping:         *damping,
+		PrepParallelism: *prepPar,
+		Obs:             rec,
 	}
 	if native {
 		o.Platform = platform.NewNative(m)

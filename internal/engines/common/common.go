@@ -90,6 +90,12 @@ type Options struct {
 	SchedSeed uint64
 	// GoParallelism caps real goroutines; 0 means min(Threads, GOMAXPROCS).
 	GoParallelism int
+	// PrepParallelism is the worker count of the Prepare pipeline (CSC
+	// build, fingerprint, partition hierarchy, message layout): positive =
+	// that many workers, 0 = all cores. Artifacts are bit-identical at any
+	// setting, so the knob is not part of the prep-cache key. Negative is
+	// rejected by Validate; callers wanting a serial build pass 1.
+	PrepParallelism int
 	// PrepCache, when non-nil, lets Prepare — and therefore Run — reuse
 	// preprocessing artifacts across runs. Artifacts are keyed by graph
 	// content plus the prep-relevant options (PartitionBytes, NoCompress,
@@ -175,6 +181,9 @@ func (o Options) Validate() error {
 	}
 	if o.Tolerance < 0 {
 		return fmt.Errorf("engines: negative tolerance %g", o.Tolerance)
+	}
+	if o.PrepParallelism < 0 {
+		return fmt.Errorf("engines: negative prep parallelism %d (use 1 for serial)", o.PrepParallelism)
 	}
 	return nil
 }

@@ -67,12 +67,14 @@ func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (
 	prep, err := MakePrepared(cfg.Name, g, m, o, key, func() (any, error) {
 		tr := rec.T()
 		partStart := time.Now()
-		hier, err := partition.Build(g, partition.Config{
+		stopPart := rec.C().Phase(PhasePrepPartition)
+		hier, err := partition.BuildWorkers(g, partition.Config{
 			PartitionBytes: o.PartitionBytes,
 			BytesPerVertex: 4,
 			NumNodes:       1,
 			GroupsPerNode:  1,
-		})
+		}, o.PrepParallelism)
+		stopPart()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 		}
@@ -80,14 +82,16 @@ func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (
 			tr.Span(runner, SpanPrepPartition, -1, partStart)
 		}
 		layStart := time.Now()
-		lay, err := layout.Build(g, hier, !o.NoCompress)
+		stopLay := rec.C().Phase(PhasePrepLayout)
+		lay, err := layout.BuildWorkers(g, hier, !o.NoCompress, o.PrepParallelism)
+		stopLay()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 		}
 		if tr != nil {
 			tr.Span(runner, SpanPrepLayout, -1, layStart)
 		}
-		return &PartArtifact{Hier: hier, Lay: lay, Inv: InvOutDegrees(g)}, nil
+		return &PartArtifact{Hier: hier, Lay: lay, Inv: InvOutDegreesWorkers(g, o.PrepParallelism)}, nil
 	}, nil)
 	if err != nil {
 		return nil, err

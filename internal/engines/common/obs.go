@@ -21,10 +21,16 @@ const (
 	SpanApply         = "apply"
 )
 
-// Collector phase-timer names shared by the engines.
+// Collector phase-timer names shared by the engines. The prep:* stage timers
+// break PhasePrep down so `-stats` shows where Prepare time goes; they reuse
+// the span names, keeping traces and counters aligned.
 const (
-	PhasePrep = "prep"
-	PhaseRun  = "iterations"
+	PhasePrep            = "prep"
+	PhasePrepPartition   = SpanPrepPartition
+	PhasePrepLayout      = SpanPrepLayout
+	PhasePrepIndex       = SpanPrepIndex
+	PhasePrepFingerprint = "prep:fingerprint"
+	PhaseRun             = "iterations"
 )
 
 // RunnerLane is the trace lane for serial work done between parallel

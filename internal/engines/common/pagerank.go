@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"hipa/internal/graph"
+	"hipa/internal/par"
 )
 
 // InitRanks returns the uniform initial rank vector 1/|V|.
@@ -23,13 +24,23 @@ func InitRanks(n int) []float32 {
 // InvOutDegrees returns 1/outdeg(v) as float32, with 0 for dangling
 // vertices; engines multiply instead of dividing on the hot path.
 func InvOutDegrees(g *graph.Graph) []float32 {
+	return InvOutDegreesWorkers(g, -1)
+}
+
+// InvOutDegreesWorkers is InvOutDegrees with an explicit worker count
+// (positive = that many workers, 0 = all cores, negative = serial). Each
+// entry depends only on its own vertex, so the output is identical at any
+// setting.
+func InvOutDegreesWorkers(g *graph.Graph, workers int) []float32 {
 	n := g.NumVertices()
 	inv := make([]float32, n)
-	for v := 0; v < n; v++ {
-		if d := g.OutDegree(graph.VertexID(v)); d > 0 {
-			inv[v] = float32(1.0 / float64(d))
+	par.Blocks(par.Fit(par.Workers(workers), int64(n)), n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if d := g.OutDegree(graph.VertexID(v)); d > 0 {
+				inv[v] = float32(1.0 / float64(d))
+			}
 		}
-	}
+	})
 	return inv
 }
 

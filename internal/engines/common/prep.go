@@ -2,7 +2,6 @@ package common
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"hipa/internal/graph"
@@ -132,7 +131,9 @@ func MakePrepared(engine string, g *graph.Graph, m *machine.Machine, o Options, 
 	rec := o.Obs
 	stop := rec.C().Phase(PhasePrep)
 	start := time.Now()
-	key.GraphFP = GraphFingerprint(g)
+	stopFP := rec.C().Phase(PhasePrepFingerprint)
+	key.GraphFP = g.FingerprintWorkers(o.PrepParallelism)
+	stopFP()
 	payload, buildSeconds, fromCache, err := o.PrepCache.getOrBuild(key, build)
 	if err != nil {
 		stop()
@@ -166,47 +167,9 @@ func MakePrepared(engine string, g *graph.Graph, m *machine.Machine, o Options, 
 	return p, nil
 }
 
-// graphFPs memoizes content fingerprints per Graph pointer; graphs are
-// immutable, so the fingerprint is computed at most once per instance.
-var graphFPs sync.Map // *graph.Graph -> uint64
-
-// GraphFingerprint returns a content hash of g's CSR arrays (FNV-1a over
-// the vertex/edge counts, offsets, and edges), memoized per pointer. Two
-// graphs with identical topology share prep-cache entries.
-func GraphFingerprint(g *graph.Graph) uint64 {
-	if v, ok := graphFPs.Load(g); ok {
-		return v.(uint64)
-	}
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	fp := uint64(offset64)
-	mix := func(x uint64) {
-		fp ^= x
-		fp *= prime64
-	}
-	mix(uint64(g.NumVertices()))
-	mix(uint64(g.NumEdges()))
-	for _, o := range g.OutOffsets() {
-		mix(uint64(o))
-	}
-	for _, e := range g.OutEdges() {
-		mix(uint64(e))
-	}
-	graphFPs.Store(g, fp)
-	return fp
-}
-
-// buildInLocks serializes graph.BuildIn per Graph pointer: BuildIn is lazy
-// and not safe to call concurrently with itself, but Prepare must be.
-var buildInLocks sync.Map // *graph.Graph -> *sync.Mutex
-
-// BuildInSerialized builds g's CSC form, serializing concurrent callers on
-// the same graph. Idempotent and cheap once built.
-func BuildInSerialized(g *graph.Graph) {
-	mu, _ := buildInLocks.LoadOrStore(g, &sync.Mutex{})
-	mu.(*sync.Mutex).Lock()
-	defer mu.(*sync.Mutex).Unlock()
-	g.BuildIn()
-}
+// GraphFingerprint returns a content hash of g's CSR arrays. It is a thin
+// wrapper over (*graph.Graph).Fingerprint, which memoizes the value on the
+// graph itself — no package-level registry pins fingerprinted graphs in
+// memory anymore. Two graphs with identical topology share prep-cache
+// entries.
+func GraphFingerprint(g *graph.Graph) uint64 { return g.Fingerprint() }

@@ -1,0 +1,61 @@
+package common
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"hipa/internal/graph"
+)
+
+// TestFingerprintedGraphsAreCollectable: fingerprinting a graph must not pin
+// it in memory. Regression test for the package-level sync.Maps (graphFPs,
+// buildInLocks) that held strong *graph.Graph keys forever, leaking every
+// graph ever fingerprinted in a long-lived process.
+func TestFingerprintedGraphsAreCollectable(t *testing.T) {
+	collected := make(chan struct{})
+	func() {
+		b := graph.NewBuilder(2000)
+		for v := 0; v < 2000; v++ {
+			b.AddEdge(graph.VertexID(v), graph.VertexID((v+1)%2000))
+		}
+		g := b.Build()
+		if GraphFingerprint(g) == 0 {
+			t.Log("fingerprint is zero (unlikely but legal)")
+		}
+		g.BuildIn() // the old lock side-map also pinned graphs
+		runtime.SetFinalizer(g, func(*graph.Graph) { close(collected) })
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("fingerprinted graph was never garbage-collected; something still holds a strong reference")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// TestFingerprintStableAcrossInstancesAndWorkers: the prep-cache key must not
+// depend on which instance computed it or at what parallelism.
+func TestFingerprintStableAcrossInstancesAndWorkers(t *testing.T) {
+	build := func() *graph.Graph {
+		b := graph.NewBuilder(1000)
+		for v := 0; v < 1000; v++ {
+			b.AddEdge(graph.VertexID(v), graph.VertexID((v*31+7)%1000))
+		}
+		return b.Build()
+	}
+	want := build().FingerprintWorkers(1)
+	for _, workers := range []int{2, 5, 16} {
+		if got := build().FingerprintWorkers(workers); got != want {
+			t.Fatalf("fingerprint at %d workers = %x, want %x", workers, got, want)
+		}
+	}
+	if got := GraphFingerprint(build()); got != want {
+		t.Fatalf("GraphFingerprint wrapper = %x, want %x", got, want)
+	}
+}

@@ -59,8 +59,10 @@ func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared
 	key := PrepKey{Kind: PrepVertex}
 	return MakePrepared(cfg.Name, g, m, o, key, func() (any, error) {
 		start := time.Now()
-		BuildInSerialized(g)
-		inv := InvOutDegrees(g)
+		stopIdx := rec.C().Phase(PhasePrepIndex)
+		g.BuildInWorkers(o.PrepParallelism)
+		inv := InvOutDegreesWorkers(g, o.PrepParallelism)
+		stopIdx()
 		if tr := rec.T(); tr != nil {
 			tr.Span(RunnerLane(o.Threads), SpanPrepIndex, -1, start)
 		}
@@ -68,7 +70,7 @@ func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared
 	}, func() {
 		// A cache hit built the payload from a content-identical graph; this
 		// pointer still needs its own CSC form.
-		BuildInSerialized(g)
+		g.BuildInWorkers(o.PrepParallelism)
 	})
 }
 

@@ -1,0 +1,70 @@
+package enginetest
+
+import (
+	"reflect"
+	"testing"
+
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+)
+
+// TestPrepareBitIdenticalAcrossParallelism: for every engine, the Prepared
+// artifact built serially equals — field for field, element for element —
+// the one built with many workers. This is the contract that keeps
+// PrepParallelism out of the prep-cache key and the golden 13-case results
+// unchanged by the parallel Prepare pipeline.
+func TestPrepareBitIdenticalAcrossParallelism(t *testing.T) {
+	// Content-identical instances: the CSC form and memoized fingerprint live
+	// on the Graph, so each parallelism setting gets its own instance to
+	// exercise its own build path.
+	build := func() *graph.Graph {
+		g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 2500, Edges: 30000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	for _, e := range allEngines() {
+		oSerial := testOptions(2)
+		oSerial.PrepParallelism = 1
+		gSerial := build()
+		pSerial, err := e.Prepare(gSerial, oSerial)
+		if err != nil {
+			t.Fatalf("%s: serial Prepare: %v", e.Name(), err)
+		}
+		for _, workers := range []int{3, 8} {
+			oPar := testOptions(2)
+			oPar.PrepParallelism = workers
+			gPar := build()
+			pPar, err := e.Prepare(gPar, oPar)
+			if err != nil {
+				t.Fatalf("%s: Prepare at %d workers: %v", e.Name(), workers, err)
+			}
+			if pSerial.Key() != pPar.Key() {
+				t.Errorf("%s: prep keys differ across parallelism: %+v vs %+v", e.Name(), pSerial.Key(), pPar.Key())
+			}
+			if a, b := pSerial.Partition(), pPar.Partition(); (a == nil) != (b == nil) {
+				t.Fatalf("%s: artifact kinds differ", e.Name())
+			} else if a != nil {
+				if !reflect.DeepEqual(a.Hier, b.Hier) {
+					t.Errorf("%s: partition hierarchy differs at %d workers", e.Name(), workers)
+				}
+				if !reflect.DeepEqual(a.Lay, b.Lay) {
+					t.Errorf("%s: message layout differs at %d workers", e.Name(), workers)
+				}
+				if !reflect.DeepEqual(a.Inv, b.Inv) {
+					t.Errorf("%s: inverse-degree array differs at %d workers", e.Name(), workers)
+				}
+			}
+			if a, b := pSerial.Vertex(), pPar.Vertex(); a != nil && b != nil {
+				if !reflect.DeepEqual(a.Inv, b.Inv) {
+					t.Errorf("%s: inverse-degree array differs at %d workers", e.Name(), workers)
+				}
+				if !reflect.DeepEqual(gSerial.InOffsets(), gPar.InOffsets()) ||
+					!reflect.DeepEqual(gSerial.InEdges(), gPar.InEdges()) {
+					t.Errorf("%s: CSC arrays differ at %d workers", e.Name(), workers)
+				}
+			}
+		}
+	}
+}

@@ -90,13 +90,15 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 	prep, err := common.MakePrepared("HiPa", g, m, o, key, func() (any, error) {
 		tr := rec.T()
 		partStart := time.Now()
-		hier, err := partition.Build(g, partition.Config{
+		stopPart := rec.C().Phase(common.PhasePrepPartition)
+		hier, err := partition.BuildWorkers(g, partition.Config{
 			PartitionBytes: o.PartitionBytes,
 			BytesPerVertex: 4,
 			NumNodes:       nodes,
 			GroupsPerNode:  0, // one group per node; Exec regroups per thread count
 			VertexBalanced: o.VertexBalanced,
-		})
+		}, o.PrepParallelism)
+		stopPart()
 		if err != nil {
 			return nil, fmt.Errorf("hipa: %w", err)
 		}
@@ -104,14 +106,16 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 			tr.Span(runner, common.SpanPrepPartition, -1, partStart)
 		}
 		layStart := time.Now()
-		lay, err := layout.Build(g, hier, !o.NoCompress)
+		stopLay := rec.C().Phase(common.PhasePrepLayout)
+		lay, err := layout.BuildWorkers(g, hier, !o.NoCompress, o.PrepParallelism)
+		stopLay()
 		if err != nil {
 			return nil, fmt.Errorf("hipa: %w", err)
 		}
 		if tr != nil {
 			tr.Span(runner, common.SpanPrepLayout, -1, layStart)
 		}
-		return &common.PartArtifact{Hier: hier, Lay: lay, Inv: common.InvOutDegrees(g)}, nil
+		return &common.PartArtifact{Hier: hier, Lay: lay, Inv: common.InvOutDegreesWorkers(g, o.PrepParallelism)}, nil
 	}, nil)
 	if err != nil {
 		return nil, err

@@ -9,13 +9,23 @@
 // Offsets are 64-bit so graphs with more than 2^31 edges are representable.
 //
 // A Graph is immutable after construction. All query methods are safe for
-// concurrent use.
+// concurrent use, including concurrently with BuildIn: the CSC form is
+// published as a single atomic pointer, so readers either see the complete
+// in-edge form or none of it.
+//
+// Construction (Builder.Build, BuildIn, Fingerprint) is parallel by default
+// and deterministic at any worker count: every parallel pass writes disjoint
+// index ranges computed from prefix sums, so the resulting arrays are
+// bit-identical whether built by one worker or many.
 package graph
 
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hipa/internal/par"
 )
 
 // VertexID identifies a vertex. IDs are dense: a graph with n vertices uses
@@ -26,6 +36,16 @@ type VertexID = uint32
 type Edge struct {
 	Src VertexID
 	Dst VertexID
+}
+
+// csc is the in-edge (CSC) form. Both arrays live behind one atomic pointer
+// so they are published together: a reader can never observe offsets without
+// the matching edge array.
+type csc struct {
+	// In-edges (sources of edges pointing at v) of vertex v are
+	// edges[offsets[v]:offsets[v+1]], sorted ascending.
+	offsets []int64
+	edges   []VertexID
 }
 
 // Graph is an immutable directed graph in CSR form.
@@ -41,14 +61,22 @@ type Graph struct {
 	outOffsets []int64
 	outEdges   []VertexID
 
-	// CSC: in-edges (i.e. sources of edges pointing at v) or nil if not built.
-	inOffsets []int64
-	inEdges   []VertexID
+	// in holds the lazily built CSC form. Synchronization lives here, on the
+	// graph itself: buildInOnce serializes concurrent builders, and the
+	// single atomic publish keeps readers race-free — no external lock table
+	// is needed (or allowed; one used to leak graphs).
+	in          atomic.Pointer[csc]
+	buildInOnce sync.Once
+
+	// fp memoizes Fingerprint on the graph itself, so no global registry
+	// pins fingerprinted graphs in memory.
+	fp     uint64
+	fpOnce sync.Once
 }
 
 // ErrNoInEdges is returned by methods that require the in-edge (CSC)
 // representation when it has not been built.
-var ErrNoInEdges = errors.New("graph: in-edge representation not built; call BuildIn or WithInEdges")
+var ErrNoInEdges = errors.New("graph: in-edge representation not built; call BuildIn first")
 
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return g.numVertices }
@@ -64,10 +92,11 @@ func (g *Graph) OutDegree(v VertexID) int64 {
 // InDegree returns the in-degree of v. It panics if the CSC form has not
 // been built.
 func (g *Graph) InDegree(v VertexID) int64 {
-	if g.inOffsets == nil {
+	in := g.in.Load()
+	if in == nil {
 		panic(ErrNoInEdges)
 	}
-	return g.inOffsets[v+1] - g.inOffsets[v]
+	return in.offsets[v+1] - in.offsets[v]
 }
 
 // OutNeighbors returns the destinations of v's out-edges. The returned slice
@@ -80,10 +109,11 @@ func (g *Graph) OutNeighbors(v VertexID) []VertexID {
 // internal storage and must not be modified. It panics if the CSC form has
 // not been built.
 func (g *Graph) InNeighbors(v VertexID) []VertexID {
-	if g.inOffsets == nil {
+	in := g.in.Load()
+	if in == nil {
 		panic(ErrNoInEdges)
 	}
-	return g.inEdges[g.inOffsets[v]:g.inOffsets[v+1]]
+	return in.edges[in.offsets[v]:in.offsets[v+1]]
 }
 
 // OutOffsets exposes the CSR offset array (length NumVertices+1). The slice
@@ -95,39 +125,182 @@ func (g *Graph) OutOffsets() []int64 { return g.outOffsets }
 func (g *Graph) OutEdges() []VertexID { return g.outEdges }
 
 // InOffsets exposes the CSC offset array or nil. Read-only.
-func (g *Graph) InOffsets() []int64 { return g.inOffsets }
+func (g *Graph) InOffsets() []int64 {
+	if in := g.in.Load(); in != nil {
+		return in.offsets
+	}
+	return nil
+}
 
 // InEdges exposes the CSC edge array or nil. Read-only.
-func (g *Graph) InEdges() []VertexID { return g.inEdges }
+func (g *Graph) InEdges() []VertexID {
+	if in := g.in.Load(); in != nil {
+		return in.edges
+	}
+	return nil
+}
 
 // HasInEdges reports whether the CSC (in-edge) form has been built.
-func (g *Graph) HasInEdges() bool { return g.inOffsets != nil }
+func (g *Graph) HasInEdges() bool { return g.in.Load() != nil }
 
-// BuildIn constructs the in-edge (CSC) representation if absent. It is not
-// safe to call concurrently with itself, but once it returns the graph is
-// again safe for concurrent readers.
-func (g *Graph) BuildIn() {
-	if g.inOffsets != nil {
+// setIn installs an externally constructed CSC form (binary loader). It must
+// only be called before the graph is shared.
+func (g *Graph) setIn(offsets []int64, edges []VertexID) {
+	g.in.Store(&csc{offsets: offsets, edges: edges})
+}
+
+// BuildIn constructs the in-edge (CSC) representation if absent, with the
+// default parallelism (all cores). Safe for concurrent use: concurrent
+// builders serialize on the graph's once-guard, and the form is published
+// atomically, so readers either see all of it or none of it.
+func (g *Graph) BuildIn() { g.BuildInWorkers(0) }
+
+// BuildInWorkers is BuildIn with an explicit worker count (positive = that
+// many workers, 0 = all cores, negative = serial). The CSC arrays are
+// bit-identical at any worker count: the parallel fill preserves the serial
+// ascending source order within every in-adjacency segment.
+func (g *Graph) BuildInWorkers(workers int) {
+	if g.in.Load() != nil {
 		return
 	}
-	n := g.numVertices
-	inOff := make([]int64, n+1)
-	for _, dst := range g.outEdges {
-		inOff[dst+1]++
-	}
-	for v := 0; v < n; v++ {
-		inOff[v+1] += inOff[v]
-	}
-	inE := make([]VertexID, g.numEdges)
-	cursor := make([]int64, n)
-	for src := 0; src < n; src++ {
-		for _, dst := range g.outEdges[g.outOffsets[src]:g.outOffsets[src+1]] {
-			inE[inOff[dst]+cursor[dst]] = VertexID(src)
-			cursor[dst]++
+	g.buildInOnce.Do(func() {
+		if g.in.Load() != nil { // installed by the loader before sharing
+			return
 		}
+		g.in.Store(buildCSC(g.numVertices, g.outOffsets, g.outEdges, workers))
+	})
+}
+
+// buildCSC builds the in-edge form from the out-edge CSR: per-worker
+// destination counts over contiguous source ranges, column-wise prefix sums
+// into absolute write cursors, then a disjoint parallel fill in source order.
+func buildCSC(n int, outOff []int64, outE []VertexID, workers int) *csc {
+	inOff := make([]int64, n+1)
+	inE := make([]VertexID, len(outE))
+	if n == 0 || len(outE) == 0 {
+		return &csc{offsets: inOff, edges: inE}
 	}
-	g.inOffsets = inOff
-	g.inEdges = inE
+	w := par.Fit(par.Workers(workers), int64(len(outE)))
+	bounds := par.WeightedBounds(w, outOff)
+	counts := make([]int64, w*n)
+	par.Run(w, func(i int) {
+		c := counts[i*n : (i+1)*n]
+		for _, dst := range outE[outOff[bounds[i]]:outOff[bounds[i+1]]] {
+			c[dst]++
+		}
+	})
+	cursorsFromCounts(counts, w, n, inOff)
+	par.Run(w, func(i int) {
+		cur := counts[i*n : (i+1)*n]
+		for src := bounds[i]; src < bounds[i+1]; src++ {
+			for _, dst := range outE[outOff[src]:outOff[src+1]] {
+				inE[cur[dst]] = VertexID(src)
+				cur[dst]++
+			}
+		}
+	})
+	return &csc{offsets: inOff, edges: inE}
+}
+
+// cursorsFromCounts turns per-worker key counts (counts[w*n+k] = occurrences
+// of key k in worker w's chunk) into the global offset array off (length
+// n+1, off[k] = first index of key k) and, in place, absolute per-worker
+// write cursors: after the call counts[w*n+k] is the index where worker w
+// writes its first element with key k. Cursor values depend only on the
+// counts, so any chunking that preserves element order yields an identical
+// final layout.
+func cursorsFromCounts(counts []int64, workers, n int, off []int64) {
+	par.Blocks(workers, n, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			var sum int64
+			for w := 0; w < workers; w++ {
+				sum += counts[w*n+k]
+			}
+			off[k+1] = sum
+		}
+	})
+	for k := 0; k < n; k++ {
+		off[k+1] += off[k]
+	}
+	par.Blocks(workers, n, func(_, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			run := off[k]
+			for w := 0; w < workers; w++ {
+				c := counts[w*n+k]
+				counts[w*n+k] = run
+				run += c
+			}
+		}
+	})
+}
+
+// FingerprintVersion identifies the fingerprint scheme. The version is mixed
+// into every fingerprint, so changing the scheme (as the chunked-parallel v2
+// rewrite did) changes all fingerprint values and thereby invalidates every
+// fingerprint-keyed cache, such as the engines' preprocessing-artifact cache.
+const FingerprintVersion = 2
+
+// fpChunkElems is the fixed chunk length of the fingerprint. Chunking is
+// part of the hash definition — never derived from the worker count — so any
+// parallelism produces the same value.
+const fpChunkElems = 1 << 16
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint returns a content hash of the graph's CSR arrays, memoized on
+// the graph (graphs are immutable, so it is computed at most once per
+// instance). Two graphs with identical topology share the fingerprint.
+func (g *Graph) Fingerprint() uint64 { return g.FingerprintWorkers(0) }
+
+// FingerprintWorkers is Fingerprint with an explicit worker count for the
+// first (memoizing) computation: a keyed FNV-1a hash over fixed-size chunk
+// hashes of the offset and edge arrays, computed chunk-parallel.
+func (g *Graph) FingerprintWorkers(workers int) uint64 {
+	g.fpOnce.Do(func() {
+		g.fp = fingerprintCSR(g.numVertices, g.numEdges, g.outOffsets, g.outEdges, workers)
+	})
+	return g.fp
+}
+
+func fingerprintCSR(nv int, ne int64, off []int64, edges []VertexID, workers int) uint64 {
+	offChunks := (len(off) + fpChunkElems - 1) / fpChunkElems
+	edgeChunks := (len(edges) + fpChunkElems - 1) / fpChunkElems
+	hashes := make([]uint64, offChunks+edgeChunks)
+	w := par.Fit(par.Workers(workers), int64(len(off)+len(edges)))
+	par.Blocks(w, len(hashes), func(_, lo, hi int) {
+		for c := lo; c < hi; c++ {
+			h := uint64(fnvOffset64)
+			if c < offChunks {
+				clo := c * fpChunkElems
+				chi := min(clo+fpChunkElems, len(off))
+				for _, o := range off[clo:chi] {
+					h = (h ^ uint64(o)) * fnvPrime64
+				}
+			} else {
+				clo := (c - offChunks) * fpChunkElems
+				chi := min(clo+fpChunkElems, len(edges))
+				for _, e := range edges[clo:chi] {
+					h = (h ^ uint64(e)) * fnvPrime64
+				}
+			}
+			hashes[c] = h
+		}
+	})
+	fp := uint64(fnvOffset64)
+	mix := func(x uint64) {
+		fp ^= x
+		fp *= fnvPrime64
+	}
+	mix(FingerprintVersion)
+	mix(uint64(nv))
+	mix(uint64(ne))
+	for _, h := range hashes {
+		mix(h)
+	}
+	return fp
 }
 
 // MaxOutDegree returns the largest out-degree in the graph, 0 for an empty
@@ -170,16 +343,21 @@ func (g *Graph) Symmetrize() *Graph {
 }
 
 // Transpose returns a new graph whose out-edges are this graph's in-edges.
-// The result has no CSC form built.
-func (g *Graph) Transpose() *Graph {
-	g.BuildIn()
-	t := &Graph{
+// The result aliases g's immutable CSC arrays instead of copying them (both
+// graphs are immutable, so sharing is safe); it has no CSC form of its own.
+func (g *Graph) Transpose() *Graph { return g.TransposeWorkers(0) }
+
+// TransposeWorkers is Transpose with an explicit worker count for the CSC
+// build it may trigger.
+func (g *Graph) TransposeWorkers(workers int) *Graph {
+	g.BuildInWorkers(workers)
+	in := g.in.Load()
+	return &Graph{
 		numVertices: g.numVertices,
 		numEdges:    g.numEdges,
-		outOffsets:  append([]int64(nil), g.inOffsets...),
-		outEdges:    append([]VertexID(nil), g.inEdges...),
+		outOffsets:  in.offsets,
+		outEdges:    in.edges,
 	}
-	return t
 }
 
 // Validate checks structural invariants and returns a descriptive error on
@@ -211,11 +389,25 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("graph: edge %d destination %d out of range [0,%d)", i, dst, n)
 		}
 	}
-	if g.inOffsets != nil {
-		if len(g.inOffsets) != n+1 || g.inOffsets[n] != g.numEdges {
-			return errors.New("graph: malformed in-edge offsets")
+	if in := g.in.Load(); in != nil {
+		if len(in.offsets) != n+1 {
+			return fmt.Errorf("graph: in-edge offsets length %d, want %d", len(in.offsets), n+1)
 		}
-		for i, src := range g.inEdges {
+		if in.offsets[0] != 0 {
+			return fmt.Errorf("graph: in-edge offsets[0] = %d, want 0", in.offsets[0])
+		}
+		for v := 0; v < n; v++ {
+			if in.offsets[v+1] < in.offsets[v] {
+				return fmt.Errorf("graph: in-edge offsets not monotone at vertex %d", v)
+			}
+		}
+		if in.offsets[n] != g.numEdges {
+			return fmt.Errorf("graph: in-edge offsets[n] = %d, want %d", in.offsets[n], g.numEdges)
+		}
+		if int64(len(in.edges)) != g.numEdges {
+			return fmt.Errorf("graph: in-edge array length %d, want %d", len(in.edges), g.numEdges)
+		}
+		for i, src := range in.edges {
 			if int(src) >= n {
 				return fmt.Errorf("graph: in-edge %d source %d out of range", i, src)
 			}
@@ -253,6 +445,10 @@ type Builder struct {
 	RemoveSelfLoops bool
 	// WithIn requests that the in-edge (CSC) form be built eagerly.
 	WithIn bool
+	// Parallelism is the worker count Build uses (positive = that many, 0 =
+	// all cores, negative = serial). The produced graph is bit-identical at
+	// any setting.
+	Parallelism int
 }
 
 // NewBuilder returns a builder for a graph with numVertices vertices.
@@ -281,6 +477,13 @@ func (b *Builder) NumPendingEdges() int { return len(b.edges) }
 
 // Build produces the immutable graph. The builder can be reused afterwards;
 // its edge buffer is consumed.
+//
+// Construction is a pair of stable counting-sort passes (LSD radix over the
+// dst then src keys) that leaves the edge list fully sorted by (src, dst):
+// each adjacency segment comes out sorted exactly as the old per-segment
+// sort.Slice produced, but every pass is O(E+V) and runs parallel over
+// contiguous chunks with disjoint writes, so the graph is bit-identical at
+// any Parallelism.
 func (b *Builder) Build() *Graph {
 	edges := b.edges
 	b.edges = nil
@@ -293,53 +496,108 @@ func (b *Builder) Build() *Graph {
 		}
 		edges = kept
 	}
-	if b.Dedup {
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].Src != edges[j].Src {
-				return edges[i].Src < edges[j].Src
-			}
-			return edges[i].Dst < edges[j].Dst
-		})
-		kept := edges[:0]
-		for i, e := range edges {
-			if i == 0 || e != edges[i-1] {
-				kept = append(kept, e)
-			}
-		}
-		edges = kept
-	}
 	n := b.numVertices
 	off := make([]int64, n+1)
-	for _, e := range edges {
-		off[e.Src+1]++
-	}
-	for v := 0; v < n; v++ {
-		off[v+1] += off[v]
-	}
-	out := make([]VertexID, len(edges))
-	cursor := make([]int64, n)
-	for _, e := range edges {
-		out[off[e.Src]+cursor[e.Src]] = e.Dst
-		cursor[e.Src]++
-	}
-	// Keep each adjacency list sorted for deterministic traversal order and
-	// better spatial locality (matches how CSR graphs are normally stored).
-	if !b.Dedup { // dedup path already sorted globally
-		for v := 0; v < n; v++ {
-			seg := out[off[v]:off[v+1]]
-			sort.Slice(seg, func(i, j int) bool { return seg[i] < seg[j] })
+	var out []VertexID
+	if n > 0 && len(edges) > 0 {
+		w := par.Fit(par.Workers(b.Parallelism), int64(len(edges)))
+		counts := make([]int64, w*n)
+		tmp := make([]Edge, len(edges))
+		countingSortEdges(edges, tmp, n, w, true, counts)
+		countingSortEdges(tmp, edges, n, w, false, counts)
+		if b.Dedup {
+			edges = dedupSorted(edges, w)
 		}
+		// Offsets by a parallel per-source count; the fill is a plain copy
+		// because the edges are already in final CSR order.
+		clear(counts)
+		bounds := par.Bounds(w, len(edges))
+		par.Run(w, func(i int) {
+			c := counts[i*n : (i+1)*n]
+			for _, e := range edges[bounds[i]:bounds[i+1]] {
+				c[e.Src]++
+			}
+		})
+		cursorsFromCounts(counts, w, n, off)
+		out = make([]VertexID, len(edges))
+		par.Blocks(w, len(edges), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = edges[i].Dst
+			}
+		})
+	} else {
+		out = make([]VertexID, 0)
 	}
 	g := &Graph{
 		numVertices: n,
-		numEdges:    int64(len(edges)),
+		numEdges:    int64(len(out)),
 		outOffsets:  off,
 		outEdges:    out,
 	}
 	if b.WithIn {
-		g.BuildIn()
+		g.BuildInWorkers(b.Parallelism)
 	}
 	return g
+}
+
+// countingSortEdges stably sorts src into dst by the Dst key (byDst) or the
+// Src key, reusing the caller's per-worker count scratch (length workers*n).
+// Per-worker counts over contiguous chunks plus cursorsFromCounts make the
+// output identical to a serial stable counting sort at any worker count.
+func countingSortEdges(src, dst []Edge, n, workers int, byDst bool, counts []int64) {
+	clear(counts)
+	bounds := par.Bounds(workers, len(src))
+	key := func(e Edge) VertexID { return e.Src }
+	if byDst {
+		key = func(e Edge) VertexID { return e.Dst }
+	}
+	par.Run(workers, func(w int) {
+		c := counts[w*n : (w+1)*n]
+		for _, e := range src[bounds[w]:bounds[w+1]] {
+			c[key(e)]++
+		}
+	})
+	off := make([]int64, n+1)
+	cursorsFromCounts(counts, workers, n, off)
+	par.Run(workers, func(w int) {
+		cur := counts[w*n : (w+1)*n]
+		for _, e := range src[bounds[w]:bounds[w+1]] {
+			k := key(e)
+			dst[cur[k]] = e
+			cur[k]++
+		}
+	})
+}
+
+// dedupSorted removes duplicates from a (src,dst)-sorted edge list with a
+// parallel count-then-compact: keep decisions compare only adjacent
+// elements, so they are independent of the chunking.
+func dedupSorted(edges []Edge, workers int) []Edge {
+	bounds := par.Bounds(workers, len(edges))
+	kept := make([]int, workers+1)
+	par.Run(workers, func(w int) {
+		c := 0
+		for i := bounds[w]; i < bounds[w+1]; i++ {
+			if i == 0 || edges[i] != edges[i-1] {
+				c++
+			}
+		}
+		kept[w+1] = c
+	})
+	for w := 0; w < workers; w++ {
+		kept[w+1] += kept[w]
+	}
+	out := make([]Edge, kept[workers])
+	par.Run(workers, func(w int) {
+		o := kept[w]
+		for i := bounds[w]; i < bounds[w+1]; i++ {
+			if i == 0 || edges[i] != edges[i-1] {
+				out[o] = edges[i]
+				o++
+			}
+		}
+	})
+	return out
 }
 
 // Stats summarises a graph for reporting (Table 1 of the paper).

@@ -53,8 +53,9 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if _, err := bw.Write(binMagic[:]); err != nil {
 		return err
 	}
+	in := g.in.Load()
 	var flags uint32
-	if g.HasInEdges() {
+	if in != nil {
 		flags |= 1
 	}
 	for _, v := range []uint64{binVersion, uint64(g.numVertices), uint64(g.numEdges), uint64(flags)} {
@@ -68,11 +69,11 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if err := writeUint32s(bw, g.outEdges); err != nil {
 		return err
 	}
-	if g.HasInEdges() {
-		if err := writeInt64s(bw, g.inOffsets); err != nil {
+	if in != nil {
+		if err := writeInt64s(bw, in.offsets); err != nil {
 			return err
 		}
-		if err := writeUint32s(bw, g.inEdges); err != nil {
+		if err := writeUint32s(bw, in.edges); err != nil {
 			return err
 		}
 	}
@@ -113,12 +114,15 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	if flags&1 != 0 {
-		if g.inOffsets, err = readInt64s(br, int(nv)+1); err != nil {
+		inOff, err := readInt64s(br, int(nv)+1)
+		if err != nil {
 			return nil, err
 		}
-		if g.inEdges, err = readUint32s(br, int(ne)); err != nil {
+		inE, err := readUint32s(br, int(ne))
+		if err != nil {
 			return nil, err
 		}
+		g.setIn(inOff, inE)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

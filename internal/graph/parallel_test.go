@@ -1,0 +1,323 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// referenceBuild is a naive CSR construction: plain sort.Slice per the old
+// implementation, with optional self-loop removal and dedup. The parallel
+// counting-sort Build must agree with it exactly.
+func referenceBuild(n int, edges []Edge, dedup, noSelfLoops bool) (off []int64, out []VertexID) {
+	es := make([]Edge, 0, len(edges))
+	for _, e := range edges {
+		if noSelfLoops && e.Src == e.Dst {
+			continue
+		}
+		es = append(es, e)
+	}
+	sort.SliceStable(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+	if dedup {
+		kept := es[:0]
+		for i, e := range es {
+			if i == 0 || e != es[i-1] {
+				kept = append(kept, e)
+			}
+		}
+		es = kept
+	}
+	off = make([]int64, n+1)
+	out = make([]VertexID, len(es))
+	for _, e := range es {
+		off[e.Src+1]++
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	for i, e := range es {
+		out[i] = e.Dst
+	}
+	return off, out
+}
+
+// TestPropertyBuildMatchesReference: at every parallelism setting, with and
+// without dedup and self-loop removal, Builder.Build produces exactly the
+// reference CSR — fully sorted adjacency segments, bit-identical arrays.
+func TestPropertyBuildMatchesReference(t *testing.T) {
+	f := func(seed int64, nRaw uint8, mRaw uint16, dedup, noLoops bool) bool {
+		n := int(nRaw)%80 + 1
+		m := int(mRaw) % 700
+		rng := rand.New(rand.NewSource(seed))
+		edges := make([]Edge, m)
+		for i := range edges {
+			// A narrow ID range forces duplicates and self-loops.
+			edges[i] = Edge{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))}
+		}
+		wantOff, wantOut := referenceBuild(n, edges, dedup, noLoops)
+		for _, par := range []int{1, 3, 8} {
+			b := NewBuilder(n)
+			b.Dedup = dedup
+			b.RemoveSelfLoops = noLoops
+			b.Parallelism = par
+			b.AddEdges(edges)
+			g := b.Build()
+			if err := g.Validate(); err != nil {
+				t.Logf("parallelism %d: %v", par, err)
+				return false
+			}
+			if len(g.outOffsets) != len(wantOff) || len(g.outEdges) != len(wantOut) {
+				t.Logf("parallelism %d: sizes differ", par)
+				return false
+			}
+			for i := range wantOff {
+				if g.outOffsets[i] != wantOff[i] {
+					t.Logf("parallelism %d: offsets[%d] = %d, want %d", par, i, g.outOffsets[i], wantOff[i])
+					return false
+				}
+			}
+			for i := range wantOut {
+				if g.outEdges[i] != wantOut[i] {
+					t.Logf("parallelism %d: edges[%d] = %d, want %d", par, i, g.outEdges[i], wantOut[i])
+					return false
+				}
+			}
+			// Segments sorted ascending (and strictly when deduped).
+			for v := 0; v < n; v++ {
+				seg := g.OutNeighbors(VertexID(v))
+				for i := 1; i < len(seg); i++ {
+					if seg[i] < seg[i-1] || (dedup && seg[i] == seg[i-1]) {
+						t.Logf("parallelism %d: segment of %d not sorted/deduped: %v", par, v, seg)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildInWorkersIdentical: the CSC arrays are bit-identical at any
+// worker count.
+func TestBuildInWorkersIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	edges := make([]Edge, 5000)
+	n := 300
+	for i := range edges {
+		edges[i] = Edge{VertexID(rng.Intn(n)), VertexID(rng.Intn(n))}
+	}
+	var ref *csc
+	for _, workers := range []int{1, 2, 3, 8} {
+		b := NewBuilder(n)
+		b.AddEdges(edges)
+		g := b.Build()
+		g.BuildInWorkers(workers)
+		in := g.in.Load()
+		if ref == nil {
+			ref = in
+			continue
+		}
+		for i := range ref.offsets {
+			if in.offsets[i] != ref.offsets[i] {
+				t.Fatalf("workers=%d: inOffsets[%d] differs", workers, i)
+			}
+		}
+		for i := range ref.edges {
+			if in.edges[i] != ref.edges[i] {
+				t.Fatalf("workers=%d: inEdges[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentBuildInTransposeReaders hammers the lazy CSC build from many
+// goroutines — concurrent BuildIn, Transpose, Symmetrize, and readers that
+// must never observe a half-built form (run under -race in CI). Regression
+// test for the race where inOffsets was published before inEdges and
+// external callers bypassed the build lock.
+func TestConcurrentBuildInTransposeReaders(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 200
+		b := NewBuilder(n)
+		for i := 0; i < 3000; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				switch w % 4 {
+				case 0:
+					g.BuildInWorkers(2)
+				case 1:
+					tr := g.Transpose()
+					if tr.NumEdges() != g.NumEdges() {
+						t.Error("transpose changed edge count")
+					}
+				case 2:
+					// Reader: whenever the CSC is visible it must be complete
+					// and consistent.
+					for i := 0; i < 100; i++ {
+						if g.HasInEdges() {
+							off, in := g.InOffsets(), g.InEdges()
+							if int64(len(in)) != off[n] {
+								t.Errorf("observed half-built CSC: %d edges, offsets end %d", len(in), off[n])
+							}
+							var sum int64
+							for v := 0; v < n; v++ {
+								sum += g.InDegree(VertexID(v))
+							}
+							if sum != g.NumEdges() {
+								t.Errorf("observed inconsistent CSC: in-degree sum %d", sum)
+							}
+						}
+					}
+				case 3:
+					s := g.Symmetrize()
+					if err := s.Validate(); err != nil {
+						t.Errorf("symmetrize under concurrency: %v", err)
+					}
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTransposeAliasesCSC: Transpose must share the source graph's immutable
+// CSC arrays, not deep-copy them.
+func TestTransposeAliasesCSC(t *testing.T) {
+	g := buildTestGraph(t)
+	tr := g.Transpose()
+	in := g.in.Load()
+	if in == nil {
+		t.Fatal("Transpose did not build the CSC form")
+	}
+	if len(tr.outEdges) > 0 && &tr.outEdges[0] != &in.edges[0] {
+		t.Error("transpose copied the CSC edge array instead of aliasing it")
+	}
+	if &tr.outOffsets[0] != &in.offsets[0] {
+		t.Error("transpose copied the CSC offset array instead of aliasing it")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintMemoizedAndDeterministic: the fingerprint is computed once
+// per graph instance (memoized on the graph), is identical across worker
+// counts and across content-identical instances, and differs for different
+// content.
+func TestFingerprintMemoizedAndDeterministic(t *testing.T) {
+	build := func() *Graph {
+		b := NewBuilder(500)
+		for v := 0; v < 500; v++ {
+			b.AddEdge(VertexID(v), VertexID((v*7+3)%500))
+			b.AddEdge(VertexID(v), VertexID((v*13+1)%500))
+		}
+		return b.Build()
+	}
+	g1, g2 := build(), build()
+	fp := g1.FingerprintWorkers(1)
+	for _, workers := range []int{1, 2, 8} {
+		h := build()
+		if got := h.FingerprintWorkers(workers); got != fp {
+			t.Errorf("workers=%d: fingerprint %x, want %x (must not depend on parallelism)", workers, got, fp)
+		}
+	}
+	if g2.Fingerprint() != fp {
+		t.Error("content-identical graphs have different fingerprints")
+	}
+	// Memoization: mutating the CSR after the first call must not change the
+	// value — it was computed exactly once.
+	g1.outEdges[0]++
+	if g1.Fingerprint() != fp {
+		t.Error("fingerprint recomputed instead of memoized")
+	}
+	g1.outEdges[0]--
+	// Different content, different fingerprint.
+	b := NewBuilder(500)
+	b.AddEdge(0, 1)
+	if b.Build().Fingerprint() == fp {
+		t.Error("different graphs share a fingerprint")
+	}
+}
+
+// TestFingerprintConcurrent: concurrent first calls agree (run under -race).
+func TestFingerprintConcurrent(t *testing.T) {
+	g := buildTestGraph(t)
+	got := make([]uint64, 8)
+	var wg sync.WaitGroup
+	for w := range got {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = g.FingerprintWorkers(w%3 + 1)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < len(got); w++ {
+		if got[w] != got[0] {
+			t.Fatalf("concurrent fingerprints disagree: %x vs %x", got[w], got[0])
+		}
+	}
+}
+
+// TestValidateCatchesBadCSC: a truncated inEdges array or a non-monotone
+// inOffsets must fail validation (regression: only inOffsets[n] was checked,
+// so a short edge array validated fine and panicked later in InNeighbors).
+func TestValidateCatchesBadCSC(t *testing.T) {
+	mk := func() *Graph {
+		g := buildTestGraph(t)
+		g.BuildIn()
+		return g
+	}
+	g := mk()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated edge array.
+	bad := mk()
+	in := bad.in.Load()
+	bad.in.Store(&csc{offsets: in.offsets, edges: in.edges[:len(in.edges)-1]})
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a truncated inEdges array")
+	}
+	// Non-monotone offsets.
+	bad2 := mk()
+	in2 := bad2.in.Load()
+	off := append([]int64(nil), in2.offsets...)
+	off[2], off[3] = off[3], off[2]-1
+	bad2.in.Store(&csc{offsets: off, edges: in2.edges})
+	if err := bad2.Validate(); err == nil {
+		t.Error("Validate accepted non-monotone inOffsets")
+	}
+	// Out-of-range source.
+	bad3 := mk()
+	in3 := bad3.in.Load()
+	edges := append([]VertexID(nil), in3.edges...)
+	edges[0] = VertexID(bad3.numVertices)
+	bad3.in.Store(&csc{offsets: in3.offsets, edges: edges})
+	if err := bad3.Validate(); err == nil {
+		t.Error("Validate accepted an out-of-range in-edge source")
+	}
+}

@@ -60,6 +60,10 @@ type Config struct {
 	// counts, Fig. 7's partition sizes, Table 2's grid) build each (graph,
 	// partition-size) artifact exactly once. nil disables reuse.
 	Prep *common.PrepCache
+	// PrepParallelism is the Prepare-pipeline worker count threaded into
+	// every engine run via PaperOptions (0 = all cores, positive = that
+	// many). Artifacts are bit-identical at any setting.
+	PrepParallelism int
 
 	mu    sync.Mutex
 	cache map[string]*graph.Graph
@@ -153,10 +157,11 @@ func EngineByName(name string) (common.Engine, error) {
 // threads for v-PR and Polymer.
 func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Options {
 	o := common.Options{
-		Machine:    m,
-		Iterations: c.Iterations,
-		SchedSeed:  c.SchedSeed,
-		PrepCache:  c.Prep,
+		Machine:         m,
+		Iterations:      c.Iterations,
+		SchedSeed:       c.SchedSeed,
+		PrepCache:       c.Prep,
+		PrepParallelism: c.PrepParallelism,
 	}
 	if c.Native {
 		o.Platform = platform.NewNative(m)

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"hipa/internal/graph"
+	"hipa/internal/par"
 	"hipa/internal/partition"
 )
 
@@ -68,9 +69,24 @@ type Layout struct {
 // NumMessages returns the total compressed message count.
 func (l *Layout) NumMessages() int64 { return int64(len(l.MsgSrc)) }
 
-// Build constructs the layout for g under hierarchy h. When compress is
-// false every inter-edge becomes its own single-destination message.
+// Build constructs the layout for g under hierarchy h with the default
+// parallelism. When compress is false every inter-edge becomes its own
+// single-destination message.
 func Build(g *graph.Graph, h *partition.Hierarchy, compress bool) (*Layout, error) {
+	return BuildWorkers(g, h, compress, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count (positive = that many
+// workers, 0 = all cores, negative = serial).
+//
+// All three edge-scanning passes run parallel over source partitions: every
+// array cell they touch — a (p,q) row of the pair-count matrices, a vertex's
+// intra range, a message inside one of p's blocks — is owned by exactly one
+// source partition p, so rows can be processed concurrently with disjoint
+// writes, and within a row the serial vertex order is preserved. Rows are
+// split by edge weight so one hub partition cannot serialize the build. The
+// layout is bit-identical at any worker count.
+func BuildWorkers(g *graph.Graph, h *partition.Hierarchy, compress bool, workers int) (*Layout, error) {
 	if g.NumVertices() != h.NumVertices {
 		return nil, fmt.Errorf("layout: graph has %d vertices, hierarchy %d", g.NumVertices(), h.NumVertices)
 	}
@@ -89,33 +105,53 @@ func Build(g *graph.Graph, h *partition.Hierarchy, compress bool) (*Layout, erro
 		IntraOff:      make([]int64, n+1),
 	}
 
+	// Row split: contiguous source-partition ranges of roughly equal edge
+	// weight, one per worker.
+	w := par.Fit(par.Workers(workers), g.NumEdges())
+	partEdges := make([]int64, P+1)
+	for p := 0; p < P; p++ {
+		partEdges[p+1] = partEdges[p] + h.Partitions[p].EdgeCount
+	}
+	// rowRange returns the vertex range of source partition p.
+	rowRange := func(p int) (int, int) {
+		return int(h.Partitions[p].VertexStart), int(h.Partitions[p].VertexEnd)
+	}
+
 	// Pass 1: count messages and destinations per (p,q), and intra edges
 	// per vertex. The pair matrix is dense; partition counts stay small at
 	// realistic partition sizes (P = |V|·4B / partitionBytes).
 	msgCount := make([]int64, P*P)
 	dstCount := make([]int64, P*P)
-	var intraTotal int64
-	for v := 0; v < n; v++ {
-		p := v / per
-		lastQ := -1
-		for _, d := range adj[off[v]:off[v+1]] {
-			q := int(d) / per
-			if q == p {
-				l.IntraOff[v+1]++
-				intraTotal++
-				continue
-			}
-			idx := p*P + q
-			dstCount[idx]++
-			if compress {
-				if q != lastQ {
-					msgCount[idx]++
-					lastQ = q
+	intraPerRow := make([]int64, P)
+	par.WeightedBlocks(w, partEdges, func(_, plo, phi int) {
+		for p := plo; p < phi; p++ {
+			vlo, vhi := rowRange(p)
+			for v := vlo; v < vhi; v++ {
+				lastQ := -1
+				for _, d := range adj[off[v]:off[v+1]] {
+					q := int(d) / per
+					if q == p {
+						l.IntraOff[v+1]++
+						intraPerRow[p]++
+						continue
+					}
+					idx := p*P + q
+					dstCount[idx]++
+					if compress {
+						if q != lastQ {
+							msgCount[idx]++
+							lastQ = q
+						}
+					} else {
+						msgCount[idx]++
+					}
 				}
-			} else {
-				msgCount[idx]++
 			}
 		}
+	})
+	var intraTotal int64
+	for _, c := range intraPerRow {
+		intraTotal += c
 	}
 	l.IntraEdges = intraTotal
 	l.InterEdges = g.NumEdges() - intraTotal
@@ -151,7 +187,9 @@ func Build(g *graph.Graph, h *partition.Hierarchy, compress bool) (*Layout, erro
 	l.MsgDst = make([]graph.VertexID, totalDsts)
 
 	// Pass 2a: per-message destination counts -> MsgDstOff.
-	// Cursor per (p,q) into that block's message range.
+	// Cursor per (p,q) into that block's message range; rows of msgCursor,
+	// MsgSrc entries, and dstPerMsg entries all belong to the source
+	// partition, so the pass is row-parallel like pass 1.
 	msgCursor := make([]int64, P*P)
 	blockOf := make([]int32, P*P)
 	for i := range blockOf {
@@ -162,66 +200,73 @@ func Build(g *graph.Graph, h *partition.Hierarchy, compress bool) (*Layout, erro
 	}
 	// dstPerMsg counts destinations of each message.
 	dstPerMsg := make([]int64, totalMsgs)
-	for v := 0; v < n; v++ {
-		p := v / per
-		lastQ := -1
-		var curMsg int64 = -1
-		for _, d := range adj[off[v]:off[v+1]] {
-			q := int(d) / per
-			if q == p {
-				continue
+	par.WeightedBlocks(w, partEdges, func(_, plo, phi int) {
+		for p := plo; p < phi; p++ {
+			vlo, vhi := rowRange(p)
+			for v := vlo; v < vhi; v++ {
+				lastQ := -1
+				var curMsg int64 = -1
+				for _, d := range adj[off[v]:off[v+1]] {
+					q := int(d) / per
+					if q == p {
+						continue
+					}
+					idx := p*P + q
+					newMsg := true
+					if compress && q == lastQ {
+						newMsg = false
+					}
+					if newMsg {
+						b := l.Blocks[blockOf[idx]]
+						curMsg = b.MsgStart + msgCursor[idx]
+						msgCursor[idx]++
+						l.MsgSrc[curMsg] = graph.VertexID(v)
+						lastQ = q
+					}
+					dstPerMsg[curMsg]++
+				}
 			}
-			idx := p*P + q
-			newMsg := true
-			if compress && q == lastQ {
-				newMsg = false
-			}
-			if newMsg {
-				b := l.Blocks[blockOf[idx]]
-				curMsg = b.MsgStart + msgCursor[idx]
-				msgCursor[idx]++
-				l.MsgSrc[curMsg] = graph.VertexID(v)
-				lastQ = q
-			}
-			dstPerMsg[curMsg]++
 		}
-	}
+	})
 	for i := int64(0); i < totalMsgs; i++ {
 		l.MsgDstOff[i+1] = l.MsgDstOff[i] + dstPerMsg[i]
 	}
 
-	// Pass 2b: fill destinations and intra CSR.
-	for i := range msgCursor {
-		msgCursor[i] = 0
-	}
+	// Pass 2b: fill destinations and intra CSR. Row-parallel again; each row
+	// resets its own cursor slice before refilling.
 	dstFill := make([]int64, totalMsgs) // cursor within each message's dst list
 	intraCursor := make([]int64, n)
-	for v := 0; v < n; v++ {
-		p := v / per
-		lastQ := -1
-		var curMsg int64 = -1
-		for _, d := range adj[off[v]:off[v+1]] {
-			q := int(d) / per
-			if q == p {
-				l.IntraDst[l.IntraOff[v]+intraCursor[v]] = d
-				intraCursor[v]++
-				continue
+	par.WeightedBlocks(w, partEdges, func(_, plo, phi int) {
+		for p := plo; p < phi; p++ {
+			clear(msgCursor[p*P : (p+1)*P])
+			vlo, vhi := rowRange(p)
+			for v := vlo; v < vhi; v++ {
+				lastQ := -1
+				var curMsg int64 = -1
+				for _, d := range adj[off[v]:off[v+1]] {
+					q := int(d) / per
+					if q == p {
+						l.IntraDst[l.IntraOff[v]+intraCursor[v]] = d
+						intraCursor[v]++
+						continue
+					}
+					idx := p*P + q
+					newMsg := true
+					if compress && q == lastQ {
+						newMsg = false
+					}
+					if newMsg {
+						b := l.Blocks[blockOf[idx]]
+						curMsg = b.MsgStart + msgCursor[idx]
+						msgCursor[idx]++
+						lastQ = q
+					}
+					l.MsgDst[l.MsgDstOff[curMsg]+dstFill[curMsg]] = d
+					dstFill[curMsg]++
+				}
 			}
-			idx := p*P + q
-			newMsg := true
-			if compress && q == lastQ {
-				newMsg = false
-			}
-			if newMsg {
-				b := l.Blocks[blockOf[idx]]
-				curMsg = b.MsgStart + msgCursor[idx]
-				msgCursor[idx]++
-				lastQ = q
-			}
-			l.MsgDst[l.MsgDstOff[curMsg]+dstFill[curMsg]] = d
-			dstFill[curMsg]++
 		}
-	}
+	})
 	return l, nil
 }
 

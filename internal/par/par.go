@@ -1,0 +1,134 @@
+// Package par is the shared bounded-worker helper behind the parallel
+// Prepare pipeline: CSR/CSC construction, graph fingerprinting, and the
+// partition/layout builds all fan work out through it.
+//
+// Every splitter in this package is deterministic: chunk boundaries depend
+// only on the worker count and the input sizes, never on scheduling. The
+// prep-pipeline callers additionally arrange that each output element is
+// written by exactly one worker and that its value does not depend on the
+// chunking, which is what makes preprocessing artifacts bit-identical at any
+// parallelism setting (pinned by the golden engine tests).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism request to a concrete worker count: a
+// positive value is used as given, 0 selects runtime.GOMAXPROCS(0) (use all
+// cores), and anything negative degenerates to 1 (serial).
+func Workers(requested int) int {
+	switch {
+	case requested > 0:
+		return requested
+	case requested == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return 1
+	}
+}
+
+// fitCap bounds the worker count regardless of item count; per-worker count
+// arrays in the counting-sort passes cost O(workers·keys) memory, so an
+// unbounded fan-out on a many-core host would trade a little speed for a lot
+// of space.
+const fitCap = 64
+
+// fitGrain is the minimum number of items that justifies one extra worker;
+// below it, goroutine and cache-line overheads eat the win.
+const fitGrain = 1 << 15
+
+// Fit caps an already-resolved worker count to what `items` units of work can
+// productively use: at most one worker per fitGrain items, and never more
+// than fitCap. The result is at least 1.
+func Fit(workers int, items int64) int {
+	if max := 1 + int(items/fitGrain); workers > max {
+		workers = max
+	}
+	if workers > fitCap {
+		workers = fitCap
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run runs fn(w) for w in [0, workers) on one goroutine each and waits for
+// all of them. workers <= 1 runs fn(0) inline.
+func Run(workers int, fn func(w int)) {
+	if workers <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Bounds cuts [0, n) into `workers` contiguous half-open ranges of nearly
+// equal length, returning the workers+1 boundaries. Boundaries depend only on
+// workers and n; ranges are empty when workers > n.
+func Bounds(workers, n int) []int {
+	b := make([]int, workers+1)
+	for w := 1; w <= workers; w++ {
+		b[w] = int(int64(n) * int64(w) / int64(workers))
+	}
+	return b
+}
+
+// Blocks runs fn(w, lo, hi) in parallel for each of the `workers` contiguous
+// ranges produced by Bounds(workers, n).
+func Blocks(workers, n int, fn func(w, lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	b := Bounds(workers, n)
+	Run(workers, func(w int) { fn(w, b[w], b[w+1]) })
+}
+
+// WeightedBounds cuts [0, n) into `workers` contiguous ranges of
+// approximately equal total weight, where prefix (length n+1, prefix[0]=0)
+// is the prefix sum of per-item weights. Boundaries depend only on prefix
+// and workers, and are monotone: boundary w is the smallest index whose
+// prefix weight reaches w/workers of the total.
+func WeightedBounds(workers int, prefix []int64) []int {
+	n := len(prefix) - 1
+	b := make([]int, workers+1)
+	b[workers] = n
+	total := prefix[n]
+	for w := 1; w < workers; w++ {
+		target := total * int64(w) / int64(workers)
+		lo, hi := b[w-1], n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if prefix[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b[w] = lo
+	}
+	return b
+}
+
+// WeightedBlocks runs fn(w, lo, hi) in parallel for each of the `workers`
+// ranges produced by WeightedBounds(workers, prefix).
+func WeightedBlocks(workers int, prefix []int64, fn func(w, lo, hi int)) {
+	n := len(prefix) - 1
+	if workers <= 1 || n <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	b := WeightedBounds(workers, prefix)
+	Run(workers, func(w int) { fn(w, b[w], b[w+1]) })
+}

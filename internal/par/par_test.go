@@ -1,0 +1,105 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", got)
+	}
+}
+
+func TestFit(t *testing.T) {
+	if got := Fit(8, 10); got != 1 {
+		t.Errorf("Fit(8, 10) = %d, want 1 (tiny input)", got)
+	}
+	if got := Fit(8, 1<<30); got != 8 {
+		t.Errorf("Fit(8, 1<<30) = %d, want 8", got)
+	}
+	if got := Fit(1000, 1<<40); got != fitCap {
+		t.Errorf("Fit(1000, huge) = %d, want cap %d", got, fitCap)
+	}
+	if got := Fit(0, 100); got != 1 {
+		t.Errorf("Fit(0, 100) = %d, want 1", got)
+	}
+}
+
+func TestBoundsCoverAndOrder(t *testing.T) {
+	for _, tc := range []struct{ workers, n int }{
+		{1, 0}, {1, 10}, {3, 10}, {10, 3}, {7, 7}, {4, 1000001},
+	} {
+		b := Bounds(tc.workers, tc.n)
+		if len(b) != tc.workers+1 || b[0] != 0 || b[tc.workers] != tc.n {
+			t.Fatalf("Bounds(%d,%d) = %v", tc.workers, tc.n, b)
+		}
+		for w := 0; w < tc.workers; w++ {
+			if b[w] > b[w+1] {
+				t.Fatalf("Bounds(%d,%d) not monotone: %v", tc.workers, tc.n, b)
+			}
+		}
+	}
+}
+
+func TestBlocksVisitEveryIndexOnce(t *testing.T) {
+	const n = 1013
+	for _, workers := range []int{1, 2, 3, 8, 2000} {
+		seen := make([]int32, n)
+		Blocks(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestWeightedBoundsBalance(t *testing.T) {
+	// Heavily skewed weights: one item carries half the total.
+	n := 100
+	prefix := make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		w := int64(1)
+		if i == 10 {
+			w = 100
+		}
+		prefix[i+1] = prefix[i] + w
+	}
+	b := WeightedBounds(4, prefix)
+	if b[0] != 0 || b[4] != n {
+		t.Fatalf("bounds = %v", b)
+	}
+	// The heavy item must sit alone-ish: the range containing index 10 should
+	// not also absorb most of the remaining items.
+	for w := 0; w < 4; w++ {
+		if b[w] <= 10 && 10 < b[w+1] {
+			if b[w+1]-b[w] > 60 {
+				t.Fatalf("heavy range too wide: %v", b)
+			}
+		}
+	}
+	// Every index covered exactly once.
+	seen := make([]bool, n)
+	WeightedBlocks(4, prefix, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			seen[i] = true
+		}
+	})
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}

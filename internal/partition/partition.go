@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"hipa/internal/graph"
+	"hipa/internal/par"
 )
 
 // Config parameterises hierarchical partitioning.
@@ -101,10 +102,19 @@ type Hierarchy struct {
 	Groups               []Group
 }
 
-// Build computes the hierarchical partitioning of g under cfg. The graph's
-// out-degrees drive the edge balancing, matching the paper's choice ("the
-// out-edges are selected", §3.1).
+// Build computes the hierarchical partitioning of g under cfg with the
+// default parallelism. The graph's out-degrees drive the edge balancing,
+// matching the paper's choice ("the out-edges are selected", §3.1).
 func Build(g *graph.Graph, cfg Config) (*Hierarchy, error) {
+	return BuildWorkers(g, cfg, 0)
+}
+
+// BuildWorkers is Build with an explicit worker count (positive = that many
+// workers, 0 = all cores, negative = serial). The hierarchy is identical at
+// any worker count: only the cache-partition level (a per-partition scan of
+// the offset array) is parallel; the node and group levels are sequential
+// scans whose cost is proportional to the partition count.
+func BuildWorkers(g *graph.Graph, cfg Config, workers int) (*Hierarchy, error) {
 	if cfg.PartitionBytes <= 0 {
 		return nil, fmt.Errorf("partition: PartitionBytes must be positive, got %d", cfg.PartitionBytes)
 	}
@@ -134,22 +144,23 @@ func Build(g *graph.Graph, cfg Config) (*Hierarchy, error) {
 	}
 
 	// Level 0: fixed-size cache-able partitions preserving vertex order.
+	// Each entry depends only on its own index, so the loop is parallel with
+	// disjoint writes.
 	numParts := (n + perPart - 1) / perPart
 	h.Partitions = make([]Partition, numParts)
 	off := g.OutOffsets()
-	for p := 0; p < numParts; p++ {
-		lo := p * perPart
-		hi := lo + perPart
-		if hi > n {
-			hi = n
+	par.Blocks(par.Fit(par.Workers(workers), int64(numParts)), numParts, func(_, plo, phi int) {
+		for p := plo; p < phi; p++ {
+			lo := p * perPart
+			hi := min(lo+perPart, n)
+			h.Partitions[p] = Partition{
+				ID:          p,
+				VertexStart: graph.VertexID(lo),
+				VertexEnd:   graph.VertexID(hi),
+				EdgeCount:   off[hi] - off[lo],
+			}
 		}
-		h.Partitions[p] = Partition{
-			ID:          p,
-			VertexStart: graph.VertexID(lo),
-			VertexEnd:   graph.VertexID(hi),
-			EdgeCount:   off[hi] - off[lo],
-		}
-	}
+	})
 
 	// Level 1: NUMA assignment of whole partitions.
 	h.Nodes = assignNodes(h.Partitions, cfg, g.NumEdges(), n)
