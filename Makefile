@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build test vet race ci bench smoke clean
+# BENCH_pagerank.json was generated with these settings; the gate refuses to
+# compare measurements taken at a different shape.
+BENCH_BASELINE ?= BENCH_pagerank.json
+BENCH_DIVISOR  ?= 1024
+BENCH_DATASET  ?= journal
+
+.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke clean
 
 all: build
 
@@ -12,6 +18,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs when the binary is installed (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest) and is skipped
+# otherwise so `make ci` works in a bare toolchain-only environment.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # Race-enabled test run; the simulated scheduler and the telemetry recorder
 # are exercised concurrently by every engine test, so this is the main
@@ -30,17 +46,30 @@ race-prep:
 bench-prep:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare' -benchtime 1x ./internal/graph/ .
 
-ci: vet build race race-prep bench-prep smoke
+ci: vet staticcheck build race race-prep bench-prep bench smoke bench-gate
 
+# One-iteration pass over the root benchmarks (compile-and-run validation of
+# every benchmark body; not a timing run). `smoke` used to duplicate this —
+# it is now the single place the root benchmarks run in CI.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -run '^$$' -bench . -benchtime 1x . > /dev/null
 
-# End-to-end smoke: a tiny fig6 sweep through the real CLI (exercising the
-# shared prep cache across the thread sweep) plus a compile-and-run pass of
-# the benchmarks at one iteration each.
+# End-to-end smoke: a tiny fig6 sweep through the real CLI, exercising the
+# shared prep cache across the thread sweep.
 smoke:
 	$(GO) run ./cmd/hipabench -exp fig6 -divisor 16384 -iters 2 > /dev/null
-	$(GO) test -run '^$$' -bench . -benchtime 1x . > /dev/null
+
+# Allocation gate: measure the Exec allocation profile of all five engines
+# and compare against the committed baseline (exact on the zero
+# allocs/iteration steady state). Regenerate the baseline with
+# `make bench-baseline` after an intentional change.
+bench-gate:
+	$(GO) run ./cmd/hipabench -baseline $(BENCH_BASELINE) \
+		-divisor $(BENCH_DIVISOR) -datasets $(BENCH_DATASET)
+
+bench-baseline:
+	$(GO) run ./cmd/hipabench -baseline $(BENCH_BASELINE) -baseline-write \
+		-divisor $(BENCH_DIVISOR) -datasets $(BENCH_DATASET)
 
 clean:
 	$(GO) clean ./...

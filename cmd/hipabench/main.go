@@ -5,6 +5,7 @@
 //	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
 //	          [-repeat N] [-format text|csv|json] [-platform skylake]
+//	          [-baseline FILE [-baseline-write] [-baseline-out FILE]]
 //
 // -platform picks the execution substrate: skylake or haswell run the full
 // modelled simulation (Table 3 always sweeps both regardless), native runs
@@ -20,6 +21,14 @@
 // mechanically:
 //
 //	hipabench -exp table2 -format json > BENCH_table2.json
+//
+// -baseline FILE switches to allocation-baseline mode: instead of running
+// experiments, the Exec allocation profile of every engine (allocs and
+// bytes per steady-state iteration — zero by design — plus per-Exec fixed
+// costs) is measured on the native platform and compared against the
+// committed FILE, exiting 1 on regression. -baseline-write regenerates the
+// file, -baseline-out additionally saves the measurement (the CI build
+// artifact). See BENCH_pagerank.json and DESIGN.md for the schema.
 //
 // Every experiment prints an aligned text table matching the corresponding
 // paper artifact (see DESIGN.md §3 for the index). The divisor scales both
@@ -50,6 +59,10 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
 		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
 		prepPar  = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
+
+		baseline      = flag.String("baseline", "", "allocation-baseline mode: compare measured Exec allocation profiles against this BENCH_*.json file (exit 1 on regression) instead of running experiments")
+		baselineWrite = flag.Bool("baseline-write", false, "with -baseline: (re)write the file from the current measurement instead of comparing")
+		baselineOut   = flag.String("baseline-out", "", "with -baseline: also write the measured profile to this file (CI artifact)")
 	)
 	flag.Parse()
 
@@ -69,6 +82,14 @@ func main() {
 	}
 	if *datasets != "" {
 		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if *baseline != "" {
+		os.Exit(runBaseline(cfg, *baseline, *baselineWrite, *baselineOut))
+	}
+	if *baselineWrite || *baselineOut != "" {
+		fmt.Fprintln(os.Stderr, "hipabench: -baseline-write and -baseline-out require -baseline FILE")
+		os.Exit(2)
 	}
 
 	type experiment struct {
@@ -133,4 +154,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hipabench: prep cache: %d builds, %d hits, %d evictions\n",
 			s.Misses, s.Hits, s.Evictions)
 	}
+}
+
+// runBaseline executes the allocation-baseline mode: measure the Exec
+// allocation profile of every engine on one dataset (the first of
+// -datasets, defaulting to journal) and either write it to path
+// (-baseline-write) or compare against the committed file, returning the
+// process exit code.
+func runBaseline(cfg *harness.Config, path string, write bool, outPath string) int {
+	dataset := "journal"
+	if len(cfg.Datasets) > 0 {
+		dataset = cfg.Datasets[0]
+	}
+	measured, err := cfg.MeasureAllocBaseline(dataset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hipabench: baseline: %v\n", err)
+		return 1
+	}
+	if outPath != "" {
+		if err := measured.WriteJSONFile(outPath); err != nil {
+			fmt.Fprintf(os.Stderr, "hipabench: baseline: %v\n", err)
+			return 1
+		}
+	}
+	if write {
+		if err := measured.WriteJSONFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "hipabench: baseline: %v\n", err)
+			return 1
+		}
+		fmt.Printf("hipabench: wrote allocation baseline %s (%s, divisor %d)\n", path, dataset, cfg.Divisor)
+		return 0
+	}
+	committed, err := harness.ReadAllocBaseline(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hipabench: baseline: %v\n", err)
+		return 1
+	}
+	if regressions := committed.Compare(measured); len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "hipabench: allocation regressions against %s:\n", path)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("hipabench: allocation profile matches %s (%d engines, 0 allocs/iteration)\n", path, len(committed.Engines))
+	return 0
 }

@@ -16,7 +16,9 @@
 // -repeat N prepares the engine's preprocessing artifact once and executes
 // the iterative phase N times against it (the prepare-once / query-many
 // serving pattern); the report and printout describe the last execution,
-// plus an amortization line over all N.
+// plus an amortization line over all N and the scratch-arena reuse count
+// (sequential Execs against one artifact recycle a single arena — see the
+// Exec memory model in DESIGN.md).
 // -stats writes a machine-readable run report (per-iteration residuals,
 // dangling mass, modelled local/remote accesses, counters, phase timers).
 // -trace writes a Chrome trace_event file loadable in chrome://tracing or
@@ -33,6 +35,7 @@ import (
 	"strings"
 
 	"hipa/internal/engines/common"
+	"hipa/internal/execbuf"
 	"hipa/internal/graph"
 	"hipa/internal/harness"
 	"hipa/internal/machine"
@@ -118,6 +121,7 @@ func main() {
 	}
 	var res *common.Result
 	var execTotal float64
+	var arenas execbuf.PoolStats
 	if *repeat == 1 {
 		res, err = e.Run(g, o)
 		if err != nil {
@@ -146,6 +150,7 @@ func main() {
 			fail(err.Error())
 		}
 		execTotal += res.WallSeconds
+		arenas = prep.ArenaStats()
 	}
 	fmt.Printf("engine     : %s (%d threads, %d iterations)\n", res.Engine, res.Threads, res.Iterations)
 	fmt.Printf("graph      : %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
@@ -153,6 +158,8 @@ func main() {
 	if *repeat > 1 {
 		fmt.Printf("amortized  : %d executions in %.4fs; prep is %.1f%% of total\n",
 			*repeat, execTotal, 100*res.PrepSeconds/(res.PrepSeconds+execTotal))
+		fmt.Printf("arena      : %d allocated, %d reused (sequential Execs recycle one scratch arena)\n",
+			arenas.Created, arenas.Reused)
 	}
 	if native {
 		fmt.Printf("modelled   : skipped (native platform; wall-clock only)\n")

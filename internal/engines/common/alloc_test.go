@@ -1,0 +1,123 @@
+package common
+
+import (
+	"testing"
+
+	"hipa/internal/execbuf"
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/partition"
+)
+
+func allocTestState(t *testing.T, threads int, arena *execbuf.Arena) (*graph.Graph, *SGState) {
+	t.Helper()
+	g, err := gen.Uniform(800, 9000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := partition.Build(g, partition.Config{PartitionBytes: 256, BytesPerVertex: 4, NumNodes: 1, GroupsPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := layout.Build(g, hier, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, NewSGStateArena(g, hier, lay, InvOutDegrees(g), 0.85, threads, arena)
+}
+
+// TestSuperstepLoopRunIsAllocationFree is the exact form of the tentpole
+// guarantee, measured at the driver: with the worker pool spawned and the
+// kernels built, one superstep over real scatter-gather state performs
+// exactly zero heap allocations.
+func TestSuperstepLoopRunIsAllocationFree(t *testing.T) {
+	const threads = 4
+	_, state := allocTestState(t, threads, nil)
+	loop := NewSuperstepLoop(SuperstepConfig{Threads: threads, Iterations: 1}, FCFSKernels(state))
+	defer loop.Close()
+	loop.Run(1) // warm the runtime (timer, barrier paths)
+	if allocs := testing.AllocsPerRun(10, func() { loop.Run(1) }); allocs != 0 {
+		t.Errorf("loop.Run(1) allocated %g times; the superstep loop must be allocation-free", allocs)
+	}
+}
+
+// TestSuperstepLoopRunWithToleranceIsAllocationFree covers the convergence
+// branch too: the residual fold must not allocate either.
+func TestSuperstepLoopRunWithToleranceIsAllocationFree(t *testing.T) {
+	const threads = 4
+	_, state := allocTestState(t, threads, nil)
+	loop := NewSuperstepLoop(SuperstepConfig{Threads: threads, Iterations: 1, Tolerance: 1e-30}, FCFSKernels(state))
+	defer loop.Close()
+	loop.Run(1)
+	if allocs := testing.AllocsPerRun(10, func() { loop.Run(1) }); allocs != 0 {
+		t.Errorf("loop.Run(1) with tolerance allocated %g times", allocs)
+	}
+}
+
+// TestSGStateRebuildDoesNotGrowArena pins the arena contract behind
+// repeated Exec calls: constructing same-shaped state on a warm arena
+// reuses every buffer (no growth), and the footprint stays constant.
+func TestSGStateRebuildDoesNotGrowArena(t *testing.T) {
+	arena := &execbuf.Arena{}
+	_, s1 := allocTestState(t, 4, arena)
+	grows, foot := arena.Grows(), arena.Footprint()
+	if grows == 0 || foot == 0 {
+		t.Fatalf("cold construction reported grows=%d footprint=%d", grows, foot)
+	}
+	RunSupersteps(SuperstepConfig{Threads: 4, Iterations: 3}, FCFSKernels(s1))
+	_, s2 := allocTestState(t, 4, arena)
+	if g2 := arena.Grows(); g2 != grows {
+		t.Errorf("warm reconstruction grew the arena: %d -> %d buffer allocations", grows, g2)
+	}
+	if f2 := arena.Footprint(); f2 != foot {
+		t.Errorf("footprint changed on warm reconstruction: %d -> %d bytes", foot, f2)
+	}
+	RunSupersteps(SuperstepConfig{Threads: 4, Iterations: 3}, FCFSKernels(s2))
+	if g3 := arena.Grows(); g3 != grows {
+		t.Errorf("execution grew the arena: %d -> %d buffer allocations", grows, g3)
+	}
+}
+
+// TestSeedDanglingMatchesGatherFold locks the bit-exactness argument of the
+// fused dangling sum on a graph WITH dangling vertices: after any gather
+// round under pinned grouping, the partials must hold exactly what
+// SeedDangling computes from the current ranks — i.e. the fused fold and
+// the explicit per-group fold are the same function.
+func TestSeedDanglingMatchesGatherFold(t *testing.T) {
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 600, Edges: 3000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := partition.Build(g, partition.Config{PartitionBytes: 256, BytesPerVertex: 4, NumNodes: 1, GroupsPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := layout.Build(g, hier, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dangling := 0
+	inv := InvOutDegrees(g)
+	for _, iv := range inv {
+		if iv == 0 {
+			dangling++
+		}
+	}
+	if dangling == 0 {
+		t.Skip("generator produced no dangling vertices; test needs them")
+	}
+	threads := len(hier.Groups)
+	s := NewSGStateArena(g, hier, lay, inv, 0.85, threads, nil)
+	RunSupersteps(SuperstepConfig{Threads: threads, Iterations: 3}, PinnedKernels(s, hier.Groups))
+	got := make([]float64, threads)
+	for i := range s.partials {
+		got[i] = s.partials[i].V
+	}
+	s.SeedDangling(hier.Groups)
+	for i := range s.partials {
+		if s.partials[i].V != got[i] {
+			t.Errorf("partial[%d]: fused gather fold %v != explicit seed fold %v", i, got[i], s.partials[i].V)
+		}
+	}
+}

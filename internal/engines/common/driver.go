@@ -1,6 +1,7 @@
 package common
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -51,17 +52,110 @@ type SuperstepConfig struct {
 	Rec *obs.Recorder
 }
 
-// RunSupersteps is the single superstep driver behind all five engines: it
-// runs scatter → reduce → gather → apply for up to cfg.Iterations
-// iterations, with the convergence check, span recording, and per-iteration
-// statistics in one place. Returns the number of iterations performed.
-func RunSupersteps(cfg SuperstepConfig, k PhaseKernels) int {
+// SuperstepLoop is the reusable superstep executor behind all five engines.
+// NewSuperstepLoop spawns a persistent worker pool once; Run then drives any
+// number of scatter → reduce → gather → apply iterations over it without
+// allocating: phases are dispatched to the parked workers through a pair of
+// reusable barriers, worker tids are claimed from an atomic counter, and the
+// kernel function values are stored in fields rather than fresh closures.
+// With telemetry disabled the steady state performs zero heap allocations
+// per iteration (the execbuf arena owns all scratch memory), which the
+// AllocsPerRun regression tests in enginetest pin for every engine.
+//
+// A loop is driven from one goroutine at a time; Close releases the workers
+// and must be called exactly once after the last Run.
+type SuperstepLoop struct {
+	cfg     SuperstepConfig
+	k       PhaseKernels
+	workers int
+
+	// Per-phase dispatch state, written by the driver before releasing the
+	// start barrier (the barrier's mutex publishes them to the workers).
+	phase func(tid int)
+	span  string
+	it    int
+	next  atomic.Int64
+	stop  bool
+
+	start, done *Barrier
+	wg          sync.WaitGroup
+}
+
+// NewSuperstepLoop validates cfg, spawns the worker pool, and returns the
+// parked loop. The pool size is min(cfg.Parallelism, cfg.Threads) real
+// goroutines (all of them when the cap is unset), each claiming tids from a
+// shared counter so every tid runs exactly once per phase regardless of the
+// cap; per-tid kernel state is disjoint in every engine, so results do not
+// depend on the tid-to-goroutine mapping.
+func NewSuperstepLoop(cfg SuperstepConfig, k PhaseKernels) *SuperstepLoop {
+	workers := cfg.Threads
+	if cfg.Parallelism > 0 && cfg.Parallelism < workers {
+		workers = cfg.Parallelism
+	}
+	l := &SuperstepLoop{
+		cfg:     cfg,
+		k:       k,
+		workers: workers,
+		start:   NewBarrier(workers + 1),
+		done:    NewBarrier(workers + 1),
+	}
+	l.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go l.worker()
+	}
+	return l
+}
+
+// worker is the persistent body of one pool goroutine: park on the start
+// barrier, drain claimed tids through the current phase kernel, park on the
+// done barrier, repeat until Close.
+func (l *SuperstepLoop) worker() {
+	defer l.wg.Done()
+	tr := l.cfg.Rec.T()
+	for {
+		l.start.Wait()
+		if l.stop {
+			return
+		}
+		for {
+			tid := int(l.next.Add(1)) - 1
+			if tid >= l.cfg.Threads {
+				break
+			}
+			if tr != nil {
+				spanStart := time.Now()
+				l.phase(tid)
+				tr.Span(tid, l.span, l.it, spanStart)
+			} else {
+				l.phase(tid)
+			}
+		}
+		l.done.Wait()
+	}
+}
+
+// runPhase fans one parallel phase out over the worker tids. fn must be a
+// stored function value (a kernel field), not a fresh closure — the zero
+// allocation guarantee of the loop depends on it.
+func (l *SuperstepLoop) runPhase(span string, it int, fn func(tid int)) {
+	l.phase, l.span, l.it = fn, span, it
+	l.next.Store(0)
+	l.start.Wait() // releases the workers; barrier mutex publishes the fields
+	l.done.Wait()  // all tids drained
+}
+
+// Run executes up to iterations supersteps, with the convergence check,
+// span recording, and per-iteration statistics in one place. It returns the
+// number of iterations performed and may be called again to continue on the
+// same kernel state.
+func (l *SuperstepLoop) Run(iterations int) int {
+	cfg, k := l.cfg, &l.k
 	rec := cfg.Rec
 	tr := rec.T()
 	runner := RunnerLane(cfg.Threads)
 	needResidual := cfg.Tolerance > 0 || rec != nil
 	performed := 0
-	for it := 0; it < cfg.Iterations; it++ {
+	for it := 0; it < iterations; it++ {
 		performed++
 		var itStart time.Time
 		if rec != nil {
@@ -70,7 +164,7 @@ func RunSupersteps(cfg SuperstepConfig, k PhaseKernels) int {
 		if k.StartIteration != nil {
 			k.StartIteration(it)
 		}
-		runPhase(cfg, tr, SpanScatter, it, k.Scatter)
+		l.runPhase(SpanScatter, it, k.Scatter)
 		var serialStart time.Time
 		if tr != nil {
 			serialStart = time.Now()
@@ -79,7 +173,7 @@ func RunSupersteps(cfg SuperstepConfig, k PhaseKernels) int {
 		if tr != nil {
 			tr.Span(runner, SpanReduce, it, serialStart)
 		}
-		runPhase(cfg, tr, SpanGather, it, k.Gather)
+		l.runPhase(SpanGather, it, k.Gather)
 		if !needResidual {
 			continue
 		}
@@ -105,19 +199,21 @@ func RunSupersteps(cfg SuperstepConfig, k PhaseKernels) int {
 	return performed
 }
 
-// runPhase fans one parallel phase out over the worker tids, recording one
-// span per worker.
-func runPhase(cfg SuperstepConfig, tr *obs.Trace, span string, it int, fn func(tid int)) {
-	RunThreadsCapped(cfg.Threads, cfg.Parallelism, func(tid int) {
-		var spanStart time.Time
-		if tr != nil {
-			spanStart = time.Now()
-		}
-		fn(tid)
-		if tr != nil {
-			tr.Span(tid, span, it, spanStart)
-		}
-	})
+// Close releases and joins the worker pool. The loop must not be used
+// afterwards.
+func (l *SuperstepLoop) Close() {
+	l.stop = true
+	l.start.Wait()
+	l.wg.Wait()
+}
+
+// RunSupersteps is the single-shot form of the superstep driver: spawn the
+// pool, run cfg.Iterations supersteps, release the pool. Returns the number
+// of iterations performed.
+func RunSupersteps(cfg SuperstepConfig, k PhaseKernels) int {
+	l := NewSuperstepLoop(cfg, k)
+	defer l.Close()
+	return l.Run(cfg.Iterations)
 }
 
 // FCFSKernels are the phase kernels of the NUMA-oblivious scatter-gather
@@ -153,21 +249,30 @@ func FCFSKernels(s *SGState) PhaseKernels {
 // (Algorithm 2): thread tid processes exactly the partitions of its group,
 // every iteration — the one-to-many thread-data mapping.
 func PinnedKernels(s *SGState, groups []partition.Group) PhaseKernels {
+	s.SeedDangling(groups)
+	scatter := &groupPhase{s: s, groups: groups, phase: (*SGState).ScatterPartition}
+	gather := &groupPhase{s: s, groups: groups, phase: (*SGState).GatherPartition}
 	return PhaseKernels{
-		Scatter: func(tid int) {
-			gr := groups[tid]
-			for p := gr.PartStart; p < gr.PartEnd; p++ {
-				s.ScatterPartition(p, tid)
-			}
-		},
-		Reduce: s.ReduceDangling,
-		Gather: func(tid int) {
-			gr := groups[tid]
-			for p := gr.PartStart; p < gr.PartEnd; p++ {
-				s.GatherPartition(p, tid)
-			}
-		},
+		Scatter:      scatter.run,
+		Reduce:       s.ReduceDangling,
+		Gather:       gather.run,
 		Residual:     s.MaxResidual,
 		DanglingMass: s.LastDanglingMass,
+	}
+}
+
+// groupPhase walks one thread's pinned partition group through a
+// partition-level kernel; a pair of these backs PinnedKernels with method
+// values created once per Exec.
+type groupPhase struct {
+	s      *SGState
+	groups []partition.Group
+	phase  func(s *SGState, p, tid int)
+}
+
+func (g *groupPhase) run(tid int) {
+	gr := g.groups[tid]
+	for p := gr.PartStart; p < gr.PartEnd; p++ {
+		g.phase(g.s, p, tid)
 	}
 }

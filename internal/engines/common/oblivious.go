@@ -138,8 +138,11 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 	}
 	pool.SetLanes(rec.T())
 
-	// Real execution through the shared superstep driver.
-	state := NewSGStateWithInv(g, hier, lay, prep.part.Inv, o.Damping, o.Threads)
+	// Real execution through the shared superstep driver, on scratch buffers
+	// drawn from the artifact's arena pool (warm across repeated Execs).
+	arena := prep.AcquireArena()
+	defer prep.ReleaseArena(arena)
+	state := NewSGStateArena(g, hier, lay, prep.part.Inv, o.Damping, o.Threads, arena)
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
 	performed := RunSupersteps(SuperstepConfig{
@@ -179,9 +182,13 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
 
+	// The arena (and with it state.Ranks) is recycled by the next Exec; the
+	// result keeps its own copy — the single per-Exec allocation.
+	ranks := make([]float32, len(state.Ranks))
+	copy(ranks, state.Ranks)
 	res := &Result{
 		Engine:           cfg.Name,
-		Ranks:            state.Ranks,
+		Ranks:            ranks,
 		Iterations:       o.Iterations,
 		Threads:          o.Threads,
 		WallSeconds:      wall.Seconds(),

@@ -11,14 +11,20 @@ import (
 // InitRanks returns the uniform initial rank vector 1/|V|.
 func InitRanks(n int) []float32 {
 	r := make([]float32, n)
-	if n == 0 {
-		return r
+	FillInitRanks(r)
+	return r
+}
+
+// FillInitRanks writes the uniform 1/n starting distribution into r,
+// allocation-free for arena-backed buffers.
+func FillInitRanks(r []float32) {
+	if len(r) == 0 {
+		return
 	}
-	v := float32(1.0 / float64(n))
+	v := float32(1.0 / float64(len(r)))
 	for i := range r {
 		r[i] = v
 	}
-	return r
 }
 
 // InvOutDegrees returns 1/outdeg(v) as float32, with 0 for dangling

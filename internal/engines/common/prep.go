@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipa/internal/execbuf"
 	"hipa/internal/graph"
 	"hipa/internal/layout"
 	"hipa/internal/machine"
@@ -71,6 +72,7 @@ type Prepared struct {
 	machine *machine.Machine
 	part    *PartArtifact
 	vert    *VertexArtifact
+	arenas  execbuf.Pool
 
 	// PrepSeconds is the real elapsed time of the Prepare call that produced
 	// this value — the full cold build, or a near-zero cache fetch.
@@ -96,6 +98,18 @@ func (p *Prepared) Machine() *machine.Machine { return p.machine }
 
 // Key returns the artifact's cache identity.
 func (p *Prepared) Key() PrepKey { return p.key }
+
+// AcquireArena draws an Exec scratch arena from the artifact's pool — warm
+// when a previous Exec against this artifact returned one, fresh otherwise.
+// Pair with ReleaseArena when the Exec no longer touches arena buffers.
+func (p *Prepared) AcquireArena() *execbuf.Arena { return p.arenas.Get() }
+
+// ReleaseArena returns an arena to the artifact's pool for the next Exec.
+func (p *Prepared) ReleaseArena(a *execbuf.Arena) { p.arenas.Put(a) }
+
+// ArenaStats reports the artifact's arena-pool traffic: Created counts cold
+// arenas (peak Exec concurrency), Reused counts warm acquisitions.
+func (p *Prepared) ArenaStats() execbuf.PoolStats { return p.arenas.Stats() }
 
 // Partition returns the partition-centric payload, or nil for a vertex
 // artifact.

@@ -1,22 +1,26 @@
 package common
 
 import (
+	"hipa/internal/execbuf"
 	"hipa/internal/graph"
 	"hipa/internal/layout"
 	"hipa/internal/partition"
 )
-
-// padF64 avoids false sharing between per-thread partial sums.
-type padF64 struct {
-	v float64
-	_ [7]int64
-}
 
 // SGState is the mutable state of a partition-centric scatter-gather
 // PageRank execution, shared by the HiPa engine (pinned threads) and the
 // FCFS engines (p-PR, GPOP). Partition-level methods are safe to call
 // concurrently as long as each partition is processed by exactly one thread
 // per phase and scatter/gather phases are separated by barriers.
+//
+// All mutable buffers live in an execbuf.Arena, so an Exec that draws its
+// arena from the Prepared pool allocates nothing per iteration and reuses
+// the buffers across repeated Execs. The dangling sum is fused into the
+// gather phase: GatherPartition accumulates the dangling mass of the ranks
+// it writes, so when an iteration starts its partials already hold the
+// current distribution's dangling mass and the scatter phase stays
+// branch-free. The constructor (and, for pinned engines, SeedDangling)
+// establishes that invariant for iteration zero.
 type SGState struct {
 	G    *graph.Graph
 	Lay  *layout.Layout
@@ -31,9 +35,9 @@ type SGState struct {
 	base    float32 // (1-d)/n
 	redis   float32 // d * danglingSum/n, set by ReduceDangling
 
-	partials     []padF64 // per-thread dangling partials
-	residuals    []padF64 // per-thread L∞ rank-change partials
-	lastDangling float64  // raw dangling sum of the last ReduceDangling
+	partials     []execbuf.PadF64 // per-thread dangling partials
+	residuals    []execbuf.PadF64 // per-thread L∞ rank-change partials
+	lastDangling float64          // raw dangling sum of the last ReduceDangling
 }
 
 // LastDanglingMass returns the summed dangling rank folded by the most
@@ -48,67 +52,110 @@ func (s *SGState) LastDanglingMass() float64 { return s.lastDangling }
 func (s *SGState) MaxResidual() float64 {
 	var max float64
 	for i := range s.residuals {
-		if s.residuals[i].v > max {
-			max = s.residuals[i].v
+		if s.residuals[i].V > max {
+			max = s.residuals[i].V
 		}
-		s.residuals[i].v = 0
+		s.residuals[i].V = 0
 	}
 	return max
 }
 
 // NewSGState allocates the execution state for threads workers.
 func NewSGState(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layout, damping float64, threads int) *SGState {
-	return NewSGStateWithInv(g, hier, lay, InvOutDegrees(g), damping, threads)
+	return NewSGStateArena(g, hier, lay, InvOutDegrees(g), damping, threads, nil)
 }
 
 // NewSGStateWithInv is NewSGState with a precomputed 1/outdeg array, shared
 // read-only from a Prepared artifact so concurrent Execs skip the O(V)
 // recomputation.
 func NewSGStateWithInv(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layout, inv []float32, damping float64, threads int) *SGState {
+	return NewSGStateArena(g, hier, lay, inv, damping, threads, nil)
+}
+
+// NewSGStateArena builds the execution state on top of a scratch arena so
+// repeated Execs reuse buffers instead of reallocating them; a nil arena
+// gets a private one. The returned state starts at the uniform distribution
+// with its dangling partials seeded (flat, into partial 0) — pinned engines
+// re-seed group-accurately via SeedDangling.
+func NewSGStateArena(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layout, inv []float32, damping float64, threads int, arena *execbuf.Arena) *SGState {
+	if arena == nil {
+		arena = &execbuf.Arena{}
+	}
 	n := g.NumVertices()
-	return &SGState{
+	s := &SGState{
 		G: g, Lay: lay, Hier: hier,
-		Ranks:     InitRanks(n),
-		Acc:       make([]float32, n),
-		Bins:      make([]float32, lay.NumMessages()),
+		Ranks:     arena.Ranks(n),
+		Acc:       arena.Acc(n),
+		Bins:      arena.Bins(int(lay.NumMessages())),
 		Inv:       inv,
 		Damping:   damping,
 		base:      float32((1 - damping) / float64(n)),
-		partials:  make([]padF64, threads),
-		residuals: make([]padF64, threads),
+		partials:  arena.Partials(threads),
+		residuals: arena.Residuals(threads),
+	}
+	FillInitRanks(s.Ranks)
+	var dangling float64
+	for v, iv := range inv {
+		if iv == 0 {
+			dangling += float64(s.Ranks[v])
+		}
+	}
+	s.partials[0].V = dangling
+	return s
+}
+
+// SeedDangling re-seeds the iteration-zero dangling partials with the exact
+// per-thread, per-partition grouping the pinned gather phase will keep using
+// — each thread's partial is the ordered fold of its partitions' local sums,
+// matching the fused accumulation in GatherPartition bit for bit.
+func (s *SGState) SeedDangling(groups []partition.Group) {
+	for i := range s.partials {
+		s.partials[i].V = 0
+	}
+	for tid := range groups {
+		for p := groups[tid].PartStart; p < groups[tid].PartEnd; p++ {
+			part := s.Hier.Partitions[p]
+			var local float64
+			for v := int(part.VertexStart); v < int(part.VertexEnd); v++ {
+				if s.Inv[v] == 0 {
+					local += float64(s.Ranks[v])
+				}
+			}
+			s.partials[tid].V += local
+		}
 	}
 }
 
 // ScatterPartition runs the scatter phase for partition p on behalf of
-// thread tid: computes each source vertex's contribution, applies
-// intra-edges to the local accumulators, writes one compressed value per
-// outgoing message, and accumulates the thread's dangling partial from the
-// old ranks.
+// thread tid: applies each source vertex's contribution to the local
+// accumulators over the intra-edges and writes one compressed value per
+// outgoing message. Dangling vertices have no out-edges, so their zero
+// contribution (Inv is 0) touches nothing and the loop stays branch-free;
+// their mass was already folded into the partials by the previous gather.
 func (s *SGState) ScatterPartition(p int, tid int) {
+	_ = tid
 	part := s.Hier.Partitions[p]
 	lay := s.Lay
+	ranks, inv := s.Ranks, s.Inv
+	acc := s.Acc
+	intraOff := lay.IntraOff
 
-	// Intra-edges + dangling, iterating the partition's vertices in order.
-	var dangling float64
 	for v := int(part.VertexStart); v < int(part.VertexEnd); v++ {
-		inv := s.Inv[v]
-		if inv == 0 {
-			dangling += float64(s.Ranks[v])
-			continue
-		}
-		contrib := s.Ranks[v] * inv
-		for _, d := range lay.IntraDst[lay.IntraOff[v]:lay.IntraOff[v+1]] {
-			s.Acc[d] += contrib
+		contrib := ranks[v] * inv[v]
+		lo, hi := intraOff[v], intraOff[v+1]
+		dst := lay.IntraDst[lo:hi:hi]
+		for _, d := range dst {
+			acc[d] += contrib
 		}
 	}
-	s.partials[tid].v += dangling
 
-	// Compressed messages, streamed block by block.
+	// Compressed messages, streamed block by block with hoisted bounds.
 	for bi := lay.SrcBlockStart[p]; bi < lay.SrcBlockEnd[p]; bi++ {
 		b := lay.Blocks[bi]
-		for m := b.MsgStart; m < b.MsgEnd; m++ {
-			src := lay.MsgSrc[m]
-			s.Bins[m] = s.Ranks[src] * s.Inv[src]
+		src := lay.MsgSrc[b.MsgStart:b.MsgEnd:b.MsgEnd]
+		bins := s.Bins[b.MsgStart:b.MsgEnd:b.MsgEnd]
+		for i, u := range src {
+			bins[i] = ranks[u] * inv[u]
 		}
 	}
 }
@@ -119,8 +166,8 @@ func (s *SGState) ScatterPartition(p int, tid int) {
 func (s *SGState) ReduceDangling() {
 	var sum float64
 	for i := range s.partials {
-		sum += s.partials[i].v
-		s.partials[i].v = 0
+		sum += s.partials[i].V
+		s.partials[i].V = 0
 	}
 	s.lastDangling = sum
 	n := s.G.NumVertices()
@@ -132,26 +179,68 @@ func (s *SGState) ReduceDangling() {
 // GatherPartition runs the gather phase for partition p: decodes the
 // messages targeting p into the accumulators, then recomputes the ranks of
 // p's vertices and clears the accumulators, tracking the thread's L∞ rank
-// change for convergence checks.
+// change for convergence checks. The partition's dangling mass under the
+// new ranks is folded into the thread's partial (one local sum per
+// partition, accumulated in partition order), so the next iteration's
+// ReduceDangling sees exactly what a scatter-side pass would have produced.
 func (s *SGState) GatherPartition(p int, tid int) {
 	lay := s.Lay
+	acc := s.Acc
 	for _, bi := range lay.DstBlocks[p] {
 		b := lay.Blocks[bi]
-		for m := b.MsgStart; m < b.MsgEnd; m++ {
-			val := s.Bins[m]
-			for _, d := range lay.MsgDst[lay.MsgDstOff[m]:lay.MsgDstOff[m+1]] {
-				s.Acc[d] += val
+		bins := s.Bins[b.MsgStart:b.MsgEnd:b.MsgEnd]
+		msgOff := lay.MsgDstOff[b.MsgStart : b.MsgEnd+1 : b.MsgEnd+1]
+		for i, val := range bins {
+			lo, hi := msgOff[i], msgOff[i+1]
+			dst := lay.MsgDst[lo:hi:hi]
+			for _, d := range dst {
+				acc[d] += val
 			}
 		}
 	}
+
 	part := s.Hier.Partitions[p]
+	ranks := s.Ranks
+	inv := s.Inv
 	d := float32(s.Damping)
-	res := s.residuals[tid].v
-	for v := int(part.VertexStart); v < int(part.VertexEnd); v++ {
-		old := s.Ranks[v]
-		nv := s.base + d*s.Acc[v] + s.redis
-		s.Ranks[v] = nv
-		s.Acc[v] = 0
+	base, redis := s.base, s.redis
+	res := s.residuals[tid].V
+	var dangling float64
+	lo, hi := int(part.VertexStart), int(part.VertexEnd)
+	v := lo
+	// 4-way unrolled rank update. Each vertex is independent, the residual
+	// max is order-insensitive, and the dangling adds stay in vertex order,
+	// so the unroll is bit-identical to the scalar loop.
+	for ; v+4 <= hi; v += 4 {
+		old0, old1, old2, old3 := ranks[v], ranks[v+1], ranks[v+2], ranks[v+3]
+		nv0 := base + d*acc[v] + redis
+		nv1 := base + d*acc[v+1] + redis
+		nv2 := base + d*acc[v+2] + redis
+		nv3 := base + d*acc[v+3] + redis
+		ranks[v], ranks[v+1], ranks[v+2], ranks[v+3] = nv0, nv1, nv2, nv3
+		acc[v], acc[v+1], acc[v+2], acc[v+3] = 0, 0, 0, 0
+		if inv[v] == 0 {
+			dangling += float64(nv0)
+		}
+		if inv[v+1] == 0 {
+			dangling += float64(nv1)
+		}
+		if inv[v+2] == 0 {
+			dangling += float64(nv2)
+		}
+		if inv[v+3] == 0 {
+			dangling += float64(nv3)
+		}
+		res = maxAbsDiff4(res, nv0, old0, nv1, old1, nv2, old2, nv3, old3)
+	}
+	for ; v < hi; v++ {
+		old := ranks[v]
+		nv := base + d*acc[v] + redis
+		ranks[v] = nv
+		acc[v] = 0
+		if inv[v] == 0 {
+			dangling += float64(nv)
+		}
 		diff := float64(nv - old)
 		if diff < 0 {
 			diff = -diff
@@ -160,5 +249,39 @@ func (s *SGState) GatherPartition(p int, tid int) {
 			res = diff
 		}
 	}
-	s.residuals[tid].v = res
+	s.residuals[tid].V = res
+	s.partials[tid].V += dangling
+}
+
+// maxAbsDiff4 folds four |new-old| rank deltas into a running maximum.
+func maxAbsDiff4(res float64, n0, o0, n1, o1, n2, o2, n3, o3 float32) float64 {
+	d0 := float64(n0 - o0)
+	if d0 < 0 {
+		d0 = -d0
+	}
+	d1 := float64(n1 - o1)
+	if d1 < 0 {
+		d1 = -d1
+	}
+	d2 := float64(n2 - o2)
+	if d2 < 0 {
+		d2 = -d2
+	}
+	d3 := float64(n3 - o3)
+	if d3 < 0 {
+		d3 = -d3
+	}
+	if d0 > res {
+		res = d0
+	}
+	if d1 > res {
+		res = d1
+	}
+	if d2 > res {
+		res = d2
+	}
+	if d3 > res {
+		res = d3
+	}
+	return res
 }

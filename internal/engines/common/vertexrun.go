@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hipa/internal/execbuf"
 	"hipa/internal/graph"
 	"hipa/internal/machine"
 	"hipa/internal/platform"
@@ -76,7 +77,11 @@ func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared
 
 // vertexKernels builds the phase kernels of a pull-based vertex-centric
 // engine over static per-thread vertex ranges: the contribution pass maps
-// to Scatter, the pull pass to Gather.
+// to Scatter, the pull pass to Gather. The dangling sum is fused into the
+// gather pass, which re-sums its own range's dangling mass from the ranks
+// it just wrote — bit-identical to the scatter-side sum it replaces because
+// both fold the same vertices in the same order per thread. seedDangling
+// establishes the invariant for iteration zero.
 type vertexKernels struct {
 	bounds    []int
 	ranks     []float32
@@ -89,44 +94,73 @@ type vertexKernels struct {
 	redis     float32
 	sum       float64 // dangling mass of the last Reduce
 	n         int
-	partials  []padF64
-	residuals []padF64
+	partials  []execbuf.PadF64
+	residuals []execbuf.PadF64
+}
+
+// seedDangling computes each thread's iteration-zero dangling partial over
+// its own vertex range, exactly as the fused gather will keep doing.
+func (k *vertexKernels) seedDangling() {
+	for tid := 0; tid+1 < len(k.bounds); tid++ {
+		var dangling float64
+		for v := k.bounds[tid]; v < k.bounds[tid+1]; v++ {
+			if k.inv[v] == 0 {
+				dangling += float64(k.ranks[v])
+			}
+		}
+		k.partials[tid].V = dangling
+	}
 }
 
 func (k *vertexKernels) scatter(tid int) {
-	var dangling float64
-	for v := k.bounds[tid]; v < k.bounds[tid+1]; v++ {
-		iv := k.inv[v]
-		if iv == 0 {
-			dangling += float64(k.ranks[v])
-			k.contrib[v] = 0
-			continue
-		}
-		k.contrib[v] = k.ranks[v] * iv
+	ranks := k.ranks
+	inv := k.inv
+	lo, hi := k.bounds[tid], k.bounds[tid+1]
+	contrib := k.contrib[lo:hi:hi]
+	for i, r := range ranks[lo:hi:hi] {
+		// Dangling vertices (inv 0) contribute 0; their mass was folded into
+		// the partials by the previous gather (or seedDangling).
+		contrib[i] = r * inv[lo+i]
 	}
-	k.partials[tid].v = dangling
 }
 
 func (k *vertexKernels) reduce() {
 	var sum float64
 	for i := range k.partials {
-		sum += k.partials[i].v
+		sum += k.partials[i].V
 	}
 	k.sum = sum
 	k.redis = k.d * float32(sum/float64(k.n))
 }
 
 func (k *vertexKernels) gather(tid int) {
-	res := k.residuals[tid].v
-	redis := k.redis
+	res := k.residuals[tid].V
+	base, d, redis := k.base, k.d, k.redis
+	ranks, contrib, inv := k.ranks, k.contrib, k.inv
+	inOff, inAdj := k.inOff, k.inAdj
+	var dangling float64
 	for v := k.bounds[tid]; v < k.bounds[tid+1]; v++ {
+		lo, hi := inOff[v], inOff[v+1]
+		in := inAdj[lo:hi:hi]
 		var acc float32
-		for _, u := range k.inAdj[k.inOff[v]:k.inOff[v+1]] {
-			acc += k.contrib[u]
+		// 4-way unrolled pull with the adds kept strictly sequential — the
+		// float32 fold order defines the result bits and must not change.
+		i := 0
+		for ; i+4 <= len(in); i += 4 {
+			acc += contrib[in[i]]
+			acc += contrib[in[i+1]]
+			acc += contrib[in[i+2]]
+			acc += contrib[in[i+3]]
 		}
-		old := k.ranks[v]
-		nv := k.base + k.d*acc + redis
-		k.ranks[v] = nv
+		for ; i < len(in); i++ {
+			acc += contrib[in[i]]
+		}
+		old := ranks[v]
+		nv := base + d*acc + redis
+		ranks[v] = nv
+		if inv[v] == 0 {
+			dangling += float64(nv)
+		}
 		diff := float64(nv - old)
 		if diff < 0 {
 			diff = -diff
@@ -135,16 +169,17 @@ func (k *vertexKernels) gather(tid int) {
 			res = diff
 		}
 	}
-	k.residuals[tid].v = res
+	k.residuals[tid].V = res
+	k.partials[tid].V = dangling
 }
 
 func (k *vertexKernels) residual() float64 {
 	var maxRes float64
 	for i := range k.residuals {
-		if k.residuals[i].v > maxRes {
-			maxRes = k.residuals[i].v
+		if k.residuals[i].V > maxRes {
+			maxRes = k.residuals[i].V
 		}
-		k.residuals[i].v = 0
+		k.residuals[i].V = 0
 	}
 	return maxRes
 }
@@ -225,20 +260,26 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 	}
 	pool.SetLanes(rec.T())
 
-	// Real execution through the shared superstep driver.
+	// Real execution through the shared superstep driver, on scratch buffers
+	// drawn from the artifact's arena pool (warm across repeated Execs).
+	arena := prep.AcquireArena()
+	defer prep.ReleaseArena(arena)
+	inOff, inAdj := g.InCSR()
 	k := &vertexKernels{
 		bounds:    bounds,
-		ranks:     InitRanks(n),
-		contrib:   make([]float32, n),
+		ranks:     arena.Ranks(n),
+		contrib:   arena.Contrib(n),
 		inv:       prep.vert.Inv,
-		inOff:     g.InOffsets(),
-		inAdj:     g.InEdges(),
+		inOff:     inOff,
+		inAdj:     inAdj,
 		base:      float32((1 - o.Damping) / float64(n)),
 		d:         float32(o.Damping),
 		n:         n,
-		partials:  make([]padF64, threads),
-		residuals: make([]padF64, threads),
+		partials:  arena.Partials(threads),
+		residuals: arena.Residuals(threads),
 	}
+	FillInitRanks(k.ranks)
+	k.seedDangling()
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
 	performed := RunSupersteps(SuperstepConfig{
@@ -284,9 +325,13 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 		return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 	}
 
+	// The arena (and with it k.ranks) is recycled by the next Exec; the
+	// result keeps its own copy — the single per-Exec allocation.
+	ranks := make([]float32, n)
+	copy(ranks, k.ranks)
 	res := &Result{
 		Engine:           cfg.Name,
-		Ranks:            k.ranks,
+		Ranks:            ranks,
 		Iterations:       o.Iterations,
 		Threads:          threads,
 		WallSeconds:      wall.Seconds(),

@@ -1,0 +1,160 @@
+package enginetest
+
+import (
+	"testing"
+
+	"hipa/internal/engines/common"
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/platform"
+)
+
+// allocGraph is a small dangling-free graph shared by the allocation
+// regression tests; one package-level build keeps the tests fast.
+func allocGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerLaw(gen.PowerLawConfig{Vertices: 1200, Edges: 15000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestExecZeroAllocsPerIteration pins the tentpole property of the Exec hot
+// path: once the scratch arena and worker pool exist, each additional
+// superstep performs zero heap allocations, for every engine on both
+// machine presets. The measurement is differential — allocations of an Exec
+// at iterLong minus one at iterShort — so the per-Exec fixed cost (pool
+// spawn, kernel/Result construction, the one rank copy-out) cancels and any
+// per-iteration allocation shows up multiplied by iterLong-iterShort.
+//
+// The Native platform is used because Modeled's scheduler simulation
+// intentionally allocates per simulated region (proportional to
+// iterations); the real execution path shared by both platforms is what
+// must stay allocation-free.
+func TestExecZeroAllocsPerIteration(t *testing.T) {
+	const iterShort, iterLong = 3, 13
+	g := allocGraph(t)
+	for _, pm := range presetMachines() {
+		for _, e := range allEngines() {
+			t.Run(pm.name+"/"+e.Name(), func(t *testing.T) {
+				o := testOptions(iterShort)
+				o.Machine = pm.m
+				o.Platform = platform.NewNative(pm.m)
+				prep, err := e.Prepare(g, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				execN := func(iters int) {
+					oo := o
+					oo.Iterations = iters
+					if _, err := e.Exec(prep, oo); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Warm the arena pool and the runtime's goroutine free list so
+				// the measured runs reuse instead of creating.
+				execN(iterLong)
+				short := testing.AllocsPerRun(5, func() { execN(iterShort) })
+				long := testing.AllocsPerRun(5, func() { execN(iterLong) })
+				if extra := long - short; extra != 0 {
+					t.Errorf("%g extra allocs across %d extra iterations (%g/iteration); steady-state Exec must not allocate",
+						extra, iterLong-iterShort, extra/float64(iterLong-iterShort))
+				}
+			})
+		}
+	}
+}
+
+// TestRepeatedExecReusesArena pins the cross-Exec half of the memory model:
+// sequential Execs against one Prepared artifact recycle a single scratch
+// arena instead of growing the pool.
+func TestRepeatedExecReusesArena(t *testing.T) {
+	g := allocGraph(t)
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			o := testOptions(4)
+			o.Platform = platform.NewNative(o.Machine)
+			prep, err := e.Prepare(g, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const repeats = 5
+			for i := 0; i < repeats; i++ {
+				if _, err := e.Exec(prep, o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s := prep.ArenaStats()
+			if s.Created != 1 || s.Reused != repeats-1 {
+				t.Errorf("arena pool stats = %+v after %d sequential Execs, want Created=1 Reused=%d", s, repeats, repeats-1)
+			}
+		})
+	}
+}
+
+// TestConcurrentExecArenasAreDistinct pins the other half: concurrent Execs
+// each draw their own arena (no sharing of mutable state), and the pool's
+// peak size equals the peak concurrency, not the total Exec count.
+func TestConcurrentExecArenasAreDistinct(t *testing.T) {
+	g := allocGraph(t)
+	e := allEngines()[0]
+	o := testOptions(4)
+	o.Platform = platform.NewNative(o.Machine)
+	prep, err := e.Prepare(g, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const conc = 4
+	errs := make(chan error, conc)
+	for i := 0; i < conc; i++ {
+		go func() {
+			_, err := e.Exec(prep, o)
+			errs <- err
+		}()
+	}
+	for i := 0; i < conc; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := prep.ArenaStats()
+	if s.Created > conc {
+		t.Errorf("pool created %d arenas for %d concurrent Execs", s.Created, conc)
+	}
+	if s.Created+s.Reused != conc {
+		t.Errorf("stats = %+v, want Created+Reused = %d", s, conc)
+	}
+	// After all Execs returned, the pool serves the next run warm.
+	if _, err := e.Exec(prep, o); err != nil {
+		t.Fatal(err)
+	}
+	if s2 := prep.ArenaStats(); s2.Created != s.Created {
+		t.Errorf("sequential Exec after drain created a new arena: %+v -> %+v", s, s2)
+	}
+}
+
+// TestCommonExecMatchesModeledBits guards the Native-platform alloc tests'
+// blind spot: the kernels must produce the same bits under both platforms
+// (the platform only changes scheduling simulation, never arithmetic).
+func TestCommonExecMatchesModeledBits(t *testing.T) {
+	g := allocGraph(t)
+	for _, e := range allEngines() {
+		t.Run(e.Name(), func(t *testing.T) {
+			o := testOptions(4)
+			native := o
+			native.Platform = platform.NewNative(o.Machine)
+			rm, err := e.Run(g, o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rn, err := e.Run(g, native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := common.MaxAbsDiff(rm.Ranks, rn.Ranks); d != 0 {
+				t.Errorf("native and modeled ranks differ by %g; platforms must not change arithmetic", d)
+			}
+		})
+	}
+}

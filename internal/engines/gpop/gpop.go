@@ -13,6 +13,11 @@
 //
 // The frontier machinery is disabled for PageRank, as the paper does
 // ("we only report the performance of simplified GPOP without frontier").
+//
+// Exec runs on the shared allocation-free hot path (common.ExecOblivious):
+// scratch state lives in an arena recycled across Execs against one Prepared
+// artifact, and the superstep loop reuses a persistent worker pool, so the
+// steady state performs zero heap allocations per iteration.
 package gpop
 
 import (

@@ -193,7 +193,9 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	// ablation keeps HiPa's layout and placement but lets threads claim
 	// partitions first-come-first-serve instead of the pinned one-to-many
 	// assignment.
-	state := common.NewSGStateWithInv(g, hier, prep.Partition().Lay, prep.Partition().Inv, o.Damping, threads)
+	arena := prep.AcquireArena()
+	defer prep.ReleaseArena(arena)
+	state := common.NewSGStateArena(g, hier, prep.Partition().Lay, prep.Partition().Inv, o.Damping, threads, arena)
 	kernels := common.PinnedKernels(state, hier.Groups)
 	if o.FCFS {
 		kernels = common.FCFSKernels(state)
@@ -237,9 +239,13 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 		return nil, fmt.Errorf("hipa: %w", err)
 	}
 
+	// The arena (and with it state.Ranks) is recycled by the next Exec; the
+	// result keeps its own copy — the single per-Exec allocation.
+	ranks := make([]float32, len(state.Ranks))
+	copy(ranks, state.Ranks)
 	res := &common.Result{
 		Engine:           "HiPa",
-		Ranks:            state.Ranks,
+		Ranks:            ranks,
 		Iterations:       o.Iterations,
 		Threads:          threads,
 		WallSeconds:      wall.Seconds(),

@@ -6,6 +6,11 @@
 // overheads (atomic updates, frontier machinery that is redundant for
 // PageRank, per-edge virtualisation) make it the slowest overall, matching
 // the paper's Table 2.
+//
+// Exec runs on the shared allocation-free vertex-centric hot path
+// (common.ExecVertex): ranks/contributions scratch lives in an arena
+// recycled across Execs against one Prepared artifact, so the steady state
+// performs zero heap allocations per iteration.
 package polymer
 
 import (

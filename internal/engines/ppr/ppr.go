@@ -4,6 +4,11 @@
 // partitions and 20 threads — but no NUMA-awareness. Data is effectively
 // interleaved across nodes, threads are spawned per phase and claim
 // partitions first-come-first-serve.
+//
+// Exec runs on the shared allocation-free hot path (common.ExecOblivious):
+// scratch state lives in an arena recycled across Execs against one Prepared
+// artifact, and the superstep loop reuses a persistent worker pool, so the
+// steady state performs zero heap allocations per iteration.
 package ppr
 
 import (

@@ -4,6 +4,11 @@
 // are traversed asynchronously in parallel with no atomics and no partial
 // sums. It is NUMA-oblivious: data is effectively interleaved and threads
 // are unbound.
+//
+// Exec runs on the shared allocation-free vertex-centric hot path
+// (common.ExecVertex): ranks/contributions scratch lives in an arena
+// recycled across Execs against one Prepared artifact, so the steady state
+// performs zero heap allocations per iteration.
 package vpr
 
 import (

@@ -1,0 +1,156 @@
+// Package execbuf is the scratch-memory arena behind the engines' Exec hot
+// path. Every buffer the iterative scatter-gather phase mutates — the rank
+// vector, the per-vertex accumulators, the compressed message bins, the
+// vertex-centric contribution array, and the padded per-thread partials —
+// is carved out of one Arena that is acquired when Exec starts and released
+// when it returns. Inside the superstep loop nothing allocates: the steady
+// state runs at zero heap allocations per iteration (asserted by
+// testing.AllocsPerRun regression tests in enginetest).
+//
+// Arenas are pooled per Prepared artifact, so repeated Exec calls against
+// one artifact (hipapr -repeat, hipabench sweeps) reuse the same memory
+// instead of re-allocating O(V + messages) float32 buffers per run, and
+// concurrent Execs each draw their own arena without contention beyond one
+// mutex acquire/release per run.
+package execbuf
+
+import "sync"
+
+// PadF64 is a float64 padded to its own cache line, used for per-thread
+// partial sums (dangling mass, L∞ residuals) so neighbouring threads never
+// false-share.
+type PadF64 struct {
+	V float64
+	_ [7]int64
+}
+
+// Arena owns the mutable scratch buffers of one Exec. A zero Arena is
+// ready to use; buffers are allocated on first request and kept for reuse.
+// An Arena is not safe for concurrent use — each concurrent Exec must hold
+// its own (see Pool).
+type Arena struct {
+	ranks, acc, bins, contrib []float32
+	partials, residuals       []PadF64
+	grows                     int
+}
+
+func growF32(buf *[]float32, n int, grows *int) []float32 {
+	if cap(*buf) < n {
+		*buf = make([]float32, n)
+		*grows++
+	}
+	return (*buf)[:n]
+}
+
+// Ranks returns the n-element rank buffer. Contents are unspecified; the
+// caller fills it (InitRanks) before the first iteration.
+func (a *Arena) Ranks(n int) []float32 { return growF32(&a.ranks, n, &a.grows) }
+
+// Acc returns the n-element per-vertex accumulator buffer, zeroed — the
+// scatter phase adds into it and the gather phase re-zeroes it, so a zero
+// start is the loop invariant.
+func (a *Arena) Acc(n int) []float32 {
+	s := growF32(&a.acc, n, &a.grows)
+	clear(s)
+	return s
+}
+
+// Bins returns the n-element compressed-message buffer, zeroed. Every
+// message is rewritten by each scatter phase; the zero fill only guards the
+// first gather of a run against stale values from a previous Exec.
+func (a *Arena) Bins(n int) []float32 {
+	s := growF32(&a.bins, n, &a.grows)
+	clear(s)
+	return s
+}
+
+// Contrib returns the n-element vertex-centric contribution buffer, zeroed.
+func (a *Arena) Contrib(n int) []float32 {
+	s := growF32(&a.contrib, n, &a.grows)
+	clear(s)
+	return s
+}
+
+// Partials returns the per-thread dangling-mass partials, zeroed.
+func (a *Arena) Partials(threads int) []PadF64 {
+	s := a.growPad(&a.partials, threads)
+	clear(s)
+	return s
+}
+
+// Residuals returns the per-thread L∞ residual partials, zeroed.
+func (a *Arena) Residuals(threads int) []PadF64 {
+	s := a.growPad(&a.residuals, threads)
+	clear(s)
+	return s
+}
+
+func (a *Arena) growPad(buf *[]PadF64, n int) []PadF64 {
+	if cap(*buf) < n {
+		*buf = make([]PadF64, n)
+		a.grows++
+	}
+	return (*buf)[:n]
+}
+
+// Grows reports how many times any buffer was (re)allocated over the
+// arena's lifetime. A warm arena serving same-shaped Execs stays constant —
+// the regression tests assert repeated Exec calls do not grow it.
+func (a *Arena) Grows() int { return a.grows }
+
+// Footprint returns the arena's total buffer capacity in bytes.
+func (a *Arena) Footprint() int64 {
+	f32 := cap(a.ranks) + cap(a.acc) + cap(a.bins) + cap(a.contrib)
+	pad := cap(a.partials) + cap(a.residuals)
+	return int64(f32)*4 + int64(pad)*64
+}
+
+// PoolStats counts arena traffic through a Pool.
+type PoolStats struct {
+	// Created is the number of fresh arenas the pool handed out because the
+	// free list was empty (equals the peak Exec concurrency seen).
+	Created int64
+	// Reused is the number of Get calls served from the free list.
+	Reused int64
+}
+
+// Pool is a free list of Arenas, one per Prepared artifact. Get/Put are
+// safe for concurrent use; sequential Execs against one artifact recycle a
+// single arena, concurrent Execs fan out to as many arenas as run at once.
+type Pool struct {
+	mu    sync.Mutex
+	free  []*Arena
+	stats PoolStats
+}
+
+// Get pops a warm arena, or creates one when the free list is empty.
+func (p *Pool) Get() *Arena {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		a := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.stats.Reused++
+		return a
+	}
+	p.stats.Created++
+	return &Arena{}
+}
+
+// Put returns an arena to the free list for the next Exec.
+func (p *Pool) Put(a *Arena) {
+	if a == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, a)
+}
+
+// Stats returns a snapshot of the pool's traffic counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

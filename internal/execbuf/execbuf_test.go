@@ -1,0 +1,127 @@
+package execbuf
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestArenaReusesCapacity(t *testing.T) {
+	var a Arena
+	r1 := a.Ranks(100)
+	if len(r1) != 100 {
+		t.Fatalf("len = %d, want 100", len(r1))
+	}
+	r1[0] = 42
+	r2 := a.Ranks(50)
+	if &r1[0] != &r2[0] {
+		t.Error("shrinking request did not reuse the backing array")
+	}
+	if a.Grows() != 1 {
+		t.Errorf("grows = %d, want 1 (one allocation serves both requests)", a.Grows())
+	}
+	if a.Ranks(200); a.Grows() != 2 {
+		t.Errorf("grows = %d after larger request, want 2", a.Grows())
+	}
+}
+
+func TestArenaZeroesScratchBuffers(t *testing.T) {
+	var a Arena
+	for _, f := range []func(int) []float32{a.Acc, a.Bins, a.Contrib} {
+		s := f(64)
+		for i := range s {
+			s[i] = 1
+		}
+	}
+	for name, f := range map[string]func(int) []float32{"acc": a.Acc, "bins": a.Bins, "contrib": a.Contrib} {
+		for i, v := range f(64) {
+			if v != 0 {
+				t.Fatalf("%s[%d] = %g on reuse, want 0", name, i, v)
+			}
+		}
+	}
+	p := a.Partials(4)
+	p[2].V = 7
+	if got := a.Partials(4); got[2].V != 0 {
+		t.Errorf("partials not zeroed on reuse: %g", got[2].V)
+	}
+	r := a.Residuals(4)
+	r[1].V = 3
+	if got := a.Residuals(4); got[1].V != 0 {
+		t.Errorf("residuals not zeroed on reuse: %g", got[1].V)
+	}
+}
+
+func TestArenaRanksNotZeroed(t *testing.T) {
+	// Ranks are fully overwritten by the caller; the arena must not pay an
+	// extra clear pass for them.
+	var a Arena
+	r := a.Ranks(8)
+	r[3] = 5
+	if got := a.Ranks(8); got[3] != 5 {
+		t.Error("ranks buffer was cleared; contract says contents are unspecified but untouched")
+	}
+}
+
+func TestArenaFootprint(t *testing.T) {
+	var a Arena
+	a.Ranks(100)
+	a.Partials(2)
+	want := int64(100*4 + 2*64)
+	if got := a.Footprint(); got != want {
+		t.Errorf("footprint = %d, want %d", got, want)
+	}
+}
+
+func TestPoolRecyclesSequentially(t *testing.T) {
+	var p Pool
+	a := p.Get()
+	a.Ranks(10)
+	p.Put(a)
+	b := p.Get()
+	if a != b {
+		t.Error("sequential Get after Put returned a different arena")
+	}
+	s := p.Stats()
+	if s.Created != 1 || s.Reused != 1 {
+		t.Errorf("stats = %+v, want Created=1 Reused=1", s)
+	}
+}
+
+func TestPoolConcurrentGetsAreDistinct(t *testing.T) {
+	var p Pool
+	const n = 8
+	arenas := make([]*Arena, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			arenas[i] = p.Get()
+		}(i)
+	}
+	wg.Wait()
+	seen := map[*Arena]bool{}
+	for _, a := range arenas {
+		if seen[a] {
+			t.Fatal("two concurrent Gets shared one arena")
+		}
+		seen[a] = true
+	}
+	if s := p.Stats(); s.Created != n {
+		t.Errorf("created = %d, want %d", s.Created, n)
+	}
+	for _, a := range arenas {
+		p.Put(a)
+	}
+	if got := p.Get(); !seen[got] {
+		t.Error("Get after Put returned an unknown arena")
+	}
+}
+
+func TestPoolPutNilIsNoop(t *testing.T) {
+	var p Pool
+	p.Put(nil)
+	if p.Get() == nil {
+		t.Fatal("Get returned nil")
+	}
+}

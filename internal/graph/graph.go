@@ -140,6 +140,17 @@ func (g *Graph) InEdges() []VertexID {
 	return nil
 }
 
+// InCSR exposes both CSC arrays (offsets, edges) from a single atomic load,
+// or (nil, nil) when the in-edge form has not been built. Exec hot paths use
+// this instead of separate InOffsets/InEdges calls so the pair is guaranteed
+// to come from one publication. Read-only.
+func (g *Graph) InCSR() ([]int64, []VertexID) {
+	if in := g.in.Load(); in != nil {
+		return in.offsets, in.edges
+	}
+	return nil, nil
+}
+
 // HasInEdges reports whether the CSC (in-edge) form has been built.
 func (g *Graph) HasInEdges() bool { return g.in.Load() != nil }
 

@@ -1,0 +1,192 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"hipa/internal/platform"
+)
+
+// AllocBaselineVersion is the schema_version written into BENCH_*.json
+// allocation baselines. Bump it when the measurement protocol or the field
+// meanings change; Compare refuses to diff across versions.
+const AllocBaselineVersion = 1
+
+// Baseline iteration counts of the differential measurement: per-iteration
+// cost is (allocs at iterLong - allocs at iterShort) / (iterLong -
+// iterShort), so every per-Exec fixed cost cancels.
+const (
+	allocIterShort = 4
+	allocIterLong  = 12
+)
+
+// AllocMeasurement is one engine's allocation profile in an AllocBaseline.
+type AllocMeasurement struct {
+	// AllocsPerIter and BytesPerIter are the steady-state per-superstep heap
+	// costs — 0 by design, gated exactly (they are deterministic: the hot
+	// loop either allocates or it does not).
+	AllocsPerIter int64 `json:"allocs_per_iter"`
+	BytesPerIter  int64 `json:"bytes_per_iter"`
+	// ExecAllocs and ExecBytes are the fixed per-Exec costs (worker pool
+	// spawn, kernel construction, the one rank copy-out) at the short
+	// iteration count, gated with slack — small runtime/Go-version drift here
+	// is not a hot-path regression.
+	ExecAllocs int64 `json:"exec_allocs"`
+	ExecBytes  int64 `json:"exec_bytes"`
+}
+
+// AllocBaseline is the committed allocation-trajectory schema
+// (BENCH_pagerank.json). Regenerate with:
+//
+//	go run ./cmd/hipabench -baseline BENCH_pagerank.json -baseline-write \
+//	    -divisor <divisor> -datasets <dataset>
+type AllocBaseline struct {
+	SchemaVersion int    `json:"schema_version"`
+	Suite         string `json:"suite"`
+	Dataset       string `json:"dataset"`
+	Divisor       int    `json:"divisor"`
+	IterShort     int    `json:"iter_short"`
+	IterLong      int    `json:"iter_long"`
+	// Go records the toolchain that produced the numbers — informational
+	// only, never compared.
+	Go      string                      `json:"go"`
+	Engines map[string]AllocMeasurement `json:"engines"`
+}
+
+// measureAllocs mirrors testing.AllocsPerRun (warm-up call, GOMAXPROCS(1),
+// averaged malloc-counter deltas) but reports bytes alongside counts.
+func measureAllocs(runs int, f func()) (allocs, bytes int64) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f() // warm: pools, free lists, lazily-built state
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	r := uint64(runs)
+	return int64((after.Mallocs - before.Mallocs) / r), int64((after.TotalAlloc - before.TotalAlloc) / r)
+}
+
+// MeasureAllocBaseline profiles the steady-state Exec allocation behaviour
+// of every engine on the named dataset and returns the baseline document.
+// Measurements always run on the native platform: the modelled scheduler
+// simulation allocates per simulated region by design, while the shared
+// kernel path underneath is what the baseline pins.
+func (c *Config) MeasureAllocBaseline(dataset string) (*AllocBaseline, error) {
+	g, err := c.Graph(dataset)
+	if err != nil {
+		return nil, err
+	}
+	m, err := c.DefaultMachine()
+	if err != nil {
+		return nil, err
+	}
+	b := &AllocBaseline{
+		SchemaVersion: AllocBaselineVersion,
+		Suite:         "pagerank",
+		Dataset:       dataset,
+		Divisor:       c.Divisor,
+		IterShort:     allocIterShort,
+		IterLong:      allocIterLong,
+		Go:            runtime.Version(),
+		Engines:       map[string]AllocMeasurement{},
+	}
+	for _, e := range Engines() {
+		o := c.PaperOptions(e.Name(), m)
+		o.Platform = platform.NewNative(m)
+		prep, err := e.Prepare(g, o)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		exec := func(iters int) func() {
+			oo := o
+			oo.Iterations = iters
+			return func() {
+				if _, err := e.Exec(prep, oo); err != nil {
+					panic(fmt.Sprintf("%s: Exec: %v", e.Name(), err))
+				}
+			}
+		}
+		const runs = 10
+		shortAllocs, shortBytes := measureAllocs(runs, exec(allocIterShort))
+		longAllocs, longBytes := measureAllocs(runs, exec(allocIterLong))
+		span := int64(allocIterLong - allocIterShort)
+		b.Engines[e.Name()] = AllocMeasurement{
+			AllocsPerIter: (longAllocs - shortAllocs) / span,
+			BytesPerIter:  (longBytes - shortBytes) / span,
+			ExecAllocs:    shortAllocs,
+			ExecBytes:     shortBytes,
+		}
+	}
+	return b, nil
+}
+
+// Compare diffs a measured baseline against the committed one and returns
+// one human-readable regression per violated gate (empty slice = pass).
+// Per-iteration allocs and bytes are gated exactly; per-Exec fixed costs
+// get 25% + 64-alloc/16KB headroom for runtime and toolchain drift.
+func (b *AllocBaseline) Compare(measured *AllocBaseline) []string {
+	var regressions []string
+	fail := func(format string, args ...any) {
+		regressions = append(regressions, fmt.Sprintf(format, args...))
+	}
+	if b.SchemaVersion != measured.SchemaVersion {
+		fail("schema version mismatch: baseline v%d, measured v%d", b.SchemaVersion, measured.SchemaVersion)
+		return regressions
+	}
+	if b.Dataset != measured.Dataset || b.Divisor != measured.Divisor ||
+		b.IterShort != measured.IterShort || b.IterLong != measured.IterLong {
+		fail("measurement shape mismatch: baseline (%s, divisor %d, iters %d/%d) vs measured (%s, divisor %d, iters %d/%d)",
+			b.Dataset, b.Divisor, b.IterShort, b.IterLong,
+			measured.Dataset, measured.Divisor, measured.IterShort, measured.IterLong)
+		return regressions
+	}
+	for name, want := range b.Engines {
+		got, ok := measured.Engines[name]
+		if !ok {
+			fail("%s: missing from measurement", name)
+			continue
+		}
+		if got.AllocsPerIter != want.AllocsPerIter {
+			fail("%s: allocs/iteration %d, baseline %d (exact gate)", name, got.AllocsPerIter, want.AllocsPerIter)
+		}
+		if got.BytesPerIter != want.BytesPerIter {
+			fail("%s: bytes/iteration %d, baseline %d (exact gate)", name, got.BytesPerIter, want.BytesPerIter)
+		}
+		if limit := want.ExecAllocs + want.ExecAllocs/4 + 64; got.ExecAllocs > limit {
+			fail("%s: per-Exec allocs %d exceed baseline %d (limit %d)", name, got.ExecAllocs, want.ExecAllocs, limit)
+		}
+		if limit := want.ExecBytes + want.ExecBytes/4 + 16<<10; got.ExecBytes > limit {
+			fail("%s: per-Exec bytes %d exceed baseline %d (limit %d)", name, got.ExecBytes, want.ExecBytes, limit)
+		}
+	}
+	return regressions
+}
+
+// WriteJSONFile writes the baseline document, indented, trailing newline.
+func (b *AllocBaseline) WriteJSONFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadAllocBaseline loads a committed baseline document.
+func ReadAllocBaseline(path string) (*AllocBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b AllocBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.SchemaVersion != AllocBaselineVersion {
+		return nil, fmt.Errorf("%s: schema_version %d, this build understands %d", path, b.SchemaVersion, AllocBaselineVersion)
+	}
+	return &b, nil
+}

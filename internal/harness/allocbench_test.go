@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestMeasureAllocBaselineZeroPerIteration runs the real measurement at test
+// scale and pins the headline property the committed BENCH_pagerank.json
+// records: zero steady-state allocations per iteration for every engine.
+func TestMeasureAllocBaselineZeroPerIteration(t *testing.T) {
+	cfg := testConfig()
+	b, err := cfg.MeasureAllocBaseline("journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.SchemaVersion != AllocBaselineVersion || b.Suite != "pagerank" {
+		t.Errorf("header = v%d %q, want v%d pagerank", b.SchemaVersion, b.Suite, AllocBaselineVersion)
+	}
+	if len(b.Engines) != len(Engines()) {
+		t.Fatalf("measured %d engines, want %d", len(b.Engines), len(Engines()))
+	}
+	for name, m := range b.Engines {
+		if m.AllocsPerIter != 0 || m.BytesPerIter != 0 {
+			t.Errorf("%s: %d allocs (%d B) per steady-state iteration, want 0", name, m.AllocsPerIter, m.BytesPerIter)
+		}
+		if m.ExecAllocs <= 0 {
+			t.Errorf("%s: per-Exec allocs = %d, expected a positive fixed cost", name, m.ExecAllocs)
+		}
+	}
+
+	// Round-trip through the on-disk format.
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := b.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadAllocBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions := loaded.Compare(b); len(regressions) != 0 {
+		t.Errorf("self-comparison reported regressions: %v", regressions)
+	}
+}
+
+func TestAllocBaselineCompareGates(t *testing.T) {
+	base := &AllocBaseline{
+		SchemaVersion: AllocBaselineVersion, Suite: "pagerank", Dataset: "journal",
+		Divisor: 1024, IterShort: 4, IterLong: 12,
+		Engines: map[string]AllocMeasurement{
+			"HiPa": {AllocsPerIter: 0, BytesPerIter: 0, ExecAllocs: 30, ExecBytes: 30000},
+		},
+	}
+	clone := func(mutate func(*AllocBaseline)) *AllocBaseline {
+		c := *base
+		c.Engines = map[string]AllocMeasurement{"HiPa": base.Engines["HiPa"]}
+		mutate(&c)
+		return &c
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*AllocBaseline)
+		flagged bool
+	}{
+		{"identical", func(*AllocBaseline) {}, false},
+		{"one alloc per iteration", func(b *AllocBaseline) {
+			b.Engines["HiPa"] = AllocMeasurement{AllocsPerIter: 1, BytesPerIter: 64, ExecAllocs: 30, ExecBytes: 30000}
+		}, true},
+		{"per-Exec drift within slack", func(b *AllocBaseline) {
+			b.Engines["HiPa"] = AllocMeasurement{ExecAllocs: 35, ExecBytes: 33000}
+		}, false},
+		{"per-Exec blowup", func(b *AllocBaseline) {
+			b.Engines["HiPa"] = AllocMeasurement{ExecAllocs: 500, ExecBytes: 30000}
+		}, true},
+		{"engine missing", func(b *AllocBaseline) { delete(b.Engines, "HiPa") }, true},
+		{"shape mismatch", func(b *AllocBaseline) { b.Divisor = 256 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := base.Compare(clone(tc.mutate))
+			if (len(got) > 0) != tc.flagged {
+				t.Errorf("regressions = %v, want flagged=%v", got, tc.flagged)
+			}
+		})
+	}
+}
