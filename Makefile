@@ -6,7 +6,7 @@ BENCH_BASELINE ?= BENCH_pagerank.json
 BENCH_DIVISOR  ?= 1024
 BENCH_DATASET  ?= journal
 
-.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke clean
+.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke telemetry-smoke clean
 
 all: build
 
@@ -46,7 +46,7 @@ race-prep:
 bench-prep:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare' -benchtime 1x ./internal/graph/ .
 
-ci: vet staticcheck build race race-prep bench-prep bench smoke bench-gate
+ci: vet staticcheck build race race-prep bench-prep bench smoke telemetry-smoke bench-gate
 
 # One-iteration pass over the root benchmarks (compile-and-run validation of
 # every benchmark body; not a timing run). `smoke` used to duplicate this —
@@ -58,6 +58,13 @@ bench:
 # shared prep cache across the thread sweep.
 smoke:
 	$(GO) run ./cmd/hipabench -exp fig6 -divisor 16384 -iters 2 > /dev/null
+
+# Live-telemetry smoke: start the CLIs with -metrics-addr, curl /metrics and
+# /healthz mid-run, and validate the Prometheus exposition (all five engines'
+# superstep histograms plus prep-stage/cache/arena series) with promcheck.
+# Set TELEMETRY_SMOKE_OUT=path to keep the final scrape (CI uploads it).
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 # Allocation gate: measure the Exec allocation profile of all five engines
 # and compare against the committed baseline (exact on the zero

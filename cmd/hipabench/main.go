@@ -5,6 +5,7 @@
 //	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
 //	          [-repeat N] [-format text|csv|json] [-platform skylake]
+//	          [-metrics-addr 127.0.0.1:0]
 //	          [-baseline FILE [-baseline-write] [-baseline-out FILE]]
 //
 // -platform picks the execution substrate: skylake or haswell run the full
@@ -22,6 +23,16 @@
 //
 //	hipabench -exp table2 -format json > BENCH_table2.json
 //
+// In JSON mode a final versioned summary object ("hipabench.summary/v1")
+// carries the prep-cache and scratch-arena traffic of the whole invocation,
+// so sweep efficiency is machine-readable, not stderr-only.
+//
+// -metrics-addr serves live telemetry (/metrics Prometheus exposition,
+// /healthz, /debug/pprof/) for the whole invocation; the bound URL is
+// printed to stderr first. With -repeat and -exp all, every engine's
+// superstep-latency histograms accumulate in one process, live-scrapeable
+// mid-sweep.
+//
 // -baseline FILE switches to allocation-baseline mode: instead of running
 // experiments, the Exec allocation profile of every engine (allocs and
 // bytes per steady-state iteration — zero by design — plus per-Exec fixed
@@ -38,13 +49,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"hipa/internal/execbuf"
 	"hipa/internal/gen"
 	"hipa/internal/harness"
+	"hipa/internal/obs/telemetry"
 )
 
 func main() {
@@ -59,6 +73,7 @@ func main() {
 		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
 		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
 		prepPar  = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
+		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address for the whole invocation; 127.0.0.1:0 picks a free port")
 
 		baseline      = flag.String("baseline", "", "allocation-baseline mode: compare measured Exec allocation profiles against this BENCH_*.json file (exit 1 on regression) instead of running experiments")
 		baselineWrite = flag.Bool("baseline-write", false, "with -baseline: (re)write the file from the current measurement instead of comparing")
@@ -66,7 +81,20 @@ func main() {
 	)
 	flag.Parse()
 
+	if *metrics != "" {
+		tel, err := telemetry.Start(*metrics, telemetry.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hipabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "hipabench: telemetry: serving %s/metrics (also /healthz, /debug/pprof/)\n", tel.URL())
+	}
+
 	cfg := harness.NewConfig()
+	// Mirror the shared prep cache's traffic into the process-wide registry,
+	// so -metrics-addr scrapes see hits/misses/coalesced builds live.
+	cfg.Prep.Instrument(nil)
 	cfg.Divisor = *divisor
 	cfg.Iterations = *iters
 	cfg.SchedSeed = *seed
@@ -151,9 +179,54 @@ func main() {
 		os.Exit(2)
 	}
 	if s := cfg.Prep.Stats(); s.Hits+s.Misses > 0 {
-		fmt.Fprintf(os.Stderr, "hipabench: prep cache: %d builds, %d hits, %d evictions\n",
-			s.Misses, s.Hits, s.Evictions)
+		fmt.Fprintf(os.Stderr, "hipabench: prep cache: %d builds, %d hits (%d coalesced), %d evictions\n",
+			s.Misses, s.Hits, s.Coalesced, s.Evictions)
 	}
+	if *format == "json" {
+		if err := writeSummary(os.Stdout, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "hipabench: summary: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// summarySchema versions the trailing JSON summary object; bump it when its
+// shape changes so downstream parsers can dispatch.
+const summarySchema = "hipabench.summary/v1"
+
+// invocationSummary is the trailing JSON object of -format json mode.
+type invocationSummary struct {
+	Schema    string       `json:"schema"`
+	PrepCache cacheSummary `json:"prep_cache"`
+	Arenas    arenaSummary `json:"arenas"`
+}
+
+type cacheSummary struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Coalesced int64 `json:"coalesced"`
+}
+
+type arenaSummary struct {
+	Created     int64 `json:"created"`
+	Reused      int64 `json:"reused"`
+	Outstanding int64 `json:"outstanding"`
+}
+
+// writeSummary emits the invocation-wide resource summary after the
+// experiment tables in -format json mode: the shared prep cache's traffic
+// and the process-wide scratch-arena counters (previously stderr-only).
+func writeSummary(w *os.File, cfg *harness.Config) error {
+	cache := cfg.Prep.Stats()
+	arenas := execbuf.GlobalStats()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(invocationSummary{
+		Schema:    summarySchema,
+		PrepCache: cacheSummary{cache.Hits, cache.Misses, cache.Evictions, cache.Coalesced},
+		Arenas:    arenaSummary{arenas.Created, arenas.Reused, execbuf.Outstanding()},
+	})
 }
 
 // runBaseline executes the allocation-baseline mode: measure the Exec

@@ -7,6 +7,7 @@
 //	       [-iters 20] [-threads 0] [-partition 256K] [-platform skylake]
 //	       [-divisor 1] [-top 10] [-verify] [-verify-tol 1e-6]
 //	       [-repeat 1] [-stats s.json] [-trace t.json]
+//	       [-metrics-addr 127.0.0.1:0]
 //
 // -platform selects the execution substrate: a modelled microarchitecture
 // (skylake, haswell — full scheduler/NUMA/cache simulation and a
@@ -22,7 +23,14 @@
 // -stats writes a machine-readable run report (per-iteration residuals,
 // dangling mass, modelled local/remote accesses, counters, phase timers).
 // -trace writes a Chrome trace_event file loadable in chrome://tracing or
-// https://ui.perfetto.dev, with one lane per simulated thread.
+// https://ui.perfetto.dev, with one lane per simulated thread. Both -stats
+// and -trace files are written atomically (temp file + rename).
+// -metrics-addr serves live telemetry on the given address for the whole
+// run (pass 127.0.0.1:0 for an ephemeral port; the bound URL is printed
+// first): /metrics is Prometheus text exposition with superstep-latency,
+// prep-stage, cache, and arena series, /healthz a liveness probe, /runs the
+// recent run reports as JSON, /debug/pprof/ the Go profiler. Useful with
+// -repeat, where a long loop can be scraped and profiled mid-flight.
 // -verify exits nonzero (with the diff on stderr) when the L∞ error
 // against the sequential float64 reference exceeds -verify-tol.
 package main
@@ -40,6 +48,7 @@ import (
 	"hipa/internal/harness"
 	"hipa/internal/machine"
 	"hipa/internal/obs"
+	"hipa/internal/obs/telemetry"
 	"hipa/internal/platform"
 )
 
@@ -60,6 +69,7 @@ func main() {
 		prepPar   = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
 		statsPath = flag.String("stats", "", "write a machine-readable run report (JSON) to this file")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event file (JSON) to this file")
+		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof/) on this address for the whole run; 127.0.0.1:0 picks a free port")
 	)
 	flag.Parse()
 	if *graphPath == "" {
@@ -86,6 +96,18 @@ func main() {
 	}
 	m := machine.Scaled(mk(), *divisor)
 
+	// Live telemetry, bound before any heavy work so a scraper can attach
+	// from the very start of the run.
+	var tel *telemetry.Server
+	if *metrics != "" {
+		tel, err = telemetry.Start(*metrics, telemetry.Options{})
+		if err != nil {
+			fail(err.Error())
+		}
+		defer tel.Close()
+		fmt.Printf("telemetry  : serving %s/metrics (also /healthz, /runs, /debug/pprof/)\n", tel.URL())
+	}
+
 	var rec *obs.Recorder
 	if *statsPath != "" || *tracePath != "" {
 		rec = &obs.Recorder{Collector: obs.NewCollector()}
@@ -101,6 +123,13 @@ func main() {
 		Damping:         *damping,
 		PrepParallelism: *prepPar,
 		Obs:             rec,
+	}
+	if tel != nil {
+		// Route Prepare through an instrumented artifact cache so the cache
+		// series appear on /metrics (a single run records one build).
+		cache := common.NewPrepCache(0)
+		cache.Instrument(nil)
+		o.PrepCache = cache
 	}
 	if native {
 		o.Platform = platform.NewNative(m)
@@ -128,6 +157,9 @@ func main() {
 			fail(err.Error())
 		}
 		execTotal = res.WallSeconds
+		if tel != nil {
+			tel.Runs().Add(harness.NewRunReport(g, m, res, rec))
+		}
 	} else {
 		// Prepare once (with the recorder, so prep spans/phases land in the
 		// report), then execute repeatedly. Only the last execution carries
@@ -144,12 +176,18 @@ func main() {
 				fail(err.Error())
 			}
 			execTotal += r.WallSeconds
+			if tel != nil {
+				tel.Runs().Add(harness.NewRunReport(g, m, r, nil))
+			}
 		}
 		res, err = e.Exec(prep, o)
 		if err != nil {
 			fail(err.Error())
 		}
 		execTotal += res.WallSeconds
+		if tel != nil {
+			tel.Runs().Add(harness.NewRunReport(g, m, res, rec))
+		}
 		arenas = prep.ArenaStats()
 	}
 	fmt.Printf("engine     : %s (%d threads, %d iterations)\n", res.Engine, res.Threads, res.Iterations)
@@ -176,15 +214,7 @@ func main() {
 		fmt.Printf("stats      : wrote %s (%d iterations)\n", *statsPath, len(res.Iters))
 	}
 	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			fail(err.Error())
-		}
-		if err := rec.T().WriteJSON(f); err != nil {
-			f.Close()
-			fail(err.Error())
-		}
-		if err := f.Close(); err != nil {
+		if err := rec.T().WriteJSONFile(*tracePath); err != nil {
 			fail(err.Error())
 		}
 		fmt.Printf("trace      : wrote %s (%d spans; load in chrome://tracing or ui.perfetto.dev)\n",

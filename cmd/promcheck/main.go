@@ -1,0 +1,58 @@
+// Command promcheck validates a Prometheus text exposition document (as
+// served by -metrics-addr /metrics endpoints) on stdin: it parses with the
+// strict obs.ParseExposition rules, optionally asserts that required metric
+// families are present (-require, comma-separated; name=labelkey:labelvalue
+// pairs append series constraints), and prints a one-line summary. Exit
+// status 1 means invalid or missing; CI's telemetry smoke pipes curl output
+// through it.
+//
+//	curl -s "$URL/metrics" | promcheck -require hipa_superstep_seconds,hipa_prep_cache_hits_total
+//	curl -s "$URL/metrics" | promcheck -require 'hipa_superstep_seconds=engine:HiPa'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hipa/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric families that must be present; name=key:value additionally requires a series with that label")
+	flag.Parse()
+
+	doc, err := obs.ParseExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: invalid exposition: %v\n", err)
+		os.Exit(1)
+	}
+	missing := []string{}
+	if *require != "" {
+		for _, req := range strings.Split(*require, ",") {
+			req = strings.TrimSpace(req)
+			if req == "" {
+				continue
+			}
+			name, labelExpr, hasLabel := strings.Cut(req, "=")
+			ok := doc.HasFamily(name)
+			if ok && hasLabel {
+				k, v, good := strings.Cut(labelExpr, ":")
+				if !good {
+					fmt.Fprintf(os.Stderr, "promcheck: bad -require entry %q (want name=key:value)\n", req)
+					os.Exit(2)
+				}
+				ok = doc.HasSeries(name, k, v)
+			}
+			if !ok {
+				missing = append(missing, req)
+			}
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "promcheck: missing required series: %s\n", strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d samples, %d families)\n", len(doc.Series), len(doc.Types))
+}

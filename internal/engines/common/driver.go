@@ -36,6 +36,11 @@ type PhaseKernels struct {
 
 // SuperstepConfig parameterises RunSupersteps.
 type SuperstepConfig struct {
+	// Engine names the engine driving the loop; when set, per-superstep
+	// latency, phase latency, and residual distributions are recorded into
+	// the process-wide obs registry under that engine label. Empty disables
+	// registry recording.
+	Engine string
 	// Threads is the logical worker count (tid space).
 	Threads int
 	// Parallelism caps the real goroutines executing a phase
@@ -67,6 +72,7 @@ type SuperstepConfig struct {
 type SuperstepLoop struct {
 	cfg     SuperstepConfig
 	k       PhaseKernels
+	em      *engineMetrics // registry handles; nil when cfg.Engine is empty
 	workers int
 
 	// Per-phase dispatch state, written by the driver before releasing the
@@ -95,6 +101,7 @@ func NewSuperstepLoop(cfg SuperstepConfig, k PhaseKernels) *SuperstepLoop {
 	l := &SuperstepLoop{
 		cfg:     cfg,
 		k:       k,
+		em:      metricsFor(cfg.Engine),
 		workers: workers,
 		start:   NewBarrier(workers + 1),
 		done:    NewBarrier(workers + 1),
@@ -151,20 +158,27 @@ func (l *SuperstepLoop) runPhase(span string, it int, fn func(tid int)) {
 func (l *SuperstepLoop) Run(iterations int) int {
 	cfg, k := l.cfg, &l.k
 	rec := cfg.Rec
+	em := l.em
 	tr := rec.T()
 	runner := RunnerLane(cfg.Threads)
-	needResidual := cfg.Tolerance > 0 || rec != nil
+	needResidual := cfg.Tolerance > 0 || rec != nil || em != nil
 	performed := 0
 	for it := 0; it < iterations; it++ {
 		performed++
-		var itStart time.Time
-		if rec != nil {
+		var itStart, phaseStart time.Time
+		if rec != nil || em != nil {
 			itStart = time.Now()
 		}
 		if k.StartIteration != nil {
 			k.StartIteration(it)
 		}
+		if em != nil {
+			phaseStart = time.Now()
+		}
 		l.runPhase(SpanScatter, it, k.Scatter)
+		if em != nil {
+			em.scatter.Observe(time.Since(phaseStart).Seconds())
+		}
 		var serialStart time.Time
 		if tr != nil {
 			serialStart = time.Now()
@@ -173,7 +187,13 @@ func (l *SuperstepLoop) Run(iterations int) int {
 		if tr != nil {
 			tr.Span(runner, SpanReduce, it, serialStart)
 		}
+		if em != nil {
+			phaseStart = time.Now()
+		}
 		l.runPhase(SpanGather, it, k.Gather)
+		if em != nil {
+			em.gather.Observe(time.Since(phaseStart).Seconds())
+		}
 		if !needResidual {
 			continue
 		}
@@ -183,6 +203,13 @@ func (l *SuperstepLoop) Run(iterations int) int {
 		res := k.Residual()
 		if tr != nil {
 			tr.Span(runner, SpanApply, it, serialStart)
+		}
+		if em != nil {
+			// Pure atomics — the loop's zero-allocations-per-iteration
+			// invariant holds with registry recording enabled.
+			em.superstep.Observe(time.Since(itStart).Seconds())
+			em.residual.Observe(res)
+			em.iterations.Inc()
 		}
 		if rec != nil {
 			rec.RecordIteration(obs.IterationStats{

@@ -1,0 +1,97 @@
+package common
+
+import (
+	"strings"
+	"sync"
+
+	"hipa/internal/obs"
+)
+
+// This file wires the engines into the process-wide obs registry. The
+// per-run Collector (obs.go in internal/obs) answers "what happened in this
+// run"; the registry series here answer "what has this process been doing",
+// continuously scrapeable at /metrics while a -repeat loop or a server is
+// live. Handles are resolved once per Exec (NewSuperstepLoop) and recording
+// is pure atomics, so the superstep loop stays at zero allocations per
+// iteration.
+
+// Registry metric families recorded by the engine layer.
+const (
+	MetricSuperstepSeconds = "hipa_superstep_seconds"
+	MetricPhaseSeconds     = "hipa_phase_seconds"
+	MetricResidual         = "hipa_residual"
+	MetricIterationsTotal  = "hipa_iterations_total"
+	MetricLocalBytesTotal  = "hipa_model_local_bytes_total"
+	MetricRemoteBytesTotal = "hipa_model_remote_bytes_total"
+	MetricPrepStageSeconds = "hipa_prep_stage_seconds"
+)
+
+var engineHelpOnce sync.Once
+
+func registerEngineHelp() {
+	engineHelpOnce.Do(func() {
+		reg := obs.Default()
+		reg.SetHelp(MetricSuperstepSeconds, "Wall time of one complete superstep (scatter, reduce, gather, apply), per engine.")
+		reg.SetHelp(MetricPhaseSeconds, "Wall time of one parallel phase of a superstep, per engine and phase.")
+		reg.SetHelp(MetricResidual, "Per-superstep L-infinity rank change, per engine.")
+		reg.SetHelp(MetricIterationsTotal, "Supersteps executed, per engine.")
+		reg.SetHelp(MetricLocalBytesTotal, "Modelled NUMA-local DRAM traffic of finished runs, per engine.")
+		reg.SetHelp(MetricRemoteBytesTotal, "Modelled NUMA-remote DRAM traffic of finished runs, per engine.")
+		reg.SetHelp(MetricPrepStageSeconds, "Wall time of one preprocessing stage (partition, layout, index, fingerprint).")
+	})
+}
+
+// engineMetrics are one engine's registry handles, resolved once and cached
+// for the process lifetime so a repeat loop re-resolves nothing.
+type engineMetrics struct {
+	superstep   *obs.Histogram
+	scatter     *obs.Histogram
+	gather      *obs.Histogram
+	residual    *obs.Histogram
+	iterations  *obs.Counter
+	localBytes  *obs.Counter
+	remoteBytes *obs.Counter
+}
+
+var engineMetricsCache sync.Map // engine name -> *engineMetrics
+
+// metricsFor returns the cached registry handles for the named engine, or
+// nil when no engine name is set (anonymous SuperstepLoop uses — tests,
+// future engines — record nothing process-wide).
+func metricsFor(engine string) *engineMetrics {
+	if engine == "" {
+		return nil
+	}
+	if v, ok := engineMetricsCache.Load(engine); ok {
+		return v.(*engineMetrics)
+	}
+	registerEngineHelp()
+	reg := obs.Default()
+	em := &engineMetrics{
+		superstep:   reg.Histogram(MetricSuperstepSeconds, "engine", engine),
+		scatter:     reg.Histogram(MetricPhaseSeconds, "engine", engine, "phase", SpanScatter),
+		gather:      reg.Histogram(MetricPhaseSeconds, "engine", engine, "phase", SpanGather),
+		residual:    reg.Histogram(MetricResidual, "engine", engine),
+		iterations:  reg.Counter(MetricIterationsTotal, "engine", engine),
+		localBytes:  reg.Counter(MetricLocalBytesTotal, "engine", engine),
+		remoteBytes: reg.Counter(MetricRemoteBytesTotal, "engine", engine),
+	}
+	v, _ := engineMetricsCache.LoadOrStore(engine, em)
+	return v.(*engineMetrics)
+}
+
+var prepStageCache sync.Map // stage span name -> *obs.Histogram
+
+// ObservePrepStage records one preprocessing stage's duration into the
+// process-wide prep-stage histogram. stage is a prep span/phase name
+// (SpanPrepPartition, ...); the "prep:" prefix becomes the stage label.
+func ObservePrepStage(stage string, seconds float64) {
+	if v, ok := prepStageCache.Load(stage); ok {
+		v.(*obs.Histogram).Observe(seconds)
+		return
+	}
+	registerEngineHelp()
+	h := obs.Default().Histogram(MetricPrepStageSeconds, "stage", strings.TrimPrefix(stage, "prep:"))
+	v, _ := prepStageCache.LoadOrStore(stage, h)
+	v.(*obs.Histogram).Observe(seconds)
+}

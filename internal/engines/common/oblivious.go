@@ -75,6 +75,7 @@ func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (
 			GroupsPerNode:  1,
 		}, o.PrepParallelism)
 		stopPart()
+		ObservePrepStage(SpanPrepPartition, time.Since(partStart).Seconds())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 		}
@@ -85,6 +86,7 @@ func PrepareOblivious(g *graph.Graph, o Options, cfg ObliviousPartitionConfig) (
 		stopLay := rec.C().Phase(PhasePrepLayout)
 		lay, err := layout.BuildWorkers(g, hier, !o.NoCompress, o.PrepParallelism)
 		stopLay()
+		ObservePrepStage(SpanPrepLayout, time.Since(layStart).Seconds())
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
 		}
@@ -146,6 +148,7 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
 	performed := RunSupersteps(SuperstepConfig{
+		Engine:      cfg.Name,
 		Threads:     o.Threads,
 		Parallelism: o.GoParallelism,
 		Iterations:  o.Iterations,

@@ -51,6 +51,12 @@ func RecordGraphCounters(c *obs.Collector, vertices int, edges int64) {
 // migrations charged to iteration 0 for pinned engines, spread for
 // per-phase pools), and Result.Iters. No-op without a recorder.
 func FinishRun(rec *obs.Recorder, res *Result, m *machine.Machine, pinned bool) {
+	// The registry half runs recorder or not: bytes-moved totals accumulate
+	// process-wide for every finished run.
+	if em := metricsFor(res.Engine); em != nil && res.Model != nil {
+		em.localBytes.Add(res.Model.LocalBytes)
+		em.remoteBytes.Add(res.Model.RemoteBytes)
+	}
 	if rec == nil {
 		return
 	}

@@ -145,9 +145,11 @@ func MakePrepared(engine string, g *graph.Graph, m *machine.Machine, o Options, 
 	rec := o.Obs
 	stop := rec.C().Phase(PhasePrep)
 	start := time.Now()
+	fpStart := time.Now()
 	stopFP := rec.C().Phase(PhasePrepFingerprint)
 	key.GraphFP = g.FingerprintWorkers(o.PrepParallelism)
 	stopFP()
+	ObservePrepStage(PhasePrepFingerprint, time.Since(fpStart).Seconds())
 	payload, buildSeconds, fromCache, err := o.PrepCache.getOrBuild(key, build)
 	if err != nil {
 		stop()

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hipa/internal/gen"
+	"hipa/internal/obs"
 )
 
 func TestSchedSeedSentinel(t *testing.T) {
@@ -52,6 +53,10 @@ func TestGraphFingerprint(t *testing.T) {
 
 func TestPrepCacheLRUAndStats(t *testing.T) {
 	c := NewPrepCache(2)
+	// Mirror traffic into a private registry so the assertions also cover
+	// the /metrics wiring (Instrument) without touching the process default.
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
 	key := func(pb int) PrepKey { return PrepKey{Kind: PrepPartition, PartitionBytes: pb} }
 	builds := 0
 	build := func() (any, error) { builds++; return &PartArtifact{}, nil }
@@ -85,6 +90,19 @@ func TestPrepCacheLRUAndStats(t *testing.T) {
 	if c.Len() > 2 {
 		t.Errorf("cache holds %d entries, capacity 2", c.Len())
 	}
+	// The registry mirror agrees with the native stats, counter for counter.
+	if hits := reg.Counter(MetricPrepCacheHits).Value(); hits != s.Hits {
+		t.Errorf("registry hits = %d, stats say %d", hits, s.Hits)
+	}
+	if misses := reg.Counter(MetricPrepCacheMisses).Value(); misses != s.Misses {
+		t.Errorf("registry misses = %d, stats say %d", misses, s.Misses)
+	}
+	if ev := reg.Counter(MetricPrepCacheEvictions).Value(); ev != s.Evictions {
+		t.Errorf("registry evictions = %d, stats say %d", ev, s.Evictions)
+	}
+	if co := reg.Counter(MetricPrepCacheCoalesced).Value(); co != 0 || s.Coalesced != 0 {
+		t.Errorf("serial traffic coalesced %d/%d builds, want 0", co, s.Coalesced)
+	}
 }
 
 func TestPrepCacheBuildErrorNotCached(t *testing.T) {
@@ -107,6 +125,8 @@ func TestPrepCacheBuildErrorNotCached(t *testing.T) {
 
 func TestPrepCacheSingleflight(t *testing.T) {
 	c := NewPrepCache(4)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
 	var mu sync.Mutex
 	builds := 0
 	gate := make(chan struct{})
@@ -138,6 +158,61 @@ func TestPrepCacheSingleflight(t *testing.T) {
 	wg.Wait()
 	if builds != 1 {
 		t.Errorf("concurrent getOrBuild ran %d builds, want 1 (singleflight)", builds)
+	}
+	// Every non-builder was served without building — a hit, whether it
+	// joined the in-flight build or (rarely, if scheduled late) found the
+	// resident entry. The registry mirror must agree exactly.
+	s := c.Stats()
+	if s.Hits != workers-1 || s.Misses != 1 {
+		t.Errorf("stats hits/misses = %d/%d, want %d/1", s.Hits, s.Misses, workers-1)
+	}
+	if hits := reg.Counter(MetricPrepCacheHits).Value(); hits != s.Hits {
+		t.Errorf("registry hits = %d, stats say %d", hits, s.Hits)
+	}
+	if co := reg.Counter(MetricPrepCacheCoalesced).Value(); co != s.Coalesced {
+		t.Errorf("registry coalesced = %d, stats say %d", co, s.Coalesced)
+	}
+}
+
+// TestPrepCacheCoalescedAccounting pins the coalesced counter exactly: the
+// in-flight entry is planted by hand (same package), so every waiter must
+// take the join path — no scheduling luck involved, unlike the racing
+// singleflight test above.
+func TestPrepCacheCoalescedAccounting(t *testing.T) {
+	c := NewPrepCache(4)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	k := PrepKey{Kind: PrepPartition, PartitionBytes: 128}
+	want := &PartArtifact{}
+	fl := &prepInflight{done: make(chan struct{}), e: &prepEntry{key: k, payload: want}}
+	c.mu.Lock()
+	c.inflight[k] = fl
+	c.mu.Unlock()
+
+	const waiters = 7
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			payload, _, fromCache, err := c.getOrBuild(k, func() (any, error) {
+				t.Error("waiter built despite an in-flight entry")
+				return nil, nil
+			})
+			if err != nil || !fromCache || payload != want {
+				t.Errorf("join returned payload=%v fromCache=%v err=%v", payload, fromCache, err)
+			}
+		}()
+	}
+	close(fl.done) // the "build" completes; all waiters join it
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Coalesced != waiters || s.Hits != waiters {
+		t.Errorf("stats = %+v, want %d coalesced hits", s, waiters)
+	}
+	if co := reg.Counter(MetricPrepCacheCoalesced).Value(); co != waiters {
+		t.Errorf("registry coalesced = %d, want %d", co, waiters)
 	}
 }
 

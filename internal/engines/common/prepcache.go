@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"time"
+
+	"hipa/internal/obs"
 )
 
 // DefaultPrepCacheCapacity is the entry bound used when NewPrepCache is
@@ -12,11 +14,14 @@ const DefaultPrepCacheCapacity = 16
 
 // PrepStats counts PrepCache traffic. Misses equals the number of artifact
 // builds: every Prepare either reuses an entry (or joins a build already in
-// flight) — a hit — or triggers exactly one build — a miss.
+// flight) — a hit — or triggers exactly one build — a miss. Coalesced is
+// the subset of hits that joined an in-flight build instead of finding a
+// resident entry (the singleflight savings).
 type PrepStats struct {
 	Hits      int64
 	Misses    int64
 	Evictions int64
+	Coalesced int64
 }
 
 // PrepCache is a small content-keyed LRU cache of preprocessing artifacts,
@@ -33,6 +38,44 @@ type PrepCache struct {
 	entries  map[PrepKey]*list.Element // resident artifacts
 	inflight map[PrepKey]*prepInflight // builds in progress
 	stats    PrepStats
+	metrics  *prepCacheMetrics // registry counters; nil until Instrument
+}
+
+// prepCacheMetrics are the cache's process-wide registry handles.
+type prepCacheMetrics struct {
+	hits, misses, evictions, coalesced *obs.Counter
+}
+
+// Registry metric families exported by an instrumented PrepCache.
+const (
+	MetricPrepCacheHits      = "hipa_prep_cache_hits_total"
+	MetricPrepCacheMisses    = "hipa_prep_cache_misses_total"
+	MetricPrepCacheEvictions = "hipa_prep_cache_evictions_total"
+	MetricPrepCacheCoalesced = "hipa_prep_cache_coalesced_total"
+)
+
+// Instrument mirrors the cache's traffic counters into reg (obs.Default()
+// when nil) from this call on; earlier traffic is not backfilled. Nil-safe.
+func (c *PrepCache) Instrument(reg *obs.Registry) {
+	if c == nil {
+		return
+	}
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.SetHelp(MetricPrepCacheHits, "Prepare calls served from the preprocessing-artifact cache.")
+	reg.SetHelp(MetricPrepCacheMisses, "Prepare calls that built a preprocessing artifact.")
+	reg.SetHelp(MetricPrepCacheEvictions, "Preprocessing artifacts evicted by the LRU bound.")
+	reg.SetHelp(MetricPrepCacheCoalesced, "Prepare calls coalesced onto an in-flight artifact build.")
+	m := &prepCacheMetrics{
+		hits:      reg.Counter(MetricPrepCacheHits),
+		misses:    reg.Counter(MetricPrepCacheMisses),
+		evictions: reg.Counter(MetricPrepCacheEvictions),
+		coalesced: reg.Counter(MetricPrepCacheCoalesced),
+	}
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
 }
 
 type prepEntry struct {
@@ -97,6 +140,9 @@ func (c *PrepCache) getOrBuild(key PrepKey, build func() (any, error)) (payload 
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.stats.Hits++
+		if m := c.metrics; m != nil {
+			m.hits.Inc()
+		}
 		e := el.Value.(*prepEntry)
 		c.mu.Unlock()
 		return e.payload, e.buildSeconds, true, nil
@@ -109,12 +155,20 @@ func (c *PrepCache) getOrBuild(key PrepKey, build func() (any, error)) (payload 
 		}
 		c.mu.Lock()
 		c.stats.Hits++
+		c.stats.Coalesced++
+		if m := c.metrics; m != nil {
+			m.hits.Inc()
+			m.coalesced.Inc()
+		}
 		c.mu.Unlock()
 		return fl.e.payload, fl.e.buildSeconds, true, nil
 	}
 	fl := &prepInflight{done: make(chan struct{})}
 	c.inflight[key] = fl
 	c.stats.Misses++
+	if m := c.metrics; m != nil {
+		m.misses.Inc()
+	}
 	c.mu.Unlock()
 
 	start := time.Now()
@@ -130,6 +184,9 @@ func (c *PrepCache) getOrBuild(key PrepKey, build func() (any, error)) (payload 
 			c.order.Remove(old)
 			delete(c.entries, old.Value.(*prepEntry).key)
 			c.stats.Evictions++
+			if m := c.metrics; m != nil {
+				m.evictions.Inc()
+			}
 		}
 	}
 	c.mu.Unlock()

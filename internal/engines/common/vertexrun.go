@@ -64,6 +64,7 @@ func PrepareVertex(g *graph.Graph, o Options, cfg VertexEngineConfig) (*Prepared
 		g.BuildInWorkers(o.PrepParallelism)
 		inv := InvOutDegreesWorkers(g, o.PrepParallelism)
 		stopIdx()
+		ObservePrepStage(SpanPrepIndex, time.Since(start).Seconds())
 		if tr := rec.T(); tr != nil {
 			tr.Span(RunnerLane(o.Threads), SpanPrepIndex, -1, start)
 		}
@@ -283,6 +284,7 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 	stopRun := rec.C().Phase(PhaseRun)
 	wallStart := time.Now()
 	performed := RunSupersteps(SuperstepConfig{
+		Engine:      cfg.Name,
 		Threads:     threads,
 		Parallelism: o.GoParallelism,
 		Iterations:  o.Iterations,

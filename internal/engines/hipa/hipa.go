@@ -99,6 +99,7 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 			VertexBalanced: o.VertexBalanced,
 		}, o.PrepParallelism)
 		stopPart()
+		common.ObservePrepStage(common.SpanPrepPartition, time.Since(partStart).Seconds())
 		if err != nil {
 			return nil, fmt.Errorf("hipa: %w", err)
 		}
@@ -109,6 +110,7 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 		stopLay := rec.C().Phase(common.PhasePrepLayout)
 		lay, err := layout.BuildWorkers(g, hier, !o.NoCompress, o.PrepParallelism)
 		stopLay()
+		common.ObservePrepStage(common.SpanPrepLayout, time.Since(layStart).Seconds())
 		if err != nil {
 			return nil, fmt.Errorf("hipa: %w", err)
 		}
@@ -203,6 +205,7 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	stopRun := rec.C().Phase(common.PhaseRun)
 	wallStart := time.Now()
 	o.Iterations = common.RunSupersteps(common.SuperstepConfig{
+		Engine:      "HiPa",
 		Threads:     threads,
 		Parallelism: o.GoParallelism,
 		Iterations:  o.Iterations,

@@ -14,7 +14,11 @@
 // mutex acquire/release per run.
 package execbuf
 
-import "sync"
+import (
+	"sync"
+
+	"hipa/internal/obs"
+)
 
 // PadF64 is a float64 padded to its own cache line, used for per-thread
 // partial sums (dangling mass, L∞ residuals) so neighbouring threads never
@@ -105,6 +109,52 @@ func (a *Arena) Footprint() int64 {
 	return int64(f32)*4 + int64(pad)*64
 }
 
+// Registry metric families exported by the arena pools. Every Pool reports
+// into the same process-wide series: per-artifact traffic stays available
+// via Pool.Stats, while /metrics shows the process view.
+const (
+	MetricArenasCreated     = "hipa_execbuf_arenas_created_total"
+	MetricArenasReused      = "hipa_execbuf_arenas_reused_total"
+	MetricArenasOutstanding = "hipa_execbuf_arenas_outstanding"
+)
+
+var (
+	metricsOnce      sync.Once
+	createdCounter   *obs.Counter
+	reusedCounter    *obs.Counter
+	outstandingGauge *obs.Gauge
+)
+
+// initMetrics resolves the registry handles once; Get/Put call it on every
+// acquisition, but the steady-state cost is one atomic load inside
+// sync.Once — no allocation, so the per-Exec allocation budget is unmoved.
+func initMetrics() {
+	metricsOnce.Do(func() {
+		reg := obs.Default()
+		reg.SetHelp(MetricArenasCreated, "Fresh Exec scratch arenas allocated because a pool's free list was empty.")
+		reg.SetHelp(MetricArenasReused, "Exec scratch arena acquisitions served warm from a pool's free list.")
+		reg.SetHelp(MetricArenasOutstanding, "Exec scratch arenas currently held by a running Exec.")
+		createdCounter = reg.Counter(MetricArenasCreated)
+		reusedCounter = reg.Counter(MetricArenasReused)
+		outstandingGauge = reg.Gauge(MetricArenasOutstanding)
+	})
+}
+
+// GlobalStats reports the process-wide arena traffic summed over every
+// pool, as exported to the registry (hipabench includes it in its JSON
+// summary).
+func GlobalStats() PoolStats {
+	initMetrics()
+	return PoolStats{Created: createdCounter.Value(), Reused: reusedCounter.Value()}
+}
+
+// Outstanding reports how many arenas are currently held by running Execs
+// across every pool.
+func Outstanding() int64 {
+	initMetrics()
+	return int64(outstandingGauge.Value())
+}
+
 // PoolStats counts arena traffic through a Pool.
 type PoolStats struct {
 	// Created is the number of fresh arenas the pool handed out because the
@@ -125,6 +175,8 @@ type Pool struct {
 
 // Get pops a warm arena, or creates one when the free list is empty.
 func (p *Pool) Get() *Arena {
+	initMetrics()
+	outstandingGauge.Add(1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if n := len(p.free); n > 0 {
@@ -132,9 +184,11 @@ func (p *Pool) Get() *Arena {
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 		p.stats.Reused++
+		reusedCounter.Inc()
 		return a
 	}
 	p.stats.Created++
+	createdCounter.Inc()
 	return &Arena{}
 }
 
@@ -143,6 +197,8 @@ func (p *Pool) Put(a *Arena) {
 	if a == nil {
 		return
 	}
+	initMetrics()
+	outstandingGauge.Add(-1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.free = append(p.free, a)

@@ -125,3 +125,38 @@ func TestPoolPutNilIsNoop(t *testing.T) {
 		t.Fatal("Get returned nil")
 	}
 }
+
+// TestGlobalStatsTrackPoolTraffic checks the process-wide registry mirror:
+// pool traffic shows up in GlobalStats/Outstanding as deltas (the series are
+// shared by every pool in the process, so only deltas are assertable).
+func TestGlobalStatsTrackPoolTraffic(t *testing.T) {
+	base := GlobalStats()
+	baseOut := Outstanding()
+
+	var p Pool
+	a := p.Get() // fresh: created+1, outstanding+1
+	if got := GlobalStats(); got.Created != base.Created+1 || got.Reused != base.Reused {
+		t.Errorf("after Get: global delta = %+v from %+v, want one created", got, base)
+	}
+	if got := Outstanding(); got != baseOut+1 {
+		t.Errorf("outstanding = %d, want %d", got, baseOut+1)
+	}
+	p.Put(a)
+	if got := Outstanding(); got != baseOut {
+		t.Errorf("outstanding after Put = %d, want %d", got, baseOut)
+	}
+	b := p.Get() // warm: reused+1
+	if b != a {
+		t.Error("sequential Get did not recycle the arena")
+	}
+	if got := GlobalStats(); got.Created != base.Created+1 || got.Reused != base.Reused+1 {
+		t.Errorf("after recycle: global delta = %+v from %+v, want one created + one reused", got, base)
+	}
+	p.Put(b)
+
+	// Put(nil) must not disturb the gauge.
+	p.Put(nil)
+	if got := Outstanding(); got != baseOut {
+		t.Errorf("outstanding after Put(nil) = %d, want %d", got, baseOut)
+	}
+}

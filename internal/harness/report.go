@@ -3,7 +3,6 @@ package harness
 import (
 	"encoding/json"
 	"io"
-	"os"
 
 	"hipa/internal/engines/common"
 	"hipa/internal/graph"
@@ -84,15 +83,8 @@ func (r *RunReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// WriteJSONFile writes the report to path.
+// WriteJSONFile writes the report to path atomically (temp file + rename),
+// so an interrupted run never leaves a truncated report.
 func (r *RunReport) WriteJSONFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return obs.WriteFileAtomic(path, r.WriteJSON)
 }

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes the output of write to path atomically: the
+// content goes to a temporary file in path's directory, which is renamed
+// over path only after a successful write and close. An interrupted or
+// failing export can therefore never leave a truncated file at path — the
+// old content (or absence) survives, and the temporary file is removed.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil // committed past the cleanup path
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("obs: commit %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteJSONFile exports the trace to path atomically (temp file + rename),
+// so an interrupted run cannot leave a truncated, unparseable trace.
+func (t *Trace) WriteJSONFile(path string) error {
+	if t == nil {
+		return fmt.Errorf("obs: nil trace")
+	}
+	return WriteFileAtomic(path, t.WriteJSON)
+}

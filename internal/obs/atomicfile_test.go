@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteFileAtomicWritesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "first" {
+		t.Fatalf("content = %q", b)
+	}
+	// Overwrite goes through the same temp+rename path.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "second" {
+		t.Fatalf("content after overwrite = %q", b)
+	}
+}
+
+func TestWriteFileAtomicFailedWritePreservesOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage") // partial output must be discarded
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "precious" {
+		t.Errorf("failed write clobbered the old file: %q", b)
+	}
+	// The temporary file must not survive the failure.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.json" {
+			t.Errorf("leftover temp file %q after failed write", e.Name())
+		}
+	}
+}
+
+func TestTraceWriteJSONFile(t *testing.T) {
+	tr := NewTrace()
+	tr.SetLane(0, "worker-0")
+	tr.AddSpanAt(0, "scatter", 1, 0, 100)
+	tr.AddSpanAt(0, "gather", 1, 100, 50)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The export must be a well-formed trace_event document: chrome://tracing
+	// refuses truncated JSON, which is exactly what atomicity protects.
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("exported trace has no events")
+	}
+	var nilTrace *Trace
+	if err := nilTrace.WriteJSONFile(path); err == nil {
+		t.Error("nil trace export did not error")
+	}
+}
+
+func TestWriteFileAtomicBadDirectory(t *testing.T) {
+	err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(w io.Writer) error {
+		return fmt.Errorf("unreachable")
+	})
+	if err == nil {
+		t.Error("write into a missing directory did not error")
+	}
+}

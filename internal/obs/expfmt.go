@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4) by hand — no client library — plus a strict parser used by the CI
+// telemetry smoke (cmd/promcheck) and the exposition golden tests.
+
+// ExpositionContentType is the Content-Type a /metrics endpoint serves.
+const ExpositionContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric of the registry in the Prometheus
+// text exposition format. Output is deterministic for a given registry
+// state: families are sorted by name, series by label signature, and
+// histogram buckets are emitted cumulatively with only non-empty buckets
+// (plus the mandatory "+Inf") listed.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot the family structure under the lock; metric values are read
+	// atomically afterwards so a slow writer never blocks recording.
+	type seriesRef struct {
+		sig string
+		m   any
+	}
+	type familyRef struct {
+		name   string
+		help   string
+		typ    metricType
+		series []seriesRef
+	}
+	fams := make([]familyRef, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		if len(f.series) == 0 {
+			continue
+		}
+		fr := familyRef{name: f.name, help: f.help, typ: f.typ}
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			fr.series = append(fr.series, seriesRef{sig, f.series[sig]})
+		}
+		fams = append(fams, fr)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch m := s.m.(type) {
+			case *Counter:
+				writeSeries(bw, f.name, s.sig, "", formatInt(m.Value()))
+			case *Gauge:
+				writeSeries(bw, f.name, s.sig, "", formatFloat(m.Value()))
+			case *Histogram:
+				snap := m.Snapshot()
+				var cum uint64
+				for i, c := range snap.Counts {
+					cum += c
+					if c == 0 || i == histOverflowIx {
+						continue
+					}
+					writeSeries(bw, f.name+"_bucket", joinSig(s.sig, `le="`+formatFloat(BucketUpper(i))+`"`), "", formatInt(int64(cum)))
+				}
+				writeSeries(bw, f.name+"_bucket", joinSig(s.sig, `le="+Inf"`), "", formatInt(int64(snap.Count)))
+				writeSeries(bw, f.name+"_sum", s.sig, "", formatFloat(snap.Sum))
+				writeSeries(bw, f.name+"_count", s.sig, "", formatInt(int64(snap.Count)))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, name, sig, extra, value string) {
+	labels := joinSig(sig, extra)
+	if labels == "" {
+		fmt.Fprintf(w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+}
+
+func joinSig(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ExpositionSeries is one parsed sample line of an exposition document.
+type ExpositionSeries struct {
+	Name   string            // metric name as written (incl. _bucket/_sum suffixes)
+	Labels map[string]string // nil when the series has no labels
+	Value  float64
+}
+
+// Exposition is a parsed Prometheus text document.
+type Exposition struct {
+	// Types maps family name to the declared TYPE.
+	Types map[string]string
+	// Series holds every sample line in document order.
+	Series []ExpositionSeries
+}
+
+// HasFamily reports whether the document declared or sampled the family:
+// either a TYPE line for name, or a series line whose name is name or a
+// histogram sub-series of it.
+func (e *Exposition) HasFamily(name string) bool {
+	if _, ok := e.Types[name]; ok {
+		return true
+	}
+	for _, s := range e.Series {
+		if s.Name == name || s.Name == name+"_bucket" || s.Name == name+"_sum" || s.Name == name+"_count" {
+			return true
+		}
+	}
+	return false
+}
+
+// HasSeries reports whether any sample line has the given name and carries
+// every given label pair (extra labels on the line are allowed).
+func (e *Exposition) HasSeries(name string, labels ...string) bool {
+	for _, s := range e.Series {
+		if s.Name != name && s.Name != name+"_bucket" && s.Name != name+"_sum" && s.Name != name+"_count" {
+			continue
+		}
+		ok := true
+		for i := 0; i+1 < len(labels); i += 2 {
+			if s.Labels[labels[i]] != labels[i+1] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseExposition validates a Prometheus text exposition document and
+// returns its parsed form. It enforces the structural rules a scraper
+// relies on: well-formed comment lines, valid metric and label names,
+// quoted and escaped label values, parseable sample values, and cumulative
+// non-decreasing histogram bucket counts per series.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	doc := &Exposition{Types: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	// bucketCum tracks the last cumulative bucket count per (name, non-le
+	// labels) to enforce monotonicity.
+	bucketCum := map[string]float64{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseComment(doc, line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if strings.HasSuffix(s.Name, "_bucket") {
+			if _, ok := s.Labels["le"]; !ok {
+				return nil, fmt.Errorf("line %d: histogram bucket series %q without le label", lineNo, s.Name)
+			}
+			key := bucketKey(s)
+			if prev, ok := bucketCum[key]; ok && s.Value < prev {
+				return nil, fmt.Errorf("line %d: bucket counts of %s not cumulative (%g after %g)", lineNo, key, s.Value, prev)
+			}
+			bucketCum[key] = s.Value
+		}
+		doc.Series = append(doc.Series, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+func bucketKey(s ExpositionSeries) string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		b.WriteByte('{')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(s.Labels[k])
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+func parseComment(doc *Exposition, line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE line with invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", typ)
+		}
+		if prev, ok := doc.Types[name]; ok && prev != typ {
+			return fmt.Errorf("family %q re-declared as %s (was %s)", name, typ, prev)
+		}
+		doc.Types[name] = typ
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+func parseSample(line string) (ExpositionSeries, error) {
+	var s ExpositionSeries
+	rest := line
+	// Metric name.
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
+		i++
+	}
+	s.Name = rest[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest = rest[i:]
+	// Optional label set.
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimSpace(rest)
+	// Value, optionally followed by a timestamp.
+	valueField := rest
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		valueField = rest[:sp]
+		ts := strings.TrimSpace(rest[sp:])
+		if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+			return s, fmt.Errorf("invalid timestamp %q", ts)
+		}
+	}
+	v, err := parseValue(valueField)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(field string) (float64, error) {
+	switch field {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	case "":
+		return 0, fmt.Errorf("missing sample value")
+	}
+	v, err := strconv.ParseFloat(field, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", field)
+	}
+	return v, nil
+}
+
+// parseLabels parses a `{k="v",...}` label block starting at s[0] == '{'
+// and returns the index one past the closing brace.
+func parseLabels(s string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1
+	for {
+		// Skip whitespace; allow a trailing comma before '}'.
+		for i < len(s) && (s[i] == ' ' || s[i] == ',') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, nil, fmt.Errorf("malformed label block %q", s)
+		}
+		name := strings.TrimSpace(s[start:i])
+		if !validMetricName(name) {
+			return 0, nil, fmt.Errorf("invalid label name %q", name)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in %q", s)
+				}
+				switch s[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in %q", s[i], s)
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition bytes for a small
+// registry: family ordering, series ordering, HELP escaping, cumulative
+// non-empty histogram buckets, and value formatting are all load-bearing for
+// scrapers, so any change must show up here.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("test_requests_total", "Total requests.")
+	r.Counter("test_requests_total").Add(42)
+	r.Gauge("test_temp", "zone", "b").Set(-2)
+	r.Gauge("test_temp", "zone", "a").Set(1.5)
+	h := r.Histogram("test_lat_seconds")
+	// 0.5, 1, 2 sit at the bottom of octaves whose first-sub-bucket bounds
+	// (1.125 * 2^e) are exactly representable, keeping the golden stable.
+	h.Observe(0.5)
+	h.Observe(1)
+	h.Observe(2)
+
+	const want = `# TYPE test_lat_seconds histogram
+test_lat_seconds_bucket{le="0.5625"} 1
+test_lat_seconds_bucket{le="1.125"} 2
+test_lat_seconds_bucket{le="2.25"} 3
+test_lat_seconds_bucket{le="+Inf"} 3
+test_lat_seconds_sum 3.5
+test_lat_seconds_count 3
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 42
+# TYPE test_temp gauge
+test_temp{zone="a"} 1.5
+test_temp{zone="b"} -2
+`
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestWritePrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("esc_total", "line one\nline two \\ done")
+	r.Counter("esc_total").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `# HELP esc_total line one\nline two \\ done`) {
+		t.Errorf("HELP not escaped:\n%s", sb.String())
+	}
+}
+
+// TestExpositionRoundTrip feeds a rendered registry back through the strict
+// parser: everything /metrics serves must satisfy the rules promcheck
+// enforces in CI.
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("rt_seconds", "Round-trip histogram.")
+	h := r.Histogram("rt_seconds", "engine", "HiPa", "phase", "scatter")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-4)
+	}
+	r.Counter("rt_total", "k", `quote " slash \ nl`+"\n").Add(7)
+	r.Gauge("rt_gauge").Set(math.Inf(1))
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ParseExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("rendered exposition rejected by parser: %v\n%s", err, sb.String())
+	}
+	if doc.Types["rt_seconds"] != "histogram" || doc.Types["rt_total"] != "counter" || doc.Types["rt_gauge"] != "gauge" {
+		t.Errorf("parsed types = %v", doc.Types)
+	}
+	if !doc.HasFamily("rt_seconds") || !doc.HasSeries("rt_seconds", "engine", "HiPa", "phase", "scatter") {
+		t.Error("histogram family/series not found after round trip")
+	}
+	if !doc.HasSeries("rt_total", "k", `quote " slash \ nl`+"\n") {
+		t.Error("escaped label value did not round-trip")
+	}
+	if doc.HasSeries("rt_seconds", "engine", "GPOP") {
+		t.Error("HasSeries matched a label value that was never registered")
+	}
+	// The +Inf bucket and _count agree for a quiesced histogram.
+	var inf, count float64
+	for _, s := range doc.Series {
+		switch {
+		case s.Name == "rt_seconds_bucket" && s.Labels["le"] == "+Inf":
+			inf = s.Value
+		case s.Name == "rt_seconds_count":
+			count = s.Value
+		}
+	}
+	if inf != 100 || count != 100 {
+		t.Errorf("+Inf bucket/count = %g/%g, want 100/100", inf, count)
+	}
+	// A gauge rendered as +Inf parses back to +Inf.
+	found := false
+	for _, s := range doc.Series {
+		if s.Name == "rt_gauge" {
+			found = true
+			if !math.IsInf(s.Value, 1) {
+				t.Errorf("rt_gauge = %g, want +Inf", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("rt_gauge missing from parsed series")
+	}
+}
+
+func TestParseExpositionAcceptsTimestamps(t *testing.T) {
+	doc, err := ParseExposition(strings.NewReader("m_total 5 1712345678\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Series) != 1 || doc.Series[0].Value != 5 {
+		t.Errorf("parsed %+v", doc.Series)
+	}
+}
+
+func TestParseExpositionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"invalid metric name", "bad-name 1\n"},
+		{"missing value", "m_total\n"},
+		{"garbage value", "m_total abc\n"},
+		{"invalid timestamp", "m_total 1 soon\n"},
+		{"unquoted label value", "m_total{k=v} 1\n"},
+		{"unterminated label value", `m_total{k="v} 1` + "\n"},
+		{"bad escape", `m_total{k="\q"} 1` + "\n"},
+		{"invalid label name", `m_total{bad-key="v"} 1` + "\n"},
+		{"malformed TYPE", "# TYPE m_total\n"},
+		{"unknown TYPE", "# TYPE m_total matrix\n"},
+		{"TYPE re-declared", "# TYPE m_total counter\n# TYPE m_total gauge\n"},
+		{"malformed HELP", "# HELP\nm_total 1\n"},
+		{"bucket without le", `m_bucket{engine="x"} 1` + "\n"},
+		{"non-cumulative buckets", "m_bucket{le=\"1\"} 5\nm_bucket{le=\"2\"} 3\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseExposition(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: parser accepted %q", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestParseExpositionBucketMonotonicityPerSeries(t *testing.T) {
+	// Distinct label sets are independent bucket chains: a lower count on a
+	// different series is not a monotonicity violation.
+	doc := "m_bucket{engine=\"a\",le=\"1\"} 5\n" +
+		"m_bucket{engine=\"a\",le=\"2\"} 7\n" +
+		"m_bucket{engine=\"b\",le=\"1\"} 2\n" +
+		"m_bucket{engine=\"b\",le=\"+Inf\"} 2\n"
+	if _, err := ParseExposition(strings.NewReader(doc)); err != nil {
+		t.Errorf("independent series rejected: %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	if r.Counter("test_total") != c {
+		t.Error("same name+labels returned a different counter handle")
+	}
+	if r.Counter("test_total", "engine", "HiPa") == c {
+		t.Error("different labels shared a handle")
+	}
+
+	g := r.Gauge("test_gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestRegistryTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("metric_a")
+	defer func() {
+		if recover() == nil {
+			t.Error("requesting a counter family as a gauge did not panic")
+		}
+	}()
+	r.Gauge("metric_a")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name")
+}
+
+func TestLabelSignatureSortedAndEscaped(t *testing.T) {
+	if got := labelSignature([]string{"b", "2", "a", "1"}); got != `a="1",b="2"` {
+		t.Errorf("signature = %q, want sorted keys", got)
+	}
+	if got := labelSignature([]string{"k", "a\"b\\c\nd"}); got != `k="a\"b\\c\nd"` {
+		t.Errorf("escaped signature = %q", got)
+	}
+}
+
+func TestBucketIndexAndUpperConsistent(t *testing.T) {
+	// Every positive in-range value must land in a bucket whose bound range
+	// contains it: BucketUpper(i-1) < v <= BucketUpper(i).
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := math.Ldexp(rng.Float64()+0.5, rng.Intn(50)-30)
+		ix := bucketIndex(v)
+		if ix <= histUnderflowIx || ix >= histOverflowIx {
+			t.Fatalf("in-range value %g landed in edge bucket %d", v, ix)
+		}
+		if v > BucketUpper(ix) {
+			t.Fatalf("v=%g above its bucket bound %g (bucket %d)", v, BucketUpper(ix), ix)
+		}
+		if lower := BucketUpper(ix - 1); v <= lower {
+			t.Fatalf("v=%g at or below previous bound %g (bucket %d)", v, lower, ix)
+		}
+	}
+	// Edge values.
+	if bucketIndex(0) != histUnderflowIx || bucketIndex(-1) != histUnderflowIx || bucketIndex(math.NaN()) != histUnderflowIx {
+		t.Error("non-positive/NaN values must land in the underflow bucket")
+	}
+	if bucketIndex(math.MaxFloat64) != histOverflowIx {
+		t.Error("huge values must land in the overflow bucket")
+	}
+	if !math.IsInf(BucketUpper(histOverflowIx), 1) {
+		t.Error("overflow bucket bound must be +Inf")
+	}
+	// Bucket bounds are strictly increasing, so cumulative exposition is
+	// well-ordered.
+	for i := 1; i < histNumBuckets; i++ {
+		if !(BucketUpper(i) > BucketUpper(i-1)) {
+			t.Fatalf("bounds not increasing at %d: %g <= %g", i, BucketUpper(i), BucketUpper(i-1))
+		}
+	}
+}
+
+// TestHistogramQuantileBounds checks the advertised estimate bound against
+// an exact sorted reference: for any q, the estimate E of the true
+// rank-⌈q·n⌉ sample v satisfies v <= E <= v·(1 + 1/8).
+func TestHistogramQuantileBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{}
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Latency-like log-uniform spread over ~9 decades.
+		v := math.Ldexp(rng.Float64()+0.5, rng.Intn(30)-20)
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Float64s(samples)
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(samples)) {
+		t.Fatalf("Count = %d, want %d", snap.Count, len(samples))
+	}
+	if snap.Min != samples[0] || snap.Max != samples[len(samples)-1] {
+		t.Errorf("Min/Max = %g/%g, want %g/%g", snap.Min, snap.Max, samples[0], samples[len(samples)-1])
+	}
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1} {
+		rank := int(math.Ceil(q * float64(len(samples))))
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		est := snap.Quantile(q)
+		if est < exact || est > exact*(1+1.0/histSubBuckets)+1e-12 {
+			t.Errorf("q=%g: estimate %g outside [%g, %g]", q, est, exact, exact*(1+1.0/histSubBuckets))
+		}
+	}
+	// The exact mean is carried alongside the buckets.
+	var sum float64
+	for _, v := range samples {
+		sum += v
+	}
+	if got := snap.Mean(); math.Abs(got-sum/float64(len(samples))) > 1e-9*math.Abs(sum) {
+		t.Errorf("Mean = %g, want %g", got, sum/float64(len(samples)))
+	}
+}
+
+func TestHistogramSnapshotMergeAssociative(t *testing.T) {
+	mk := func(seed int64, n int) HistogramSnapshot {
+		rng := rand.New(rand.NewSource(seed))
+		h := &Histogram{}
+		for i := 0; i < n; i++ {
+			h.Observe(math.Ldexp(rng.Float64()+0.5, rng.Intn(20)-10))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(1, 1000), mk(2, 500), mk(3, 1)
+
+	left := a.Merge(b).Merge(c)
+	right := a.Merge(b.Merge(c))
+	if left.Count != right.Count || left.Min != right.Min || left.Max != right.Max {
+		t.Errorf("merge not associative: %+v vs %+v", left, right)
+	}
+	if math.Abs(left.Sum-right.Sum) > 1e-9*math.Abs(left.Sum) {
+		t.Errorf("merged sums diverge: %g vs %g", left.Sum, right.Sum)
+	}
+	for i := range left.Counts {
+		if left.Counts[i] != right.Counts[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, left.Counts[i], right.Counts[i])
+		}
+	}
+	// Commutative, and merging an empty snapshot is the identity.
+	ab, ba := a.Merge(b), b.Merge(a)
+	if ab.Count != ba.Count || ab.Min != ba.Min || ab.Max != ba.Max {
+		t.Error("merge not commutative")
+	}
+	id := a.Merge(HistogramSnapshot{})
+	if id.Count != a.Count || id.Min != a.Min || id.Max != a.Max || id.Sum != a.Sum {
+		t.Error("merging the empty snapshot changed the result")
+	}
+}
+
+// TestHistogramConcurrentHammer records from many goroutines while scrapers
+// snapshot and render concurrently; run under -race this is the registry's
+// main concurrency gate. Final totals must be exact once writers quiesce.
+// (Mid-flight, a snapshot's bucket sum and Count may disagree in either
+// direction — they are independent atomics — so the scrapers only exercise
+// the read paths; exactness is asserted after the barrier.)
+func TestHistogramConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hammer_seconds", "engine", "test")
+	c := r.Counter("hammer_total")
+	const writers = 8
+	const perWriter = 5000
+	var writersWG, scrapersWG sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		scrapersWG.Add(1)
+		go func() {
+			defer scrapersWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := h.Snapshot()
+				if snap.Count > 0 && (snap.Min < 0 || snap.Max >= 1) {
+					t.Errorf("mid-flight min/max %g/%g outside sampled range [0,1)", snap.Min, snap.Max)
+					return
+				}
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		writersWG.Add(1)
+		go func(seed int64) {
+			defer writersWG.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(rng.Float64())
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	writersWG.Wait()
+	close(stop)
+	scrapersWG.Wait()
+	if h.Count() != writers*perWriter || c.Value() != writers*perWriter {
+		t.Errorf("totals = %d/%d, want %d", h.Count(), c.Value(), writers*perWriter)
+	}
+	snap := h.Snapshot()
+	var cum uint64
+	for _, n := range snap.Counts {
+		cum += n
+	}
+	if cum != uint64(writers*perWriter) {
+		t.Errorf("bucket sum = %d, want %d", cum, writers*perWriter)
+	}
+	if snap.Min < 0 || snap.Max >= 1 {
+		t.Errorf("min/max %g/%g outside the sampled range [0,1)", snap.Min, snap.Max)
+	}
+}

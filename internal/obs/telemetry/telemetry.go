@@ -1,0 +1,224 @@
+// Package telemetry serves the process-wide obs.Registry over HTTP: a
+// Prometheus /metrics endpoint, the stdlib pprof profiler, a liveness
+// probe, and a ring buffer of recent run reports as JSON. It is the
+// substrate a long-lived hipaserve mounts per-endpoint and what the CLIs
+// expose behind -metrics-addr so a long -repeat loop is live-inspectable.
+//
+// The server deliberately uses its own private mux instead of
+// http.DefaultServeMux: importing net/http/pprof for its side effect would
+// register profiling handlers on the default mux for every binary linking
+// this package, whether or not telemetry was requested.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"hipa/internal/obs"
+)
+
+// DefaultRunLogSize is how many recent run reports /runs retains when the
+// Options do not say otherwise.
+const DefaultRunLogSize = 64
+
+// RunLog is a fixed-capacity ring buffer of recent run reports. Values are
+// stored as provided (typically *harness.RunReport) and marshalled to JSON
+// at serve time; the zero value is unusable — use NewRunLog. All methods
+// are safe for concurrent use and no-ops on a nil receiver.
+type RunLog struct {
+	mu   sync.Mutex
+	buf  []runEntry
+	next uint64 // total appends; buf[next%len(buf)] is the oldest slot
+}
+
+type runEntry struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Report any       `json:"report"`
+}
+
+// NewRunLog returns a ring buffer retaining the last size reports
+// (DefaultRunLogSize when size <= 0).
+func NewRunLog(size int) *RunLog {
+	if size <= 0 {
+		size = DefaultRunLogSize
+	}
+	return &RunLog{buf: make([]runEntry, 0, size)}
+}
+
+// Add appends one run report, evicting the oldest when full.
+func (l *RunLog) Add(report any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	e := runEntry{Seq: l.next, Time: time.Now().UTC(), Report: report}
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[l.next%uint64(cap(l.buf))] = e
+	}
+	l.next++
+	l.mu.Unlock()
+}
+
+// Len returns the number of retained reports.
+func (l *RunLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}
+
+// entries returns the retained reports oldest-first.
+func (l *RunLog) entries() []runEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]runEntry, 0, len(l.buf))
+	if len(l.buf) < cap(l.buf) {
+		out = append(out, l.buf...)
+		return out
+	}
+	start := l.next % uint64(cap(l.buf))
+	for i := 0; i < len(l.buf); i++ {
+		out = append(out, l.buf[(start+uint64(i))%uint64(len(l.buf))])
+	}
+	return out
+}
+
+// Options configures a Server. The zero value serves obs.Default() with a
+// fresh DefaultRunLogSize run log.
+type Options struct {
+	// Registry is the metrics registry /metrics exposes; obs.Default()
+	// when nil.
+	Registry *obs.Registry
+	// Runs is the run-report ring /runs serves; a fresh ring when nil.
+	Runs *RunLog
+	// RunLogSize sizes the fresh ring when Runs is nil.
+	RunLogSize int
+}
+
+// Server is a live telemetry HTTP server. Create with Start, stop with
+// Close.
+type Server struct {
+	reg  *obs.Registry
+	runs *RunLog
+	ln   net.Listener
+	srv  *http.Server
+
+	done chan struct{}
+	err  error
+}
+
+// Start binds addr (e.g. "127.0.0.1:0") and serves telemetry until Close.
+// It returns once the listener is bound, so s.Addr() is immediately
+// scrapeable.
+func Start(addr string, opts Options) (*Server, error) {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.Default()
+	}
+	runs := opts.Runs
+	if runs == nil {
+		runs = NewRunLog(opts.RunLogSize)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, runs: runs, ln: ln, done: make(chan struct{})}
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address, e.g. "127.0.0.1:43817".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Runs returns the run-report ring so callers can push reports as they
+// complete.
+func (s *Server) Runs() *RunLog { return s.runs }
+
+// Close shuts the server down, waiting briefly for in-flight requests.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	if err == nil {
+		err = s.err
+	}
+	return err
+}
+
+// Handler returns the telemetry routing table. It is exported so a future
+// hipaserve can mount the same endpoints on its own server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.ExpositionContentType)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// Headers are already sent; nothing useful left to report.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Runs []runEntry `json:"runs"`
+	}{s.runs.entries()}); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "hipa telemetry")
+	fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
+	fmt.Fprintln(w, "  /healthz       liveness probe")
+	fmt.Fprintln(w, "  /runs          recent run reports (JSON)")
+	fmt.Fprintln(w, "  /debug/pprof/  Go profiler")
+}

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"hipa/internal/obs"
+)
+
+func startTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	return s
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("tele_requests_total", "engine", "HiPa").Add(3)
+	reg.Histogram("tele_seconds").Observe(0.25)
+	s := startTestServer(t, Options{Registry: reg})
+
+	code, body, hdr := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != obs.ExpositionContentType {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	doc, err := obs.ParseExposition(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/metrics not valid exposition: %v\n%s", err, body)
+	}
+	if !doc.HasSeries("tele_requests_total", "engine", "HiPa") || !doc.HasFamily("tele_seconds") {
+		t.Errorf("registered series missing from /metrics:\n%s", body)
+	}
+
+	code, body, _ = get(t, s.URL()+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body, _ = get(t, s.URL()+"/")
+	if code != http.StatusOK || !strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d %q", code, body)
+	}
+	if code, _, _ = get(t, s.URL()+"/no/such/page"); code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d, want 404", code)
+	}
+}
+
+func TestServerRuns(t *testing.T) {
+	s := startTestServer(t, Options{RunLogSize: 4})
+	type fakeReport struct {
+		Engine string `json:"engine"`
+		Run    int    `json:"run"`
+	}
+	// Push more than the capacity so /runs shows eviction with stable
+	// sequence numbers.
+	for i := 0; i < 6; i++ {
+		s.Runs().Add(fakeReport{Engine: "HiPa", Run: i})
+	}
+	code, body, hdr := get(t, s.URL()+"/runs")
+	if code != http.StatusOK {
+		t.Fatalf("/runs status = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/runs Content-Type = %q", ct)
+	}
+	var doc struct {
+		Runs []struct {
+			Seq    uint64     `json:"seq"`
+			Report fakeReport `json:"report"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/runs not valid JSON: %v\n%s", err, body)
+	}
+	if len(doc.Runs) != 4 {
+		t.Fatalf("/runs retained %d, want 4", len(doc.Runs))
+	}
+	// Oldest-first, the first two evicted.
+	for i, r := range doc.Runs {
+		if want := uint64(i + 2); r.Seq != want || r.Report.Run != i+2 {
+			t.Errorf("runs[%d] = seq %d run %d, want %d", i, r.Seq, r.Report.Run, want)
+		}
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	s := startTestServer(t, Options{Registry: obs.NewRegistry()})
+	code, body, _ := get(t, s.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (goroutine profile missing)", code)
+	}
+	if code, _, _ := get(t, s.URL()+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}
+
+func TestRunLogRingAndNilSafety(t *testing.T) {
+	l := NewRunLog(2)
+	if l.Len() != 0 {
+		t.Errorf("fresh ring Len = %d", l.Len())
+	}
+	l.Add("a")
+	l.Add("b")
+	l.Add("c")
+	if l.Len() != 2 {
+		t.Errorf("ring Len = %d, want 2", l.Len())
+	}
+	got := l.entries()
+	if len(got) != 2 || got[0].Report != "b" || got[1].Report != "c" {
+		t.Errorf("entries = %+v, want oldest-first [b c]", got)
+	}
+	if NewRunLog(0).buf == nil || cap(NewRunLog(0).buf) != DefaultRunLogSize {
+		t.Error("NewRunLog(0) did not default the capacity")
+	}
+	var nilLog *RunLog
+	nilLog.Add("ignored") // must not panic
+	if nilLog.Len() != 0 || nilLog.entries() != nil {
+		t.Error("nil RunLog not inert")
+	}
+}
+
+func TestStartRejectsBadAddress(t *testing.T) {
+	if _, err := Start("256.256.256.256:0", Options{}); err == nil {
+		t.Error("Start on an unroutable address did not error")
+	}
+}
+
+func ExampleServer() {
+	reg := obs.NewRegistry()
+	reg.Counter("example_total").Inc()
+	s, err := Start("127.0.0.1:0", Options{Registry: reg})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer s.Close()
+	resp, err := http.Get(s.URL() + "/healthz")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	fmt.Print(string(b))
+	// Output: ok
+}
