@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|ablation]
+//	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|frontier|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
 //	          [-repeat N] [-format text|csv|json] [-platform skylake]
 //	          [-metrics-addr 127.0.0.1:0]
@@ -63,12 +63,12 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, ablation")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, frontier, ablation")
 		divisor  = flag.Int("divisor", gen.DefaultDivisor, "scale divisor for datasets and machine capacities")
 		iters    = flag.Int("iters", 20, "PageRank iterations per timed run")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: full catalog)")
 		seed     = flag.Uint64("seed", 0xC0FFEE, "simulated OS scheduler seed")
-		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation and node-scaling experiments")
+		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation, node-scaling, and frontier experiments")
 		format   = flag.String("format", "text", "output format: text, csv, or json")
 		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
 		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
@@ -134,6 +134,7 @@ func main() {
 		{"table3", func() (*harness.Table, error) { _, t, err := harness.Table3(cfg); return t, err }},
 		{"singlenode", func() (*harness.Table, error) { _, t, err := harness.SingleNode(cfg); return t, err }},
 		{"nodescaling", func() (*harness.Table, error) { _, t, err := harness.NodeScaling(cfg, *ablGraph); return t, err }},
+		{"frontier", func() (*harness.Table, error) { _, t, err := harness.Frontier(cfg, *ablGraph); return t, err }},
 		{"ablation", func() (*harness.Table, error) { _, t, err := harness.Ablations(cfg, *ablGraph); return t, err }},
 	}
 

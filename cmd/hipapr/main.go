@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	hipapr -graph g.bin [-engine hipa|p-pr|v-pr|gpop|polymer]
+//	hipapr -graph g.bin [-engine hipa|p-pr|v-pr|gpop|polymer|ec-hipa|nb-pr]
 //	       [-iters 20] [-threads 0] [-partition 256K] [-platform skylake]
 //	       [-divisor 1] [-top 10] [-verify] [-verify-tol 1e-6]
 //	       [-repeat 1] [-stats s.json] [-trace t.json]
@@ -55,7 +55,7 @@ import (
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "binary HGR1 graph file (required)")
-		engine    = flag.String("engine", "hipa", "engine: hipa, p-pr, v-pr, gpop, polymer")
+		engine    = flag.String("engine", "hipa", "engine: hipa, p-pr, v-pr, gpop, polymer, ec-hipa (ec), nb-pr (nb)")
 		iters     = flag.Int("iters", 20, "iterations")
 		threads   = flag.Int("threads", 0, "worker threads (0 = engine default)")
 		partition = flag.String("partition", "", "partition size, e.g. 256K or 1M (default: engine default)")
@@ -72,14 +72,21 @@ func main() {
 		metrics   = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /healthz, /runs, /debug/pprof/) on this address for the whole run; 127.0.0.1:0 picks a free port")
 	)
 	flag.Parse()
+	e, err := harness.EngineByName(*engine)
+	if err != nil {
+		// Spell out every accepted value, one per line, instead of a bare
+		// unknown-engine error — and do it before touching the graph file,
+		// so the listing works without a valid -graph.
+		fmt.Fprintf(os.Stderr, "hipapr: unknown engine %q; available engines:\n", *engine)
+		for _, name := range harness.EngineNames() {
+			fmt.Fprintf(os.Stderr, "  %s\n", name)
+		}
+		os.Exit(2)
+	}
 	if *graphPath == "" {
 		fail("missing -graph")
 	}
 	g, err := graph.LoadBinary(*graphPath)
-	if err != nil {
-		fail(err.Error())
-	}
-	e, err := harness.EngineByName(*engine)
 	if err != nil {
 		fail(err.Error())
 	}

@@ -2,8 +2,10 @@ package hipa
 
 import (
 	"hipa/internal/engines/common"
+	"hipa/internal/engines/ec"
 	"hipa/internal/engines/gpop"
 	hipaengine "hipa/internal/engines/hipa"
+	"hipa/internal/engines/nb"
 	"hipa/internal/engines/polymer"
 	"hipa/internal/engines/ppr"
 	"hipa/internal/engines/vpr"
@@ -92,8 +94,28 @@ var (
 	Polymer Engine = polymer.Engine{}
 )
 
-// Engines returns all five engines in the paper's reporting order.
+// The two frontier-aware engines built on the generalized superstep driver.
+// Neither is bit-identical to the paper five (pruning and asynchrony trade
+// float32 exactness for skipped work), so they are registered separately
+// from the paper's reporting set.
+var (
+	// EC is EC-HiPa: HiPa's execution shape with early partition
+	// convergence — whole partitions retire from the active set once every
+	// vertex in them changes by less than the tolerance.
+	EC Engine = ec.Engine{}
+	// NB is NB-PR: barrierless non-blocking PageRank (Eedi et al.) with
+	// atomic rank publication and round-based termination detection.
+	NB Engine = nb.Engine{}
+)
+
+// Engines returns the five engines evaluated in the paper, in its reporting
+// order. Paper-shape comparisons (experiments, the webrank example) iterate
+// exactly this set.
 func Engines() []Engine { return []Engine{HiPa, PPR, VPR, GPOP, Polymer} }
+
+// AllEngines returns every registered engine: the paper five followed by
+// the frontier-aware additions.
+func AllEngines() []Engine { return []Engine{HiPa, PPR, VPR, GPOP, Polymer, EC, NB} }
 
 // ReferencePageRank is the sequential float64 ground-truth implementation
 // used to validate every engine.

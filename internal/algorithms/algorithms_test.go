@@ -177,6 +177,74 @@ func TestPageRankDeltaEpsilonPrunes(t *testing.T) {
 	}
 }
 
+// danglingHeavyGraph builds a 400-vertex graph where only the first half has
+// out-edges: half the rank mass is dangling and redistributed uniformly every
+// iteration, the case where delta propagation is easiest to get wrong (the
+// dangling deltas travel through the redistribution term, not the edges).
+func danglingHeavyGraph() *graph.Graph {
+	b := graph.NewBuilder(400)
+	x := uint64(0x9E3779B97F4A7C15)
+	for v := 0; v < 200; v++ {
+		for k := 0; k < 3; k++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			b.AddEdge(graph.VertexID(v), graph.VertexID(int(x>>33)%400))
+		}
+	}
+	return b.Build()
+}
+
+// TestPageRankDeltaMatchesExactRanks is the correctness gate the bench-only
+// coverage lacked: a converged PageRankDelta run (small epsilon, generous
+// budget) must agree with exact power-iteration ranks within epsilon on each
+// example graph, including the dangling-heavy one.
+func TestPageRankDeltaMatchesExactRanks(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+	}{
+		{"power-law", func() (*graph.Graph, error) {
+			return gen.PowerLaw(gen.PowerLawConfig{Vertices: 1000, Edges: 12000, OutAlpha: 2.1, InAlpha: 0.9, Seed: 61})
+		}},
+		{"uniform", func() (*graph.Graph, error) {
+			return gen.Uniform(600, 7000, 7)
+		}},
+		{"dangling-heavy", func() (*graph.Graph, error) {
+			return danglingHeavyGraph(), nil
+		}},
+	}
+	const budget = 200
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := PageRankDelta(g, DeltaOptions{Config: testCfg(), Epsilon: 1e-8, MaxIterations: budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Iterations >= budget {
+				t.Errorf("delta computation never converged within %d iterations", budget)
+			}
+			ref := common.ReferencePageRank(g, budget, common.DefaultDamping)
+			var worst float64
+			for v := range ref {
+				if d := math.Abs(float64(res.Ranks[v]) - ref[v]); d > worst {
+					worst = d
+				}
+			}
+			// float32 accumulation against a float64 reference: 1e-5 is ~40×
+			// the ulp of a typical rank here and far below any rank's value.
+			if worst > 1e-5 {
+				t.Errorf("worst abs error vs exact ranks: %g, want <= 1e-5", worst)
+			}
+			if s := common.RankSum(res.Ranks); math.Abs(s-1) > 1e-3 {
+				t.Errorf("rank sum = %f, want 1", s)
+			}
+		})
+	}
+}
+
 func TestPageRankDeltaErrors(t *testing.T) {
 	g, _ := gen.Uniform(10, 20, 1)
 	if _, err := PageRankDelta(g, DeltaOptions{Config: testCfg(), Damping: 2}); err == nil {

@@ -1,0 +1,193 @@
+package common
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hipa/internal/execbuf"
+	"hipa/internal/obs"
+)
+
+// asyncStaleWindow bounds how many rounds any worker may lead the slowest
+// worker still running. Unbounded chaotic iteration is wrong on a real
+// scheduler: rounds are microseconds, so an early-spawned worker can exhaust
+// its whole round budget against the *initial* ranks of chunks whose workers
+// were not yet scheduled, then exit — leaving its chunk permanently stale
+// and steering the rest of the fleet to a wrong fixed point. A small
+// staleness window keeps every chunk's published ranks at most a few rounds
+// old while preserving the barrierless character: a leading worker spins on
+// runtime.Gosched (never a barrier, never a lock) until the stragglers have
+// published, and the fast path — workers within the window — never waits at
+// all.
+const asyncStaleWindow = 4
+
+// AsyncConfig parameterises RunAsyncRounds, the barrierless counterpart of
+// RunSupersteps: one goroutine per worker, no barriers between rounds, and
+// round-based termination detection over atomically published per-worker
+// progress (Eedi et al.'s non-blocking PageRank shape).
+type AsyncConfig struct {
+	// Engine names the engine for process-wide registry recording; empty
+	// disables it.
+	Engine string
+	// Threads is the worker count. Unlike the superstep loop there is no
+	// Parallelism cap: a capped pool would serialize whole worker bodies,
+	// not phases, changing the algorithm.
+	Threads int
+	// Rounds bounds each worker's round count.
+	Rounds int
+	// Tolerance > 0 enables round-based termination detection: when every
+	// published residual is below tolerance a confirmation epoch is armed,
+	// and the fleet terminates only after every worker has advanced a full
+	// staleness window past the arm point with no residual rising back above
+	// tolerance (a rise aborts the epoch). The confirmation is what makes
+	// detection sound: with bounded staleness, workers converge against
+	// snapshots of each other and residuals dip below tolerance transiently
+	// before a neighbour's fresh updates arrive and push them back up.
+	Tolerance float64
+	// Residuals and RoundCounts are the per-worker publication lanes
+	// (arena-backed, cache-line padded), written by RunAsyncRounds itself:
+	// after worker t finishes round r it stores its L∞ as float64 bits in
+	// Residuals[t] and r in RoundCounts[t]. Both must have Threads entries.
+	Residuals   []execbuf.PadU64
+	RoundCounts []execbuf.PadU64
+	// DanglingMass, when non-nil, is sampled by worker 0 for per-round
+	// statistics (the engine's view of the current redistribution mass).
+	DanglingMass func() float64
+	// Rec receives worker 0's per-round statistics and all workers' round
+	// spans; nil disables instrumentation.
+	Rec *obs.Recorder
+}
+
+// RunAsyncRounds drives cfg.Threads workers through up to cfg.Rounds calls
+// of round(tid, r) each, with no barriers between workers — each publishes
+// its progress through the atomic lanes, polls the shared termination flag
+// between rounds, and paces itself against the slowest worker's published
+// round (asyncStaleWindow). round must be safe for concurrent
+// invocation across tids (the barrierless engines use atomic rank
+// publication for exactly this) and must return the worker's local L∞ rank
+// change for the round.
+//
+// Termination is round-based in the spirit of Eedi et al., hardened with an
+// epoch confirmation (see AsyncConfig.Tolerance): a converged worker arms a
+// candidate epoch when every published residual is below tolerance, any
+// worker whose next round moves a rank by tolerance or more aborts it, and
+// the flag is raised only once the slowest worker has advanced a full
+// staleness window past the arm point with the epoch still live. Workers
+// that already converged keep iterating (keeping their chunk current) until
+// the flag is up, so nothing ever blocks. Returns the maximum and summed
+// rounds executed across workers; per-worker counts stay readable from
+// cfg.RoundCounts.
+//
+// With telemetry disabled the steady state allocates nothing per round —
+// spawn-time costs (goroutines, closures) are per-Exec.
+func RunAsyncRounds(cfg AsyncConfig, round func(tid, r int) float64) (maxRounds int, totalRounds int64) {
+	em := metricsFor(cfg.Engine)
+	rec := cfg.Rec
+	var term atomic.Bool
+	// epoch is the termination candidate: 0 when none is armed, otherwise
+	// the fleet-minimum round count every worker must reach — with no
+	// residual rising back above tolerance in the meantime — before the
+	// fleet may stop.
+	var epoch atomic.Uint64
+	var wg sync.WaitGroup
+	wg.Add(cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			tr := rec.T()
+			instrument := tr != nil || (tid == 0 && (rec != nil || em != nil))
+			for r := 0; r < cfg.Rounds; r++ {
+				if term.Load() {
+					break
+				}
+				// Bounded staleness: yield until executing round r would not
+				// lead the slowest published worker by more than the window.
+				// The spin re-checks the termination flag so a converged fleet
+				// releases a waiting leader immediately.
+				for r >= asyncStaleWindow {
+					min := cfg.RoundCounts[0].V.Load()
+					for w := 1; w < cfg.Threads; w++ {
+						if c := cfg.RoundCounts[w].V.Load(); c < min {
+							min = c
+						}
+					}
+					if uint64(r) < min+asyncStaleWindow || term.Load() {
+						break
+					}
+					runtime.Gosched()
+				}
+				if term.Load() {
+					break
+				}
+				var start time.Time
+				if instrument {
+					start = time.Now()
+				}
+				res := round(tid, r)
+				cfg.Residuals[tid].V.Store(math.Float64bits(res))
+				cfg.RoundCounts[tid].V.Store(uint64(r + 1))
+				if tr != nil {
+					tr.Span(tid, SpanRound, r, start)
+				}
+				if tid == 0 {
+					if em != nil {
+						em.superstep.Observe(time.Since(start).Seconds())
+						em.residual.Observe(res)
+						em.iterations.Inc()
+					}
+					if rec != nil {
+						st := obs.IterationStats{
+							Iter:        r,
+							WallSeconds: time.Since(start).Seconds(),
+							Residual:    res,
+						}
+						if cfg.DanglingMass != nil {
+							st.DanglingMass = cfg.DanglingMass()
+						}
+						rec.RecordIteration(st)
+					}
+				}
+				if cfg.Tolerance > 0 {
+					if res >= cfg.Tolerance {
+						// This chunk is still moving: abort any pending epoch.
+						// The abort is ordered after the residual store above,
+						// so no peer can confirm against the stale low value.
+						epoch.Store(0)
+					} else {
+						fleetLow := true
+						minRound := cfg.RoundCounts[0].V.Load()
+						for w := 0; w < cfg.Threads; w++ {
+							if math.Float64frombits(cfg.Residuals[w].V.Load()) >= cfg.Tolerance {
+								fleetLow = false
+								break
+							}
+							if c := cfg.RoundCounts[w].V.Load(); c < minRound {
+								minRound = c
+							}
+						}
+						if fleetLow {
+							if cand := epoch.Load(); cand == 0 {
+								epoch.CompareAndSwap(0, minRound+asyncStaleWindow)
+							} else if minRound >= cand {
+								term.Store(true)
+								break
+							}
+						}
+					}
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+	for t := 0; t < cfg.Threads; t++ {
+		r := int(cfg.RoundCounts[t].V.Load())
+		totalRounds += int64(r)
+		if r > maxRounds {
+			maxRounds = r
+		}
+	}
+	return maxRounds, totalRounds
+}

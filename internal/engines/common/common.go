@@ -222,6 +222,11 @@ type Result struct {
 	// mass, modelled local/remote accesses, migrations). Populated only
 	// when Options.Obs was set for the run.
 	Iters []obs.IterationStats
+
+	// Frontier summarises pruning effectiveness for frontier-aware engines
+	// (active-set sizes, partition-iterations skipped); nil for the dense
+	// engines, which execute the full graph every iteration.
+	Frontier *FrontierReport
 }
 
 // Engine is one PageRank implementation with a two-phase lifecycle:

@@ -34,6 +34,47 @@ type PhaseKernels struct {
 	DanglingMass func() float64
 }
 
+// FrontierStats describes the active set of one iteration of a
+// frontier-aware engine: how much of the graph actually executes. The dense
+// engines have no frontier; their conceptual stats are Active == Total.
+type FrontierStats struct {
+	ActivePartitions int
+	TotalPartitions  int
+	ActiveVertices   int64
+	TotalVertices    int64
+}
+
+// ActiveFraction is the active-vertex share of the iteration (1.0 = dense,
+// 0 when the graph is empty).
+func (s FrontierStats) ActiveFraction() float64 {
+	if s.TotalVertices == 0 {
+		return 0
+	}
+	return float64(s.ActiveVertices) / float64(s.TotalVertices)
+}
+
+// Frontier is the optional active-set contract of the superstep driver. A
+// frontier-aware engine passes one in SuperstepConfig; its kernels consult
+// the frontier's converged set during the parallel phases, and the driver
+// calls Rebuild serially between iterations — after the residual fold,
+// before the convergence check — to retire newly converged work and rebuild
+// the active work list for the next iteration. A nil Frontier reproduces
+// the dense driver exactly: same phases, same barrier count, same fold
+// orders, which is why the golden five engines run bit-identically through
+// the generalized loop.
+//
+// Rebuild must not allocate — the zero-allocations-per-iteration guarantee
+// of the loop extends to frontier maintenance (bitmaps and work lists live
+// in the execbuf arena).
+type Frontier interface {
+	// Stats reports the active set of the upcoming iteration.
+	Stats() FrontierStats
+	// Rebuild retires partitions that converged during iteration `it`,
+	// rebuilds the active work list, and reports the next iteration's stats.
+	// done=true terminates the loop: nothing is left to schedule.
+	Rebuild(it int) (next FrontierStats, done bool)
+}
+
 // SuperstepConfig parameterises RunSupersteps.
 type SuperstepConfig struct {
 	// Engine names the engine driving the loop; when set, per-superstep
@@ -52,6 +93,10 @@ type SuperstepConfig struct {
 	// Tolerance > 0 enables convergence-based early termination on the
 	// folded residual.
 	Tolerance float64
+	// Frontier, when non-nil, makes the loop active-set aware: per-iteration
+	// active counts are recorded, and the frontier is rebuilt serially after
+	// each iteration's residual fold. Nil runs the dense loop unchanged.
+	Frontier Frontier
 	// Rec receives per-iteration statistics and phase spans; nil disables
 	// all instrumentation.
 	Rec *obs.Recorder
@@ -161,7 +206,12 @@ func (l *SuperstepLoop) Run(iterations int) int {
 	em := l.em
 	tr := rec.T()
 	runner := RunnerLane(cfg.Threads)
-	needResidual := cfg.Tolerance > 0 || rec != nil || em != nil
+	f := cfg.Frontier
+	needResidual := cfg.Tolerance > 0 || rec != nil || em != nil || f != nil
+	var cur FrontierStats
+	if f != nil {
+		cur = f.Stats()
+	}
 	performed := 0
 	for it := 0; it < iterations; it++ {
 		performed++
@@ -210,14 +260,33 @@ func (l *SuperstepLoop) Run(iterations int) int {
 			em.superstep.Observe(time.Since(itStart).Seconds())
 			em.residual.Observe(res)
 			em.iterations.Inc()
+			if f != nil {
+				em.activeFraction.Observe(cur.ActiveFraction())
+				em.partsSkipped.Add(int64(cur.TotalPartitions - cur.ActivePartitions))
+			}
 		}
 		if rec != nil {
-			rec.RecordIteration(obs.IterationStats{
+			st := obs.IterationStats{
 				Iter:         it,
 				WallSeconds:  time.Since(itStart).Seconds(),
 				Residual:     res,
 				DanglingMass: k.DanglingMass(),
-			})
+			}
+			if f != nil {
+				st.ActiveVertices = cur.ActiveVertices
+				st.ActivePartitions = cur.ActivePartitions
+			}
+			rec.RecordIteration(st)
+		}
+		if f != nil {
+			// Serial frontier maintenance: retire partitions that converged
+			// this iteration and rebuild the active work list. An empty next
+			// frontier terminates the loop even with Tolerance unset.
+			next, done := f.Rebuild(it)
+			cur = next
+			if done {
+				break
+			}
 		}
 		if cfg.Tolerance > 0 && res < cfg.Tolerance {
 			break

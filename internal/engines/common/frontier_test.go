@@ -1,0 +1,203 @@
+package common
+
+import (
+	"testing"
+
+	"hipa/internal/execbuf"
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/layout"
+	"hipa/internal/partition"
+)
+
+func frontierTestState(t *testing.T, groupsPerNode int, arena *execbuf.Arena) (*graph.Graph, *partition.Hierarchy, *SGState) {
+	t.Helper()
+	g, err := gen.Uniform(800, 9000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := partition.Build(g, partition.Config{PartitionBytes: 256, BytesPerVertex: 4, NumNodes: 1, GroupsPerNode: groupsPerNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, err := layout.Build(g, hier, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threads := len(hier.Groups)
+	return g, hier, NewSGStateArena(g, hier, lay, InvOutDegrees(g), 0.85, threads, arena)
+}
+
+// TestConvergedPartitionNeverRescheduled is the core frontier contract: once
+// a partition is retired, neither phase touches it again — its executed-
+// iteration counter stays frozen while the rest of the graph keeps going.
+func TestConvergedPartitionNeverRescheduled(t *testing.T) {
+	_, hier, state := frontierTestState(t, 4, nil)
+	threads := len(hier.Groups)
+	f := NewPartitionFrontier(state, 1e-9, nil)
+	P := hier.NumPartitions()
+	if P < 2 {
+		t.Fatalf("need at least 2 partitions, got %d", P)
+	}
+
+	// Retire partition `victim` by hand before any iteration: give every
+	// other partition a large last-gather residual, then rebuild.
+	victim := P / 2
+	for p := 0; p < P; p++ {
+		f.partRes[p] = 1
+	}
+	f.partRes[victim] = 0
+	st, done := f.Rebuild(0)
+	if done {
+		t.Fatal("rebuild with one retired partition reported done")
+	}
+	if st.ActivePartitions != P-1 {
+		t.Fatalf("active partitions after retiring one: got %d, want %d", st.ActivePartitions, P-1)
+	}
+	if !f.converged(victim) {
+		t.Fatal("victim partition's converged bit is not set")
+	}
+
+	const iters = 6
+	performed := RunSupersteps(SuperstepConfig{
+		Threads:    threads,
+		Iterations: iters,
+		Frontier:   f,
+	}, f.Kernels(hier.Groups))
+	if performed != iters {
+		t.Fatalf("performed %d iterations, want %d (tolerance tight enough to never converge)", performed, iters)
+	}
+	if got := f.PartIters()[victim]; got != 0 {
+		t.Errorf("retired partition was scheduled %d times; a converged partition must never run again", got)
+	}
+	for p := 0; p < P; p++ {
+		if p == victim {
+			continue
+		}
+		if got := f.PartIters()[p]; got != iters {
+			t.Errorf("active partition %d executed %d iterations, want %d", p, got, iters)
+		}
+	}
+	rep := f.Report()
+	if rep.IterationsExecuted != iters {
+		t.Errorf("report iterations: got %d, want %d", rep.IterationsExecuted, iters)
+	}
+	if want := int64(iters) * int64(P-1); rep.ActivePartitionIterations != want {
+		t.Errorf("active partition-iterations: got %d, want %d", rep.ActivePartitionIterations, want)
+	}
+	if want := int64(iters); rep.PartitionsSkipped != want {
+		t.Errorf("partitions skipped: got %d, want %d", rep.PartitionsSkipped, want)
+	}
+}
+
+// TestFrontierRetiresAndTerminates runs the frontier end to end with a
+// realistic tolerance: partitions retire over time (monotonically shrinking
+// active set), retired partitions never run again, and the loop terminates
+// on an empty frontier before the iteration budget.
+func TestFrontierRetiresAndTerminates(t *testing.T) {
+	_, hier, state := frontierTestState(t, 4, nil)
+	threads := len(hier.Groups)
+	const tol = 1e-6
+	f := NewPartitionFrontier(state, tol, nil)
+	const budget = 500
+	performed := RunSupersteps(SuperstepConfig{
+		Threads:    threads,
+		Iterations: budget,
+		Tolerance:  tol,
+		Frontier:   f,
+	}, f.Kernels(hier.Groups))
+	if performed >= budget {
+		t.Fatalf("frontier never emptied within %d iterations", budget)
+	}
+	if st := f.Stats(); st.ActivePartitions != 0 || st.ActiveVertices != 0 {
+		t.Errorf("final frontier not empty: %+v", st)
+	}
+	rep := f.Report()
+	if rep.IterationsExecuted != performed {
+		t.Errorf("report iterations %d != performed %d", rep.IterationsExecuted, performed)
+	}
+	// Every partition's executed count is bounded by the total and at least
+	// one partition retired strictly early (skipped work happened).
+	if rep.PartitionsSkipped <= 0 {
+		t.Error("no partition-iterations were skipped; pruning never engaged")
+	}
+	for p, it := range f.PartIters() {
+		if int(it) > performed {
+			t.Errorf("partition %d executed %d > total %d iterations", p, it, performed)
+		}
+	}
+	if frac := rep.ActiveFraction(); frac <= 0 || frac > 1 {
+		t.Errorf("active fraction %v out of (0,1]", frac)
+	}
+}
+
+// TestFrontierBitDeterministicAcrossThreadCounts pins the determinism claim
+// of the early-convergence engine: the per-partition dangling fold is
+// serial in partition order, so the same partitioning produces bit-identical
+// ranks at any group/thread count.
+func TestFrontierBitDeterministicAcrossThreadCounts(t *testing.T) {
+	run := func(groupsPerNode int) []float32 {
+		_, hier, state := frontierTestState(t, groupsPerNode, nil)
+		threads := len(hier.Groups)
+		f := NewPartitionFrontier(state, 1e-6, nil)
+		RunSupersteps(SuperstepConfig{
+			Threads:    threads,
+			Iterations: 200,
+			Tolerance:  1e-6,
+			Frontier:   f,
+		}, f.Kernels(hier.Groups))
+		out := make([]float32, len(state.Ranks))
+		copy(out, state.Ranks)
+		return out
+	}
+	a, b := run(1), run(4)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("rank[%d] differs across thread counts: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+// TestFrontierLoopIsAllocationFree extends the driver's zero-allocation
+// guarantee to the frontier path: phases with converged-bit checks, the
+// per-partition folds, and the serial Rebuild all run without allocating.
+func TestFrontierLoopIsAllocationFree(t *testing.T) {
+	_, hier, state := frontierTestState(t, 4, nil)
+	threads := len(hier.Groups)
+	// Unreachable tolerance: the frontier machinery runs every iteration
+	// (counters, folds, rebuild scan) but never empties.
+	f := NewPartitionFrontier(state, 1e-30, nil)
+	loop := NewSuperstepLoop(SuperstepConfig{
+		Threads:    threads,
+		Iterations: 1,
+		Tolerance:  1e-30,
+		Frontier:   f,
+	}, f.Kernels(hier.Groups))
+	defer loop.Close()
+	loop.Run(1)
+	if allocs := testing.AllocsPerRun(10, func() { loop.Run(1) }); allocs != 0 {
+		t.Errorf("frontier loop.Run(1) allocated %g times; frontier maintenance must be allocation-free", allocs)
+	}
+}
+
+// TestFrontierArenaReuse pins the arena contract for the frontier scratch:
+// rebuilding same-shaped frontier state on a warm arena grows nothing.
+func TestFrontierArenaReuse(t *testing.T) {
+	arena := &execbuf.Arena{}
+	_, hier, s1 := frontierTestState(t, 4, arena)
+	f1 := NewPartitionFrontier(s1, 1e-6, arena)
+	grows, foot := arena.Grows(), arena.Footprint()
+	RunSupersteps(SuperstepConfig{Threads: len(hier.Groups), Iterations: 50, Tolerance: 1e-6, Frontier: f1}, f1.Kernels(hier.Groups))
+	_, hier2, s2 := frontierTestState(t, 4, arena)
+	f2 := NewPartitionFrontier(s2, 1e-6, arena)
+	if g2 := arena.Grows(); g2 != grows {
+		t.Errorf("warm frontier reconstruction grew the arena: %d -> %d", grows, g2)
+	}
+	if ft := arena.Footprint(); ft != foot {
+		t.Errorf("footprint changed on warm reconstruction: %d -> %d bytes", foot, ft)
+	}
+	RunSupersteps(SuperstepConfig{Threads: len(hier2.Groups), Iterations: 50, Tolerance: 1e-6, Frontier: f2}, f2.Kernels(hier2.Groups))
+	if g3 := arena.Grows(); g3 != grows {
+		t.Errorf("frontier execution grew the arena: %d -> %d", grows, g3)
+	}
+}

@@ -24,6 +24,10 @@ const (
 	MetricLocalBytesTotal  = "hipa_model_local_bytes_total"
 	MetricRemoteBytesTotal = "hipa_model_remote_bytes_total"
 	MetricPrepStageSeconds = "hipa_prep_stage_seconds"
+	// Frontier series, recorded only by active-set engines (the dense five
+	// never emit them).
+	MetricActiveFraction         = "hipa_frontier_active_fraction"
+	MetricPartitionsSkippedTotal = "hipa_frontier_partitions_skipped_total"
 )
 
 var engineHelpOnce sync.Once
@@ -38,19 +42,23 @@ func registerEngineHelp() {
 		reg.SetHelp(MetricLocalBytesTotal, "Modelled NUMA-local DRAM traffic of finished runs, per engine.")
 		reg.SetHelp(MetricRemoteBytesTotal, "Modelled NUMA-remote DRAM traffic of finished runs, per engine.")
 		reg.SetHelp(MetricPrepStageSeconds, "Wall time of one preprocessing stage (partition, layout, index, fingerprint).")
+		reg.SetHelp(MetricActiveFraction, "Per-iteration active-vertex fraction of a frontier-aware engine (1.0 = dense).")
+		reg.SetHelp(MetricPartitionsSkippedTotal, "Partition-iterations skipped by frontier pruning, per engine.")
 	})
 }
 
 // engineMetrics are one engine's registry handles, resolved once and cached
 // for the process lifetime so a repeat loop re-resolves nothing.
 type engineMetrics struct {
-	superstep   *obs.Histogram
-	scatter     *obs.Histogram
-	gather      *obs.Histogram
-	residual    *obs.Histogram
-	iterations  *obs.Counter
-	localBytes  *obs.Counter
-	remoteBytes *obs.Counter
+	superstep      *obs.Histogram
+	scatter        *obs.Histogram
+	gather         *obs.Histogram
+	residual       *obs.Histogram
+	activeFraction *obs.Histogram
+	iterations     *obs.Counter
+	localBytes     *obs.Counter
+	remoteBytes    *obs.Counter
+	partsSkipped   *obs.Counter
 }
 
 var engineMetricsCache sync.Map // engine name -> *engineMetrics
@@ -68,13 +76,15 @@ func metricsFor(engine string) *engineMetrics {
 	registerEngineHelp()
 	reg := obs.Default()
 	em := &engineMetrics{
-		superstep:   reg.Histogram(MetricSuperstepSeconds, "engine", engine),
-		scatter:     reg.Histogram(MetricPhaseSeconds, "engine", engine, "phase", SpanScatter),
-		gather:      reg.Histogram(MetricPhaseSeconds, "engine", engine, "phase", SpanGather),
-		residual:    reg.Histogram(MetricResidual, "engine", engine),
-		iterations:  reg.Counter(MetricIterationsTotal, "engine", engine),
-		localBytes:  reg.Counter(MetricLocalBytesTotal, "engine", engine),
-		remoteBytes: reg.Counter(MetricRemoteBytesTotal, "engine", engine),
+		superstep:      reg.Histogram(MetricSuperstepSeconds, "engine", engine),
+		scatter:        reg.Histogram(MetricPhaseSeconds, "engine", engine, "phase", SpanScatter),
+		gather:         reg.Histogram(MetricPhaseSeconds, "engine", engine, "phase", SpanGather),
+		residual:       reg.Histogram(MetricResidual, "engine", engine),
+		activeFraction: reg.Histogram(MetricActiveFraction, "engine", engine),
+		iterations:     reg.Counter(MetricIterationsTotal, "engine", engine),
+		localBytes:     reg.Counter(MetricLocalBytesTotal, "engine", engine),
+		remoteBytes:    reg.Counter(MetricRemoteBytesTotal, "engine", engine),
+		partsSkipped:   reg.Counter(MetricPartitionsSkippedTotal, "engine", engine),
 	}
 	v, _ := engineMetricsCache.LoadOrStore(engine, em)
 	return v.(*engineMetrics)

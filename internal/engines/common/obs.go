@@ -19,6 +19,9 @@ const (
 	SpanReduce        = "reduce"
 	SpanGather        = "gather"
 	SpanApply         = "apply"
+	// SpanRound is one worker round of the barrierless engine, which has no
+	// phase structure to break a superstep into.
+	SpanRound = "round"
 )
 
 // Collector phase-timer names shared by the engines. The prep:* stage timers

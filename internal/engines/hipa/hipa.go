@@ -39,10 +39,11 @@ type Engine struct{}
 // Name implements common.Engine.
 func (Engine) Name() string { return "HiPa" }
 
-// roundThreads returns HiPa's effective thread count for the requested one:
+// RoundThreads returns HiPa's effective thread count for the requested one:
 // at least one thread per NUMA node (one group list per node), rounded down
-// to a node multiple, like the paper's per-node thread split.
-func roundThreads(requested, nodes int) (threads, groupsPerNode int) {
+// to a node multiple, like the paper's per-node thread split. Exported for
+// engines that share HiPa's execution shape (the early-convergence engine).
+func RoundThreads(requested, nodes int) (threads, groupsPerNode int) {
 	threads = requested
 	if threads < nodes {
 		threads = nodes
@@ -63,6 +64,15 @@ func (e Engine) Run(g *graph.Graph, o common.Options) (*common.Result, error) {
 // left to Exec, so one artifact serves every thread count on the same
 // machine topology.
 func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error) {
+	return PrepareArtifact("HiPa", g, o)
+}
+
+// PrepareArtifact is HiPa's Prepare with the artifact's engine stamp
+// parameterised, so engines sharing HiPa's execution shape (the
+// early-convergence engine) build byte-identical artifacts under their own
+// name. The prep-cache key carries no engine field, so the underlying
+// hierarchy/layout payload is still shared across such engines.
+func PrepareArtifact(name string, g *graph.Graph, o common.Options) (*common.Prepared, error) {
 	o = o.ResolveMachine(nil)
 	m := o.Machine
 	o = o.WithDefaults(m.LogicalCores())
@@ -73,7 +83,7 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 		return nil, fmt.Errorf("hipa: empty graph")
 	}
 	nodes := m.NUMANodes
-	threads, _ := roundThreads(o.Threads, nodes)
+	threads, _ := RoundThreads(o.Threads, nodes)
 	if threads > m.LogicalCores() {
 		return nil, fmt.Errorf("hipa: %d threads exceed the machine's %d logical cores", threads, m.LogicalCores())
 	}
@@ -87,7 +97,7 @@ func (Engine) Prepare(g *graph.Graph, o common.Options) (*common.Prepared, error
 		VertexBalanced: o.VertexBalanced,
 		Nodes:          nodes,
 	}
-	prep, err := common.MakePrepared("HiPa", g, m, o, key, func() (any, error) {
+	prep, err := common.MakePrepared(name, g, m, o, key, func() (any, error) {
 		tr := rec.T()
 		partStart := time.Now()
 		stopPart := rec.C().Phase(common.PhasePrepPartition)
@@ -161,7 +171,7 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	// Thread count must be a multiple of the node count (one group list per
 	// node); round down like the paper's per-node thread split.
 	nodes := m.NUMANodes
-	threads, groupsPerNode := roundThreads(o.Threads, nodes)
+	threads, groupsPerNode := RoundThreads(o.Threads, nodes)
 	if threads > m.LogicalCores() {
 		return nil, fmt.Errorf("hipa: %d threads exceed the machine's %d logical cores", threads, m.LogicalCores())
 	}

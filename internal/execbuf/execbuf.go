@@ -16,6 +16,7 @@ package execbuf
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"hipa/internal/obs"
 )
@@ -28,6 +29,14 @@ type PadF64 struct {
 	_ [7]int64
 }
 
+// PadU64 is an atomic uint64 padded to its own cache line — the publication
+// slot of the barrierless engine (rank residual bits, round counters,
+// dangling-mass bits), written by one worker and read by all.
+type PadU64 struct {
+	V atomic.Uint64
+	_ [7]uint64
+}
+
 // Arena owns the mutable scratch buffers of one Exec. A zero Arena is
 // ready to use; buffers are allocated on first request and kept for reuse.
 // An Arena is not safe for concurrent use — each concurrent Exec must hold
@@ -35,7 +44,17 @@ type PadF64 struct {
 type Arena struct {
 	ranks, acc, bins, contrib []float32
 	partials, residuals       []PadF64
-	grows                     int
+	// Frontier scratch (active-set engines): per-partition converged bitmap,
+	// active work list, residuals, iteration counts, and dangling masses.
+	bitmap    []uint64
+	worklist  []int32
+	partIters []int32
+	partRes   []float32
+	partDang  []float64
+	// Barrierless scratch: atomic rank bits and padded publication slots.
+	bits    []uint32
+	atomics []PadU64
+	grows   int
 }
 
 func growF32(buf *[]float32, n int, grows *int) []float32 {
@@ -97,6 +116,88 @@ func (a *Arena) growPad(buf *[]PadF64, n int) []PadF64 {
 	return (*buf)[:n]
 }
 
+// Bitmap returns the converged-partition bitmap covering n partitions (one
+// bit each), zeroed: no partition starts converged.
+func (a *Arena) Bitmap(n int) []uint64 {
+	words := (n + 63) / 64
+	if cap(a.bitmap) < words {
+		a.bitmap = make([]uint64, words)
+		a.grows++
+	}
+	s := a.bitmap[:words]
+	clear(s)
+	return s
+}
+
+// WorkList returns the n-element active-partition work list. Contents are
+// unspecified; the frontier fills it with the initial (dense) active set.
+func (a *Arena) WorkList(n int) []int32 {
+	if cap(a.worklist) < n {
+		a.worklist = make([]int32, n)
+		a.grows++
+	}
+	return a.worklist[:n]
+}
+
+// PartIters returns the per-partition executed-iteration counters, zeroed —
+// the active-set input of the traffic model (platform.PartitionRun.PartIters).
+func (a *Arena) PartIters(n int) []int32 {
+	if cap(a.partIters) < n {
+		a.partIters = make([]int32, n)
+		a.grows++
+	}
+	s := a.partIters[:n]
+	clear(s)
+	return s
+}
+
+// PartResiduals returns the per-partition L∞ residual buffer, zeroed.
+func (a *Arena) PartResiduals(n int) []float32 {
+	s := growF32(&a.partRes, n, &a.grows)
+	clear(s)
+	return s
+}
+
+// PartDangling returns the per-partition dangling-mass buffer, zeroed. A
+// converged partition's entry stays frozen at its last written value, which
+// is exactly its dangling contribution under its frozen ranks.
+func (a *Arena) PartDangling(n int) []float64 {
+	if cap(a.partDang) < n {
+		a.partDang = make([]float64, n)
+		a.grows++
+	}
+	s := a.partDang[:n]
+	clear(s)
+	return s
+}
+
+// RankBits returns the n-element atomic rank buffer of the barrierless
+// engine: uint32 views of float32 ranks, published with atomic stores and
+// pulled with atomic loads. Contents are unspecified; the caller seeds the
+// initial distribution.
+func (a *Arena) RankBits(n int) []uint32 {
+	if cap(a.bits) < n {
+		a.bits = make([]uint32, n)
+		a.grows++
+	}
+	return a.bits[:n]
+}
+
+// Atomics returns n cache-line-padded atomic slots, zeroed — the
+// barrierless engine's per-worker publication lanes (residual bits, round
+// counters, dangling-mass bits share one call, sliced by the caller).
+func (a *Arena) Atomics(n int) []PadU64 {
+	if cap(a.atomics) < n {
+		a.atomics = make([]PadU64, n)
+		a.grows++
+	}
+	s := a.atomics[:n]
+	for i := range s {
+		s[i].V.Store(0)
+	}
+	return s
+}
+
 // Grows reports how many times any buffer was (re)allocated over the
 // arena's lifetime. A warm arena serving same-shaped Execs stays constant —
 // the regression tests assert repeated Exec calls do not grow it.
@@ -104,9 +205,11 @@ func (a *Arena) Grows() int { return a.grows }
 
 // Footprint returns the arena's total buffer capacity in bytes.
 func (a *Arena) Footprint() int64 {
-	f32 := cap(a.ranks) + cap(a.acc) + cap(a.bins) + cap(a.contrib)
-	pad := cap(a.partials) + cap(a.residuals)
-	return int64(f32)*4 + int64(pad)*64
+	f32 := cap(a.ranks) + cap(a.acc) + cap(a.bins) + cap(a.contrib) + cap(a.partRes)
+	pad := cap(a.partials) + cap(a.residuals) + cap(a.atomics)
+	i32 := cap(a.worklist) + cap(a.partIters) + cap(a.bits)
+	i64 := cap(a.bitmap) + cap(a.partDang)
+	return int64(f32)*4 + int64(pad)*64 + int64(i32)*4 + int64(i64)*8
 }
 
 // Registry metric families exported by the arena pools. Every Pool reports

@@ -11,8 +11,10 @@ import (
 
 // AllocBaselineVersion is the schema_version written into BENCH_*.json
 // allocation baselines. Bump it when the measurement protocol or the field
-// meanings change; Compare refuses to diff across versions.
-const AllocBaselineVersion = 1
+// meanings change; Compare refuses to diff across versions. v2 added the
+// frontier-aware engines (EC-HiPa, NB-PR) and the per-engine
+// frontier-effectiveness fields.
+const AllocBaselineVersion = 2
 
 // Baseline iteration counts of the differential measurement: per-iteration
 // cost is (allocs at iterLong - allocs at iterShort) / (iterLong -
@@ -35,6 +37,15 @@ type AllocMeasurement struct {
 	// is not a hot-path regression.
 	ExecAllocs int64 `json:"exec_allocs"`
 	ExecBytes  int64 `json:"exec_bytes"`
+	// Frontier-effectiveness profile of one Exec at the long iteration
+	// count, recorded for the frontier-aware engines only (all zero for the
+	// dense five, whose Result.Frontier is nil): how many supersteps
+	// actually ran, the executed share of the dense vertex-iteration space,
+	// and the partition-iterations pruned away. Gated with slack — the
+	// fields pin that pruning keeps engaging, not an exact trajectory.
+	IterationsExecuted int     `json:"iterations_executed,omitempty"`
+	ActiveFraction     float64 `json:"active_fraction,omitempty"`
+	PartitionsSkipped  int64   `json:"partitions_skipped,omitempty"`
 }
 
 // AllocBaseline is the committed allocation-trajectory schema
@@ -94,7 +105,7 @@ func (c *Config) MeasureAllocBaseline(dataset string) (*AllocBaseline, error) {
 		Go:            runtime.Version(),
 		Engines:       map[string]AllocMeasurement{},
 	}
-	for _, e := range Engines() {
+	for _, e := range AllEngines() {
 		o := c.PaperOptions(e.Name(), m)
 		o.Platform = platform.NewNative(m)
 		prep, err := e.Prepare(g, o)
@@ -114,12 +125,26 @@ func (c *Config) MeasureAllocBaseline(dataset string) (*AllocBaseline, error) {
 		shortAllocs, shortBytes := measureAllocs(runs, exec(allocIterShort))
 		longAllocs, longBytes := measureAllocs(runs, exec(allocIterLong))
 		span := int64(allocIterLong - allocIterShort)
-		b.Engines[e.Name()] = AllocMeasurement{
+		meas := AllocMeasurement{
 			AllocsPerIter: (longAllocs - shortAllocs) / span,
 			BytesPerIter:  (longBytes - shortBytes) / span,
 			ExecAllocs:    shortAllocs,
 			ExecBytes:     shortBytes,
 		}
+		// Frontier-effectiveness profile: one more Exec at the long count,
+		// this time inspecting the result instead of the allocator.
+		oo := o
+		oo.Iterations = allocIterLong
+		res, err := e.Exec(prep, oo)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if rep := res.Frontier; rep != nil {
+			meas.IterationsExecuted = rep.IterationsExecuted
+			meas.ActiveFraction = rep.ActiveFraction()
+			meas.PartitionsSkipped = rep.PartitionsSkipped
+		}
+		b.Engines[e.Name()] = meas
 	}
 	return b, nil
 }
@@ -161,6 +186,21 @@ func (b *AllocBaseline) Compare(measured *AllocBaseline) []string {
 		}
 		if limit := want.ExecBytes + want.ExecBytes/4 + 16<<10; got.ExecBytes > limit {
 			fail("%s: per-Exec bytes %d exceed baseline %d (limit %d)", name, got.ExecBytes, want.ExecBytes, limit)
+		}
+		// Frontier-effectiveness gates (frontier-aware engines only): the
+		// iteration count may drift ±25% and the active fraction ±0.1, but
+		// an engine whose baseline pruned must still prune.
+		if want.IterationsExecuted > 0 {
+			lo, hi := want.IterationsExecuted*3/4, want.IterationsExecuted*5/4+1
+			if got.IterationsExecuted < lo || got.IterationsExecuted > hi {
+				fail("%s: iterations executed %d outside baseline %d ±25%%", name, got.IterationsExecuted, want.IterationsExecuted)
+			}
+			if d := got.ActiveFraction - want.ActiveFraction; d < -0.1 || d > 0.1 {
+				fail("%s: active fraction %.3f drifted from baseline %.3f by more than 0.1", name, got.ActiveFraction, want.ActiveFraction)
+			}
+			if want.PartitionsSkipped > 0 && got.PartitionsSkipped == 0 {
+				fail("%s: baseline skipped %d partition-iterations, measurement skipped none — pruning stopped engaging", name, want.PartitionsSkipped)
+			}
 		}
 	}
 	return regressions

@@ -17,8 +17,8 @@ func TestMeasureAllocBaselineZeroPerIteration(t *testing.T) {
 	if b.SchemaVersion != AllocBaselineVersion || b.Suite != "pagerank" {
 		t.Errorf("header = v%d %q, want v%d pagerank", b.SchemaVersion, b.Suite, AllocBaselineVersion)
 	}
-	if len(b.Engines) != len(Engines()) {
-		t.Fatalf("measured %d engines, want %d", len(b.Engines), len(Engines()))
+	if len(b.Engines) != len(AllEngines()) {
+		t.Fatalf("measured %d engines, want %d", len(b.Engines), len(AllEngines()))
 	}
 	for name, m := range b.Engines {
 		if m.AllocsPerIter != 0 || m.BytesPerIter != 0 {
@@ -26,6 +26,18 @@ func TestMeasureAllocBaselineZeroPerIteration(t *testing.T) {
 		}
 		if m.ExecAllocs <= 0 {
 			t.Errorf("%s: per-Exec allocs = %d, expected a positive fixed cost", name, m.ExecAllocs)
+		}
+	}
+	// The frontier-aware engines carry an effectiveness profile; the dense
+	// five must not.
+	for _, name := range []string{"EC-HiPa", "NB-PR"} {
+		if m := b.Engines[name]; m.IterationsExecuted <= 0 || m.ActiveFraction <= 0 {
+			t.Errorf("%s: frontier profile missing: %+v", name, m)
+		}
+	}
+	for _, e := range Engines() {
+		if m := b.Engines[e.Name()]; m.IterationsExecuted != 0 || m.ActiveFraction != 0 || m.PartitionsSkipped != 0 {
+			t.Errorf("%s: dense engine has a frontier profile: %+v", e.Name(), m)
 		}
 	}
 
@@ -48,12 +60,16 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 		SchemaVersion: AllocBaselineVersion, Suite: "pagerank", Dataset: "journal",
 		Divisor: 1024, IterShort: 4, IterLong: 12,
 		Engines: map[string]AllocMeasurement{
-			"HiPa": {AllocsPerIter: 0, BytesPerIter: 0, ExecAllocs: 30, ExecBytes: 30000},
+			"HiPa":    {AllocsPerIter: 0, BytesPerIter: 0, ExecAllocs: 30, ExecBytes: 30000},
+			"EC-HiPa": {ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 12, ActiveFraction: 0.8, PartitionsSkipped: 40},
 		},
 	}
 	clone := func(mutate func(*AllocBaseline)) *AllocBaseline {
 		c := *base
-		c.Engines = map[string]AllocMeasurement{"HiPa": base.Engines["HiPa"]}
+		c.Engines = map[string]AllocMeasurement{}
+		for k, v := range base.Engines {
+			c.Engines[k] = v
+		}
 		mutate(&c)
 		return &c
 	}
@@ -74,6 +90,18 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 		}, true},
 		{"engine missing", func(b *AllocBaseline) { delete(b.Engines, "HiPa") }, true},
 		{"shape mismatch", func(b *AllocBaseline) { b.Divisor = 256 }, true},
+		{"frontier drift within slack", func(b *AllocBaseline) {
+			b.Engines["EC-HiPa"] = AllocMeasurement{ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 13, ActiveFraction: 0.85, PartitionsSkipped: 25}
+		}, false},
+		{"iteration-count blowup", func(b *AllocBaseline) {
+			b.Engines["EC-HiPa"] = AllocMeasurement{ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 20, ActiveFraction: 0.8, PartitionsSkipped: 40}
+		}, true},
+		{"active-fraction drift", func(b *AllocBaseline) {
+			b.Engines["EC-HiPa"] = AllocMeasurement{ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 12, ActiveFraction: 0.95, PartitionsSkipped: 40}
+		}, true},
+		{"pruning stopped engaging", func(b *AllocBaseline) {
+			b.Engines["EC-HiPa"] = AllocMeasurement{ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 12, ActiveFraction: 0.8, PartitionsSkipped: 0}
+		}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -2,9 +2,12 @@ package harness
 
 import (
 	"fmt"
+	"math"
 
 	"hipa/internal/engines/common"
+	"hipa/internal/engines/ec"
 	"hipa/internal/engines/hipa"
+	"hipa/internal/engines/nb"
 	"hipa/internal/machine"
 	"hipa/internal/partition"
 )
@@ -597,6 +600,92 @@ func NodeScaling(cfg *Config, dataset string) ([]NodeScalingRow, *Table, error) 
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(nodes), fmt.Sprint(row.Threads), fmt.Sprintf("%.5f", row.Seconds),
 			pct(row.RemoteFrac), f2(row.Speedup),
+		})
+	}
+	return rows, t, nil
+}
+
+// ---------------------------------------------------------------- frontier
+
+// FrontierTolerance is the convergence tolerance the frontier experiment
+// runs every engine to; the per-partition retirement threshold of EC-HiPa
+// and the round-termination threshold of NB-PR use the same value so the
+// work-saved columns are comparable.
+const FrontierTolerance = 1e-6
+
+// frontierBudget bounds the run-to-convergence iteration count.
+const frontierBudget = 200
+
+// FrontierRow reports one engine's work-saved-vs-accuracy trade-off: dense
+// HiPa as the exact baseline, then the frontier-aware engines, all run to
+// FrontierTolerance. VertexIters is the executed vertex-iteration count (a
+// dense engine accrues iterations × vertices); MaxAbsDiff is measured
+// against exact power-iteration ranks.
+type FrontierRow struct {
+	Engine            string
+	Iterations        int
+	ActiveFraction    float64
+	VertexIters       int64
+	PartitionsSkipped int64
+	MaxAbsDiff        float64
+	Seconds           float64
+}
+
+// Frontier regenerates the work-saved-vs-accuracy comparison of the
+// frontier-aware engines (EC-HiPa partition pruning, NB-PR barrierless
+// rounds) against dense HiPa on the named dataset (EXPERIMENTS.md).
+func Frontier(cfg *Config, dataset string) ([]FrontierRow, *Table, error) {
+	m, err := cfg.DefaultMachine()
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := cfg.Graph(dataset)
+	if err != nil {
+		return nil, nil, err
+	}
+	exact := common.ReferencePageRank(g, frontierBudget, common.DefaultDamping)
+	t := &Table{
+		Title:  fmt.Sprintf("Frontier engines: work saved vs accuracy (%s, tolerance %g)", dataset, FrontierTolerance),
+		Header: []string{"engine", "iters", "active%", "vertex-iters", "parts-skipped", "max-abs-diff", "seconds"},
+		Notes: []string{
+			"every engine runs to the same tolerance; max-abs-diff is vs exact power-iteration ranks",
+			"active% is the executed share of the dense vertex-iteration space (100% = no pruning)",
+		},
+	}
+	var rows []FrontierRow
+	for _, e := range []common.Engine{hipa.Engine{}, ec.Engine{}, nb.Engine{}} {
+		o := cfg.PaperOptions(e.Name(), m)
+		o.Iterations = frontierBudget
+		o.Tolerance = FrontierTolerance
+		res, err := e.Run(g, o)
+		if err != nil {
+			return nil, nil, fmt.Errorf("frontier %s/%s: %w", dataset, e.Name(), err)
+		}
+		var diff float64
+		for v := range exact {
+			if d := math.Abs(float64(res.Ranks[v]) - exact[v]); d > diff {
+				diff = d
+			}
+		}
+		row := FrontierRow{
+			Engine:     e.Name(),
+			Iterations: res.Iterations,
+			MaxAbsDiff: diff,
+			Seconds:    cfg.Seconds(res),
+		}
+		if rep := res.Frontier; rep != nil {
+			row.ActiveFraction = rep.ActiveFraction()
+			row.VertexIters = rep.ActiveVertexIterations
+			row.PartitionsSkipped = rep.PartitionsSkipped
+		} else {
+			row.ActiveFraction = 1
+			row.VertexIters = int64(res.Iterations) * int64(g.NumVertices())
+		}
+		rows = append(rows, row)
+		t.Rows = append(t.Rows, []string{
+			row.Engine, fmt.Sprint(row.Iterations), pct(row.ActiveFraction),
+			fmt.Sprint(row.VertexIters), fmt.Sprint(row.PartitionsSkipped),
+			fmt.Sprintf("%.2e", row.MaxAbsDiff), fmt.Sprintf("%.5f", row.Seconds),
 		})
 	}
 	return rows, t, nil

@@ -25,8 +25,10 @@ import (
 	"sync"
 
 	"hipa/internal/engines/common"
+	"hipa/internal/engines/ec"
 	"hipa/internal/engines/gpop"
 	"hipa/internal/engines/hipa"
+	"hipa/internal/engines/nb"
 	"hipa/internal/engines/polymer"
 	"hipa/internal/engines/ppr"
 	"hipa/internal/engines/vpr"
@@ -137,18 +139,46 @@ func (c *Config) PartBytes(paperBytes int) int {
 }
 
 // Engines returns the five engines in the paper's reporting order.
+// Paper-shape experiments iterate exactly this set.
 func Engines() []common.Engine {
 	return []common.Engine{hipa.Engine{}, ppr.Engine{}, vpr.Engine{}, gpop.Engine{}, polymer.Engine{}}
 }
 
-// EngineByName looks an engine up by its paper name.
+// AllEngines returns every registered engine: the paper five followed by
+// the frontier-aware additions (EC-HiPa, NB-PR).
+func AllEngines() []common.Engine {
+	return append(Engines(), ec.Engine{}, nb.Engine{})
+}
+
+// engineAliases maps short -engine spellings to registry names.
+var engineAliases = map[string]string{
+	"ec": ec.Name,
+	"nb": nb.Name,
+}
+
+// EngineNames returns every accepted -engine value: the registry names in
+// order, short aliases appended.
+func EngineNames() []string {
+	var names []string
+	for _, e := range AllEngines() {
+		names = append(names, e.Name())
+	}
+	return append(names, "ec", "nb")
+}
+
+// EngineByName looks an engine up by its registry name (case-insensitive)
+// or a short alias ("ec", "nb"). The error of an unknown name lists every
+// accepted value.
 func EngineByName(name string) (common.Engine, error) {
-	for _, e := range Engines() {
+	if full, ok := engineAliases[strings.ToLower(name)]; ok {
+		name = full
+	}
+	for _, e := range AllEngines() {
 		if strings.EqualFold(e.Name(), name) {
 			return e, nil
 		}
 	}
-	return nil, fmt.Errorf("harness: unknown engine %q", name)
+	return nil, fmt.Errorf("harness: unknown engine %q (choose from %s)", name, strings.Join(EngineNames(), ", "))
 }
 
 // PaperOptions returns the paper's tuned settings (§4.1) for the given
@@ -167,7 +197,9 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 		o.Platform = platform.NewNative(m)
 	}
 	switch strings.ToLower(engineName) {
-	case "hipa":
+	case "hipa", "ec-hipa", "ec":
+		// EC-HiPa shares HiPa's execution shape and tuning; its pruning
+		// tolerance defaults inside the engine when Tolerance is zero.
 		o.Threads = m.LogicalCores()
 		o.PartitionBytes = c.PartBytes(256 << 10)
 	case "p-pr":
@@ -176,7 +208,7 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 	case "gpop":
 		o.Threads = m.PhysicalCores()
 		o.PartitionBytes = c.PartBytes(1 << 20)
-	default: // v-PR, Polymer
+	default: // v-PR, Polymer, NB-PR
 		o.Threads = m.LogicalCores()
 	}
 	return o

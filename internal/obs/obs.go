@@ -36,6 +36,13 @@ type IterationStats struct {
 	// this iteration.
 	DanglingMass float64 `json:"dangling_mass"`
 
+	// ActiveVertices / ActivePartitions are the active-set sizes of the
+	// iteration for frontier-aware engines: how many vertices/partitions
+	// actually executed. Zero (and omitted from JSON) for the dense engines,
+	// which touch everything every iteration.
+	ActiveVertices   int64 `json:"active_vertices,omitempty"`
+	ActivePartitions int   `json:"active_partitions,omitempty"`
+
 	// LocalBytes / RemoteBytes are the modelled DRAM traffic of the
 	// iteration on the simulated machine, split by NUMA locality.
 	LocalBytes  int64 `json:"local_bytes"`

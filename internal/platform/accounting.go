@@ -184,6 +184,13 @@ type PartitionRun struct {
 	NUMAAware bool
 
 	Iterations int
+	// PartIters, when non-nil, overrides Iterations per partition: entry p is
+	// the number of iterations partition p actually executed. Frontier-aware
+	// engines pass their executed-iteration counters here so modelled traffic
+	// scales with the active set instead of iters × verts; barrier counts
+	// still use Iterations (the driver ran that many supersteps). Must have
+	// one entry per partition when set.
+	PartIters []int32
 	// ExtraBytesPerPartition models per-partition framework state streamed
 	// each phase (GPOP's Flags/State fields, §4.5).
 	ExtraBytesPerPartition int64
@@ -215,6 +222,9 @@ func (a *Accounting) AddPartitionRun(s PartitionRun) error {
 	}
 	if len(s.PartThread) != s.Hier.NumPartitions() {
 		return fmt.Errorf("platform: PartThread has %d entries for %d partitions", len(s.PartThread), s.Hier.NumPartitions())
+	}
+	if s.PartIters != nil && len(s.PartIters) != s.Hier.NumPartitions() {
+		return fmt.Errorf("platform: PartIters has %d entries for %d partitions", len(s.PartIters), s.Hier.NumPartitions())
 	}
 	nThreads := len(a.nodes)
 	m := a.m
@@ -270,6 +280,12 @@ func (a *Accounting) AddPartitionRun(s PartitionRun) error {
 		if t < 0 || t >= nThreads {
 			return fmt.Errorf("platform: partition %d assigned to thread %d of %d", p, t, nThreads)
 		}
+		// A frontier-aware run charges each partition only the iterations it
+		// actually executed: a pruned partition stops generating traffic.
+		itersP := iters
+		if s.PartIters != nil {
+			itersP = int64(s.PartIters[p])
+		}
 		part := s.Hier.Partitions[p]
 		vp := int64(part.Vertices())
 		intra := s.Lay.IntraOff[part.VertexEnd] - s.Lay.IntraOff[part.VertexStart]
@@ -283,41 +299,42 @@ func (a *Accounting) AddPartitionRun(s PartitionRun) error {
 
 		// --- Scatter phase (per iteration) ---
 		// Stream: rank slice, intra-edge structure, message sources.
-		a.stream(t, dataNode, iters*(vp*vb+intra*4+msgsOut[p]*4))
+		a.stream(t, dataNode, itersP*(vp*vb+intra*4+msgsOut[p]*4))
 		// Bin writes: bins live with the *destination* partition when
 		// NUMA-aware, so cross-node messages are the remote traffic of the
 		// scatter phase (Fig. 1's "node 2 sends out updated data").
 		if s.NUMAAware {
 			for bi := s.Lay.SrcBlockStart[p]; bi < s.Lay.SrcBlockEnd[p]; bi++ {
 				b := s.Lay.Blocks[bi]
-				a.stream(t, int(s.Lookup.PartNode[b.DstPart]), iters*b.Messages()*4)
+				a.stream(t, int(s.Lookup.PartNode[b.DstPart]), itersP*b.Messages()*4)
 			}
 		} else {
-			a.stream(t, -1, iters*msgsOut[p]*4)
+			a.stream(t, -1, itersP*msgsOut[p]*4)
 		}
 		// Random: intra-edge accumulator updates stay inside the cached
 		// partition.
-		a.random(t, dataNode, iters*intra)
+		a.random(t, dataNode, itersP*intra)
 
 		// --- Gather phase (per iteration) ---
 		// Stream: bins targeting q (local when NUMA-aware), destination
 		// lists, rank recompute (read accumulator + write rank).
-		a.stream(t, dataNode, iters*(msgsIn[p]*4+dstsIn[p]*4+vp*vb*2))
+		a.stream(t, dataNode, itersP*(msgsIn[p]*4+dstsIn[p]*4+vp*vb*2))
 		// Random: decoded destination updates within the cached partition.
-		a.random(t, dataNode, iters*dstsIn[p])
+		a.random(t, dataNode, itersP*dstsIn[p])
 
 		// Framework per-partition state (GPOP), streamed each phase.
 		if s.ExtraBytesPerPartition > 0 {
-			a.stream(t, -1, iters*2*s.ExtraBytesPerPartition)
+			a.stream(t, -1, itersP*2*s.ExtraBytesPerPartition)
 		}
 
 		// Compute.
-		a.costs[t].ComputeCycles += float64(iters) * ((CyclesPerEdge+s.ExtraCyclesPerEdge)*float64(intra+dstsIn[p]) +
+		a.costs[t].ComputeCycles += float64(itersP) * ((CyclesPerEdge+s.ExtraCyclesPerEdge)*float64(intra+dstsIn[p]) +
 			CyclesPerVertex*2*float64(vp) +
 			CyclesPerMessage*float64(msgsOut[p]+msgsIn[p]))
 	}
 	// Three barriers per iteration: after scatter, after gather, after the
-	// dangling-mass reduction.
+	// dangling-mass reduction. The driver runs every superstep over the full
+	// pool, so barriers scale with Iterations even under pruning.
 	a.barriers += iters * 3
 	return nil
 }
@@ -355,6 +372,12 @@ type VertexRun struct {
 	BoundaryRemoteFraction float64
 
 	Iterations int
+	// ThreadIters, when non-nil, overrides Iterations per thread: entry t is
+	// the number of rounds thread t actually executed. The barrierless
+	// engine passes its per-worker round counts here — workers run unequal
+	// round counts and never synchronise, so the run is also charged zero
+	// barriers. Must have one entry per thread when set.
+	ThreadIters []int64
 }
 
 // AddVertexRun classifies the events of a pull/push vertex-centric run into
@@ -369,6 +392,9 @@ func (a *Accounting) AddVertexRun(s VertexRun) error {
 	}
 	if !s.G.HasInEdges() {
 		return fmt.Errorf("platform: vertex accounting needs in-edges")
+	}
+	if s.ThreadIters != nil && len(s.ThreadIters) != nThreads {
+		return fmt.Errorf("platform: ThreadIters has %d entries for %d threads", len(s.ThreadIters), nThreads)
 	}
 	m := a.m
 	threadsOnNode := make([]int, m.NUMANodes)
@@ -424,15 +450,21 @@ func (a *Accounting) AddVertexRun(s VertexRun) error {
 		inEdges := edgesOf(t)
 		c := &a.costs[t]
 
+		// A barrierless run charges each worker its own round count.
+		itersT := iters
+		if s.ThreadIters != nil {
+			itersT = s.ThreadIters[t]
+		}
+
 		dataNode := -1
 		if s.NUMAAware {
 			dataNode = c.Node
 		}
 		// Streams: in-edge structure (4B per edge + 8B offsets per vertex),
 		// contribution write + rank write (4B each per vertex).
-		stream := iters * (inEdges*4 + verts*8 + verts*8)
+		stream := itersT * (inEdges*4 + verts*8 + verts*8)
 		if s.FrontierBytesPerVertex > 0 {
-			stream += iters * verts * s.FrontierBytesPerVertex
+			stream += itersT * verts * s.FrontierBytesPerVertex
 		}
 		if dataNode >= 0 {
 			c.StreamLocalBytes += stream
@@ -456,8 +488,8 @@ func (a *Accounting) AddVertexRun(s VertexRun) error {
 		if ws > llcCap {
 			pHit = float64(llcCap) / float64(ws)
 		}
-		hits := int64(float64(iters*inEdges) * pHit)
-		misses := iters*inEdges - hits
+		hits := int64(float64(itersT*inEdges) * pHit)
+		misses := itersT*inEdges - hits
 		if s.SpatialReuseFactor > 1 {
 			// Clustered in-edges reuse each fetched line for several edges.
 			misses = int64(float64(misses) / s.SpatialReuseFactor)
@@ -471,7 +503,7 @@ func (a *Accounting) AddVertexRun(s VertexRun) error {
 			remote := int64(float64(misses) * s.BoundaryRemoteFraction)
 			c.RandomLocal += misses - remote
 			c.RandomRemote += remote
-			c.StreamRemoteBytes += iters * verts * 4 * int64(m.NUMANodes-1)
+			c.StreamRemoteBytes += itersT * verts * 4 * int64(m.NUMANodes-1)
 		} else {
 			lm := misses / int64(m.NUMANodes)
 			c.RandomLocal += lm
@@ -484,11 +516,15 @@ func (a *Accounting) AddVertexRun(s VertexRun) error {
 		if s.AtomicUpdates {
 			perEdge += AtomicPenaltyCycles
 		}
-		cyc := float64(iters) * (perEdge*float64(inEdges) + CyclesPerVertex*float64(verts))
+		cyc := float64(itersT) * (perEdge*float64(inEdges) + CyclesPerVertex*float64(verts))
 		c.ComputeCycles += cyc
 	}
-	// Two barriers per iteration (contribution pass, rank pass).
-	a.barriers += iters * 2
+	// Two barriers per iteration (contribution pass, rank pass) — unless the
+	// run was barrierless (per-thread round counts): then nothing ever
+	// synchronised.
+	if s.ThreadIters == nil {
+		a.barriers += iters * 2
+	}
 	return nil
 }
 
