@@ -6,7 +6,7 @@ BENCH_BASELINE ?= BENCH_pagerank.json
 BENCH_DIVISOR  ?= 1024
 BENCH_DATASET  ?= journal
 
-.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke telemetry-smoke clean
+.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke dynamic-smoke telemetry-smoke clean
 
 all: build
 
@@ -46,7 +46,7 @@ race-prep:
 bench-prep:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare' -benchtime 1x ./internal/graph/ .
 
-ci: vet staticcheck build race race-prep bench-prep bench smoke telemetry-smoke bench-gate
+ci: vet staticcheck build race race-prep bench-prep bench smoke dynamic-smoke telemetry-smoke bench-gate
 
 # One-iteration pass over the root benchmarks (compile-and-run validation of
 # every benchmark body; not a timing run). `smoke` used to duplicate this —
@@ -59,6 +59,13 @@ bench:
 smoke:
 	$(GO) run ./cmd/hipabench -exp fig6 -divisor 16384 -iters 2 > /dev/null
 
+# Dynamic-replay smoke: the incremental re-rank pipeline end to end through
+# the real CLI — versioned graph, mutation stream, Advance-patched
+# artifacts, warm execs — with the headline claim enforced (exit 1 unless
+# the sparse warm path converges in at least 2x fewer iterations than cold).
+dynamic-smoke:
+	$(GO) run ./cmd/hipabench -exp dynamic -dynamic-check 		-divisor $(BENCH_DIVISOR) > /dev/null
+
 # Live-telemetry smoke: start the CLIs with -metrics-addr, curl /metrics and
 # /healthz mid-run, and validate the Prometheus exposition (all five engines'
 # superstep histograms plus prep-stage/cache/arena series) with promcheck.
@@ -66,8 +73,9 @@ smoke:
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
-# Allocation gate: measure the Exec allocation profile of all five engines
-# and compare against the committed baseline (exact on the zero
+# Allocation gate: measure the Exec allocation profile of every registered
+# engine plus the dynamic-replay warm-vs-cold convergence trajectory, and
+# compare against the committed baseline (exact on the zero
 # allocs/iteration steady state). Regenerate the baseline with
 # `make bench-baseline` after an intentional change.
 bench-gate:

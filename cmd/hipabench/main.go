@@ -63,7 +63,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, frontier, ablation")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, frontier, dynamic, ablation")
 		divisor  = flag.Int("divisor", gen.DefaultDivisor, "scale divisor for datasets and machine capacities")
 		iters    = flag.Int("iters", 20, "PageRank iterations per timed run")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: full catalog)")
@@ -74,6 +74,8 @@ func main() {
 		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
 		prepPar  = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
 		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address for the whole invocation; 127.0.0.1:0 picks a free port")
+
+		dynCheck = flag.Bool("dynamic-check", false, "with -exp dynamic: exit 1 unless the sparse warm path converges in at least 2x fewer total iterations than cold re-ranking")
 
 		baseline      = flag.String("baseline", "", "allocation-baseline mode: compare measured Exec allocation profiles against this BENCH_*.json file (exit 1 on regression) instead of running experiments")
 		baselineWrite = flag.Bool("baseline-write", false, "with -baseline: (re)write the file from the current measurement instead of comparing")
@@ -124,6 +126,7 @@ func main() {
 		name string
 		run  func() (*harness.Table, error)
 	}
+	var dynamicRows []harness.DynamicRow
 	experiments := []experiment{
 		{"table1", func() (*harness.Table, error) { _, t, err := harness.Table1(cfg); return t, err }},
 		{"table2", func() (*harness.Table, error) { _, t, err := harness.Table2(cfg); return t, err }},
@@ -135,6 +138,11 @@ func main() {
 		{"singlenode", func() (*harness.Table, error) { _, t, err := harness.SingleNode(cfg); return t, err }},
 		{"nodescaling", func() (*harness.Table, error) { _, t, err := harness.NodeScaling(cfg, *ablGraph); return t, err }},
 		{"frontier", func() (*harness.Table, error) { _, t, err := harness.Frontier(cfg, *ablGraph); return t, err }},
+		{"dynamic", func() (*harness.Table, error) {
+			r, t, err := harness.Dynamic(cfg, *ablGraph)
+			dynamicRows = r
+			return t, err
+		}},
 		{"ablation", func() (*harness.Table, error) { _, t, err := harness.Ablations(cfg, *ablGraph); return t, err }},
 	}
 
@@ -178,6 +186,22 @@ func main() {
 	if !ran {
 		fmt.Fprintf(os.Stderr, "hipabench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *dynCheck {
+		if dynamicRows == nil {
+			fmt.Fprintln(os.Stderr, "hipabench: -dynamic-check requires the dynamic experiment to run (-exp dynamic or -exp all)")
+			os.Exit(2)
+		}
+		var warm, cold int
+		for _, r := range dynamicRows {
+			warm += r.DeltaIterations
+			cold += r.ColdIterations
+		}
+		if 2*warm > cold {
+			fmt.Fprintf(os.Stderr, "hipabench: dynamic check FAILED: sparse warm path spent %d iterations vs %d cold (want at least 2x fewer)\n", warm, cold)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hipabench: dynamic check passed: %d warm vs %d cold iterations (%.2fx)\n", warm, cold, float64(cold)/float64(warm))
 	}
 	if s := cfg.Prep.Stats(); s.Hits+s.Misses > 0 {
 		fmt.Fprintf(os.Stderr, "hipabench: prep cache: %d builds, %d hits (%d coalesced), %d evictions\n",

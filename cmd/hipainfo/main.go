@@ -6,10 +6,19 @@
 // Usage:
 //
 //	hipainfo -graph g.bin [-machine skylake] [-divisor 1]
-//	         [-partition 256K] [-threads 0]
+//	         [-partition 256K] [-threads 0] [-json]
+//	         [-mutations m.txt]
+//
+// -mutations replays a mutation-stream file (the "+/-/commit" format of
+// graph.ReadMutationBatches) against a versioned copy of the graph and adds
+// the versioned-graph bookkeeping — version reached, overlay log size,
+// compactions — to the report; the partitioning sections then describe the
+// final version.
+// -json emits the whole report as a single JSON object instead of text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +33,47 @@ import (
 	"hipa/internal/partition"
 )
 
+// infoReport is the machine-readable form of everything hipainfo prints;
+// -json emits it verbatim.
+type infoReport struct {
+	Graph        graph.Stats            `json:"graph"`
+	SkewTop10    float64                `json:"skew_top10_edge_share"`
+	Machine      string                 `json:"machine"`
+	Partitions   partitionsInfo         `json:"partitions"`
+	Nodes        []nodeInfo             `json:"nodes"`
+	Locality     partition.EdgeLocality `json:"locality"`
+	Compression  compressionInfo        `json:"compression"`
+	RankPages    []int64                `json:"rank_pages_per_node"`
+	RankBytes    int64                  `json:"rank_bytes"`
+	Versioned    *graph.VersionedStats  `json:"versioned,omitempty"`
+	MutationFile string                 `json:"mutation_file,omitempty"`
+}
+
+type partitionsInfo struct {
+	Count           int     `json:"count"`
+	Bytes           int     `json:"bytes"`
+	VerticesEach    int     `json:"vertices_each"`
+	NodeEdgeBalance float64 `json:"node_edge_balance"`
+	GroupBalance    float64 `json:"group_edge_balance"`
+}
+
+type nodeInfo struct {
+	Node       int   `json:"node"`
+	PartStart  int   `json:"part_start"`
+	PartEnd    int   `json:"part_end"`
+	VertexLow  int   `json:"vertex_low"`
+	VertexHigh int   `json:"vertex_high"`
+	EdgeCount  int64 `json:"edge_count"`
+}
+
+type compressionInfo struct {
+	InterEdges      int64   `json:"inter_edges"`
+	Messages        int64   `json:"messages"`
+	EdgesPerMessage float64 `json:"edges_per_message"`
+	Blocks          int     `json:"blocks"`
+	BinBytes        int64   `json:"bin_bytes"`
+}
+
 func main() {
 	var (
 		graphPath = flag.String("graph", "", "binary HGR1 graph file (or use -dataset)")
@@ -32,6 +82,8 @@ func main() {
 		preset    = flag.String("machine", "skylake", "machine preset")
 		partSize  = flag.String("partition", "", "partition size (default 256K scaled)")
 		threads   = flag.Int("threads", 0, "threads (0 = all logical cores)")
+		mutPath   = flag.String("mutations", "", "replay a mutation-stream file against a versioned copy and report the final version")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of text")
 	)
 	flag.Parse()
 
@@ -74,11 +126,37 @@ func main() {
 		th = m.LogicalCores()
 	}
 
-	stats := graph.ComputeStats(g)
-	fmt.Printf("graph      : %d vertices, %d edges, avg out-degree %.2f, max %d, %d dangling\n",
-		stats.NumVertices, stats.NumEdges, stats.AvgOutDegree, stats.MaxOutDegree, stats.Dangling)
-	fmt.Printf("skew       : top 10%% of vertices own %.1f%% of out-edges\n", 100*gen.DegreeSkew(g, 0.10))
-	fmt.Printf("machine    : %s\n", m)
+	rep := infoReport{Machine: m.String()}
+
+	// Mutation replay first: the partitioning sections below then describe
+	// the graph's final version, which is what an incremental re-rank would
+	// partition.
+	if *mutPath != "" {
+		f, err := os.Open(*mutPath)
+		if err != nil {
+			fail(err.Error())
+		}
+		batches, err := graph.ReadMutationBatches(f)
+		f.Close()
+		if err != nil {
+			fail(err.Error())
+		}
+		vg := graph.NewVersioned(g)
+		for i, b := range batches {
+			if _, err := vg.ApplyBatch(b); err != nil {
+				fail(fmt.Sprintf("%s: batch %d: %v", *mutPath, i+1, err))
+			}
+		}
+		vs := vg.Stats()
+		rep.Versioned = &vs
+		rep.MutationFile = *mutPath
+		if g, err = vg.GraphAt(vg.Version()); err != nil {
+			fail(err.Error())
+		}
+	}
+
+	rep.Graph = graph.ComputeStats(g)
+	rep.SkewTop10 = gen.DegreeSkew(g, 0.10)
 
 	h, err := partition.Build(g, partition.Config{
 		PartitionBytes: pb,
@@ -89,16 +167,21 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
-	fmt.Printf("partitions : %d of %dB (%d vertices each); node edge balance %.3f, group balance %.3f\n",
-		h.NumPartitions(), pb, h.VerticesPerPartition, h.EdgeBalance(), h.GroupEdgeBalance())
+	rep.Partitions = partitionsInfo{
+		Count:           h.NumPartitions(),
+		Bytes:           pb,
+		VerticesEach:    h.VerticesPerPartition,
+		NodeEdgeBalance: h.EdgeBalance(),
+		GroupBalance:    h.GroupEdgeBalance(),
+	}
 	for _, na := range h.Nodes {
-		fmt.Printf("  node %d   : partitions [%d,%d) vertices [%d,%d) edges %d\n",
-			na.Node, na.PartStart, na.PartEnd, na.VertexLow, na.VertexHigh, na.EdgeCount)
+		rep.Nodes = append(rep.Nodes, nodeInfo{
+			Node: na.Node, PartStart: na.PartStart, PartEnd: na.PartEnd,
+			VertexLow: int(na.VertexLow), VertexHigh: int(na.VertexHigh), EdgeCount: na.EdgeCount,
+		})
 	}
 
-	loc := partition.ComputeEdgeLocality(g, h)
-	fmt.Printf("locality   : %d intra / %d inter edges (%.0f / %.0f per partition)\n",
-		loc.IntraEdges, loc.InterEdges, loc.IntraPerPartition, loc.InterPerPartition)
+	rep.Locality = partition.ComputeEdgeLocality(g, h)
 
 	lay, err := layout.Build(g, h, true)
 	if err != nil {
@@ -108,15 +191,50 @@ func main() {
 	if lay.NumMessages() > 0 {
 		ratio = float64(lay.InterEdges) / float64(lay.NumMessages())
 	}
-	fmt.Printf("compression: %d inter-edges -> %d messages (%.2f edges/message, %d blocks, bin %dB)\n",
-		lay.InterEdges, lay.NumMessages(), ratio, len(lay.Blocks), lay.BinBytes())
+	rep.Compression = compressionInfo{
+		InterEdges:      lay.InterEdges,
+		Messages:        lay.NumMessages(),
+		EdgesPerMessage: ratio,
+		Blocks:          len(lay.Blocks),
+		BinBytes:        lay.BinBytes(),
+	}
 
 	// NUMA placement of the rank array under HiPa's sliced policy.
 	space := memsim.NewSpace(m)
 	ranks := space.MustAlloc("ranks", int64(g.NumVertices())*4, memsim.Sliced{Bounds: h.RankBoundsBytes(4)})
-	pages := ranks.PagesOnNode(m.NUMANodes)
+	rep.RankPages = ranks.PagesOnNode(m.NUMANodes)
+	rep.RankBytes = ranks.Size
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err.Error())
+		}
+		return
+	}
+
+	fmt.Printf("graph      : %d vertices, %d edges, avg out-degree %.2f, max %d, %d dangling\n",
+		rep.Graph.NumVertices, rep.Graph.NumEdges, rep.Graph.AvgOutDegree, rep.Graph.MaxOutDegree, rep.Graph.Dangling)
+	fmt.Printf("skew       : top 10%% of vertices own %.1f%% of out-edges\n", 100*rep.SkewTop10)
+	fmt.Printf("machine    : %s\n", m)
+	if vs := rep.Versioned; vs != nil {
+		fmt.Printf("versioned  : v%d after %d batches (%d mutations); %d -> %d edges; snapshot v%d, %d compactions\n",
+			vs.Version, vs.LogBatches, vs.LogMutations, vs.SnapshotEdges, vs.Edges, vs.SnapshotVersion, vs.Compactions)
+	}
+	fmt.Printf("partitions : %d of %dB (%d vertices each); node edge balance %.3f, group balance %.3f\n",
+		rep.Partitions.Count, pb, rep.Partitions.VerticesEach, rep.Partitions.NodeEdgeBalance, rep.Partitions.GroupBalance)
+	for _, na := range rep.Nodes {
+		fmt.Printf("  node %d   : partitions [%d,%d) vertices [%d,%d) edges %d\n",
+			na.Node, na.PartStart, na.PartEnd, na.VertexLow, na.VertexHigh, na.EdgeCount)
+	}
+	fmt.Printf("locality   : %d intra / %d inter edges (%.0f / %.0f per partition)\n",
+		rep.Locality.IntraEdges, rep.Locality.InterEdges, rep.Locality.IntraPerPartition, rep.Locality.InterPerPartition)
+	fmt.Printf("compression: %d inter-edges -> %d messages (%.2f edges/message, %d blocks, bin %dB)\n",
+		rep.Compression.InterEdges, rep.Compression.Messages, rep.Compression.EdgesPerMessage,
+		rep.Compression.Blocks, rep.Compression.BinBytes)
 	fmt.Printf("placement  : rank array %dB across %v pages per node (sliced by partition ownership)\n",
-		ranks.Size, pages)
+		rep.RankBytes, rep.RankPages)
 }
 
 func parseSize(s string) (int, error) {

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	hipapr -graph g.bin [-engine hipa|p-pr|v-pr|gpop|polymer|ec-hipa|nb-pr]
+//	hipapr -graph g.bin [-engine hipa|p-pr|v-pr|gpop|polymer|ec-hipa|nb-pr|delta]
 //	       [-iters 20] [-threads 0] [-partition 256K] [-platform skylake]
-//	       [-divisor 1] [-top 10] [-verify] [-verify-tol 1e-6]
+//	       [-divisor 1] [-top 10] [-verify] [-verify-tol 1e-6] [-tol 0]
 //	       [-repeat 1] [-stats s.json] [-trace t.json]
-//	       [-metrics-addr 127.0.0.1:0]
+//	       [-mutations m.txt] [-metrics-addr 127.0.0.1:0]
 //
 // -platform selects the execution substrate: a modelled microarchitecture
 // (skylake, haswell — full scheduler/NUMA/cache simulation and a
@@ -33,6 +33,14 @@
 // -repeat, where a long loop can be scraped and profiled mid-flight.
 // -verify exits nonzero (with the diff on stderr) when the L∞ error
 // against the sequential float64 reference exceeds -verify-tol.
+// -tol enables residual-based early termination at the given tolerance
+// (engines that prune or warm-start default internally when 0).
+// -mutations replays a mutation-stream file ("+/-/commit" lines — see
+// graph.ReadMutationBatches) after the base run: each batch is applied to a
+// versioned copy of the graph, the preprocessing artifact is patched
+// forward with Prepared.Advance, and the engine re-ranks warm from the
+// previous version's ranks — densely for hipa, sparsely (delta-seeded) for
+// the delta engine. Other engines cannot warm-start and reject the flag.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"strings"
 
 	"hipa/internal/engines/common"
+	deltaengine "hipa/internal/engines/delta"
 	"hipa/internal/execbuf"
 	"hipa/internal/graph"
 	"hipa/internal/harness"
@@ -64,6 +73,8 @@ func main() {
 		top       = flag.Int("top", 10, "print the top-K ranked vertices")
 		verify    = flag.Bool("verify", false, "validate against the sequential float64 reference; exit 1 on failure")
 		verifyTol = flag.Float64("verify-tol", 1e-6, "max abs error tolerated by -verify")
+		tol       = flag.Float64("tol", 0, "convergence tolerance for residual-based early termination (0 = run all -iters; pruning/warm engines default internally)")
+		mutPath   = flag.String("mutations", "", "replay a mutation-stream file with warm incremental re-ranks (engine hipa or delta)")
 		damping   = flag.Float64("damping", 0.85, "damping factor")
 		repeat    = flag.Int("repeat", 1, "execute the iterative phase N times against one prepared artifact")
 		prepPar   = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
@@ -128,6 +139,7 @@ func main() {
 		Iterations:      *iters,
 		Threads:         *threads,
 		Damping:         *damping,
+		Tolerance:       *tol,
 		PrepParallelism: *prepPar,
 		Obs:             rec,
 	}
@@ -249,6 +261,10 @@ func main() {
 		}
 	}
 
+	if *mutPath != "" {
+		res = replayMutations(e, g, o, res, *mutPath)
+	}
+
 	if *top > 0 {
 		fmt.Printf("top %d vertices by rank:\n", *top)
 		for _, v := range topK(res.Ranks, *top) {
@@ -258,6 +274,71 @@ func main() {
 	if verifyFailed {
 		os.Exit(1)
 	}
+}
+
+// replayMutations applies each batch of a mutation-stream file to a
+// versioned copy of g, patches the engine's artifact forward with
+// Prepared.Advance, and re-ranks warm from the previous version's ranks.
+// Returns the final version's result so the top-K listing reflects it.
+func replayMutations(e common.Engine, g *graph.Graph, o common.Options, base *common.Result, path string) *common.Result {
+	sparse := false
+	switch e.Name() {
+	case "HiPa":
+	case deltaengine.Name:
+		sparse = true
+	default:
+		fail(fmt.Sprintf("-mutations needs a warm-startable engine (hipa or delta), not %s", e.Name()))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err.Error())
+	}
+	batches, err := graph.ReadMutationBatches(f)
+	f.Close()
+	if err != nil {
+		fail(err.Error())
+	}
+	mode := "dense (full warm resume)"
+	if sparse {
+		mode = "sparse (delta-seeded)"
+	}
+	fmt.Printf("mutations  : replaying %d batches from %s, %s warm re-ranks\n", len(batches), path, mode)
+	o.Obs = nil
+	prep, err := e.Prepare(g, o)
+	if err != nil {
+		fail(err.Error())
+	}
+	vg := graph.NewVersioned(g)
+	res := base
+	for i, b := range batches {
+		from := vg.Version()
+		ver, err := vg.ApplyBatch(b)
+		if err != nil {
+			fail(fmt.Sprintf("batch %d: %v", i+1, err))
+		}
+		d, err := vg.DeltaBetween(from, ver)
+		if err != nil {
+			fail(err.Error())
+		}
+		if prep, err = prep.Advance(d, o); err != nil {
+			fail(fmt.Sprintf("batch %d: advance: %v", i+1, err))
+		}
+		oW := o
+		oW.Warm = &common.WarmStart{Ranks: res.Ranks}
+		if sparse {
+			oW.Warm.Delta = d
+		}
+		if res, err = e.Exec(prep, oW); err != nil {
+			fail(fmt.Sprintf("batch %d: %v", i+1, err))
+		}
+		prepMode := "patched"
+		if !prep.Incremental {
+			prepMode = "rebuilt cold"
+		}
+		fmt.Printf("  batch %-3d: v%d, +%d -%d edges (%d vertices perturbed); prep %s in %.4fs; %d iterations, %.4fs\n",
+			i+1, ver, d.Inserted, d.Deleted, len(d.Perturbed), prepMode, prep.PrepSeconds, res.Iterations, res.WallSeconds)
+	}
+	return res
 }
 
 func topK(ranks []float32, k int) []int {

@@ -2,6 +2,7 @@ package hipa
 
 import (
 	"hipa/internal/engines/common"
+	deltaengine "hipa/internal/engines/delta"
 	"hipa/internal/engines/ec"
 	"hipa/internal/engines/gpop"
 	hipaengine "hipa/internal/engines/hipa"
@@ -22,6 +23,11 @@ type Engine = common.Engine
 // defaults: the Skylake testbed, the engine's tuned thread count and
 // partition size, 20 iterations, damping 0.85.
 type Options = common.Options
+
+// WarmStart carries a previous run's rank vector (and optionally the graph
+// delta separating the versions) into Options.Warm for incremental
+// re-ranking. Supported by HiPa and Delta; other engines reject it.
+type WarmStart = common.WarmStart
 
 // Result is the outcome of an engine run: the rank vector, real wall-clock
 // timings, the simulated-machine performance report (Model), and the
@@ -106,6 +112,11 @@ var (
 	// NB is NB-PR: barrierless non-blocking PageRank (Eedi et al.) with
 	// atomic rank publication and round-based termination detection.
 	NB Engine = nb.Engine{}
+	// Delta is Delta-PR: delta-propagation PageRank on HiPa's partitioned
+	// substrate with a vertex-granular frontier — the warm-start engine of
+	// versioned graphs (Options.Warm resumes from a previous version's
+	// ranks, seeding the frontier sparsely from the mutation delta).
+	Delta Engine = deltaengine.Engine{}
 )
 
 // Engines returns the five engines evaluated in the paper, in its reporting
@@ -115,7 +126,7 @@ func Engines() []Engine { return []Engine{HiPa, PPR, VPR, GPOP, Polymer} }
 
 // AllEngines returns every registered engine: the paper five followed by
 // the frontier-aware additions.
-func AllEngines() []Engine { return []Engine{HiPa, PPR, VPR, GPOP, Polymer, EC, NB} }
+func AllEngines() []Engine { return []Engine{HiPa, PPR, VPR, GPOP, Polymer, EC, NB, Delta} }
 
 // ReferencePageRank is the sequential float64 ground-truth implementation
 // used to validate every engine.

@@ -189,6 +189,10 @@ type DeltaResult struct {
 // the standard delta-optimisation the paper lists as future work (§6). With
 // Epsilon = 0 the result equals standard PageRank after the same number of
 // iterations.
+//
+// This is the reference (serial recurrence) form; the registered engine
+// form — partitioned, pinned, warm-startable from a versioned-graph delta —
+// lives in internal/engines/delta and keeps the same recurrence.
 func PageRankDelta(g *graph.Graph, o DeltaOptions) (*DeltaResult, error) {
 	p, err := prepare(g, o.Config)
 	if err != nil {

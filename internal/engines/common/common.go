@@ -107,6 +107,25 @@ type Options struct {
 	// spans, per-iteration statistics). nil disables all instrumentation;
 	// the hot paths then pay only a pointer test.
 	Obs *obs.Recorder
+	// Warm, when non-nil, starts the iterative phase from a previous rank
+	// vector instead of the uniform distribution — the incremental re-rank
+	// path of versioned graphs. Supported by HiPa (dense warm restart) and
+	// the delta engine (sparse incremental propagation); every other engine
+	// rejects a warm start with an explicit error rather than silently
+	// running cold.
+	Warm *WarmStart
+}
+
+// WarmStart carries the state of a previous converged run into a new Exec.
+type WarmStart struct {
+	// Ranks is the starting rank vector; its length must match the graph.
+	// Exec copies it — the caller's slice is never retained or mutated.
+	Ranks []float32
+	// Delta, when non-nil, describes the mutation batch separating the graph
+	// the ranks converged on from the graph being executed. The delta engine
+	// uses it to seed a sparse frontier from the perturbed vertices; dense
+	// warm engines ignore it.
+	Delta *graph.Delta
 }
 
 // ResolveMachine fills only the Machine field, so engine-specific defaults

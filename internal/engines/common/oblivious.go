@@ -125,6 +125,9 @@ func ExecOblivious(prep *Prepared, o Options, cfg ObliviousPartitionConfig) (*Re
 	if !o.NoCompress != prep.Key().Compress {
 		return nil, fmt.Errorf("%s: artifact compression does not match NoCompress=%v", cfg.Name, o.NoCompress)
 	}
+	if o.Warm != nil {
+		return nil, fmt.Errorf("%s: warm starts are not supported — use HiPa or the delta engine for incremental re-ranking", cfg.Name)
+	}
 	g := prep.Graph()
 	hier, lay := prep.part.Hier, prep.part.Lay
 	rec := o.Obs

@@ -83,6 +83,10 @@ type Prepared struct {
 	// FromCache reports whether the artifact was served from a PrepCache
 	// rather than built by this call.
 	FromCache bool
+	// Incremental reports that this artifact was produced by Advance's patch
+	// path (partition.Advance + layout.Patch) rather than a cold build —
+	// false for Prepare results and for Advance's budget-violation fallback.
+	Incremental bool
 }
 
 // Engine returns the name of the engine that prepared the artifact; Exec
@@ -181,6 +185,126 @@ func MakePrepared(engine string, g *graph.Graph, m *machine.Machine, o Options, 
 	}
 	p.PrepSeconds = time.Since(start).Seconds()
 	return p, nil
+}
+
+// advanceFallbackFactor bounds the patch path: a touched partition whose
+// edge count more than doubled (plus a small absolute slack for tiny
+// partitions) has effectively been rewritten, so splicing buys nothing over
+// rebuilding — Advance falls back to a cold parallel build. The rule is
+// relative to each partition's own previous size, so power-law hub
+// partitions never trip it on proportionate growth.
+const (
+	advanceFallbackFactor = 2
+	advanceFallbackSlack  = 64
+)
+
+// Advance derives the artifact for the next graph version from this one by
+// patching only what the mutation batch touched: the 1/outdeg entries of
+// the mutated sources, the touched partitions' edge counts and layout rows
+// (partition.Advance + layout.Patch — proven bit-identical to a cold
+// build), and nothing else. The warm arena pool moves to the new artifact,
+// so a dynamic replay keeps recycling one set of Exec buffers across
+// versions. When a touched partition grew past the fallback budget the
+// whole prep is rebuilt cold (Incremental stays false); either way the
+// result is bit-identical to Prepare on d.Next, with PrepSeconds the cost
+// of this call and BuildSeconds carried over as the honest cold baseline.
+//
+// The receiver must be the artifact of d.Prev. The new key's GraphFP is
+// d.Fingerprint — the versioned chain fingerprint — so PrepCache entries of
+// distinct versions never collide.
+func (p *Prepared) Advance(d *graph.Delta, o Options) (*Prepared, error) {
+	if p == nil {
+		return nil, fmt.Errorf("engines: Advance on a nil Prepared artifact")
+	}
+	if d == nil || d.Prev == nil || d.Next == nil {
+		return nil, fmt.Errorf("%s: Advance needs a complete graph delta", p.engine)
+	}
+	if d.Prev != p.g && d.Prev.Fingerprint() != p.key.GraphFP {
+		return nil, fmt.Errorf("%s: delta starts at version %d whose graph does not match this artifact", p.engine, d.PrevVersion)
+	}
+	start := time.Now()
+	np := &Prepared{
+		engine: p.engine, key: p.key, g: d.Next, machine: p.machine,
+		BuildSeconds: p.BuildSeconds,
+	}
+	np.key.GraphFP = d.Fingerprint
+	switch p.key.Kind {
+	case PrepVertex:
+		d.Next.BuildInWorkers(o.PrepParallelism)
+		np.vert = &VertexArtifact{Inv: patchInv(p.vert.Inv, d)}
+		np.Incremental = true
+	case PrepPartition:
+		hier := p.part.Hier
+		touched := touchedPartitionsOf(d, hier)
+		off := d.Next.OutOffsets()
+		incremental := true
+		for _, pid := range touched {
+			part := hier.Partitions[pid]
+			newEdges := off[part.VertexEnd] - off[part.VertexStart]
+			if newEdges > advanceFallbackFactor*part.EdgeCount+advanceFallbackSlack {
+				incremental = false
+				break
+			}
+		}
+		var (
+			nh  *partition.Hierarchy
+			nl  *layout.Layout
+			err error
+		)
+		if incremental {
+			nh, err = partition.Advance(hier, d.Next, touched)
+			if err == nil {
+				nl, err = layout.Patch(p.part.Lay, d.Next, nh, touched)
+			}
+		} else {
+			nh, err = partition.BuildWorkers(d.Next, hier.Config, o.PrepParallelism)
+			if err == nil {
+				nl, err = layout.BuildWorkers(d.Next, nh, p.part.Lay.Compressed, o.PrepParallelism)
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: advance: %w", p.engine, err)
+		}
+		np.part = &PartArtifact{Hier: nh, Lay: nl, Inv: patchInv(p.part.Inv, d)}
+		np.Incremental = incremental
+	default:
+		return nil, fmt.Errorf("%s: artifact carries no payload to advance", p.engine)
+	}
+	p.arenas.MoveTo(&np.arenas)
+	np.PrepSeconds = time.Since(start).Seconds()
+	return np, nil
+}
+
+// patchInv clones the 1/outdeg array and recomputes only the mutated
+// sources' entries, matching InvOutDegrees on the new graph bit for bit
+// (same 1/float64 rounding).
+func patchInv(old []float32, d *graph.Delta) []float32 {
+	inv := append([]float32(nil), old...)
+	for _, v := range d.Touched {
+		if deg := d.Next.OutDegree(v); deg > 0 {
+			inv[v] = float32(1.0 / float64(deg))
+		} else {
+			inv[v] = 0
+		}
+	}
+	return inv
+}
+
+// touchedPartitionsOf maps the delta's mutated sources to the sorted list
+// of source-partition IDs whose layout rows must be recomputed. d.Touched
+// is sorted and partitions are contiguous vertex ranges, so the mapped IDs
+// arrive in order.
+func touchedPartitionsOf(d *graph.Delta, h *partition.Hierarchy) []int {
+	out := make([]int, 0, len(d.Touched))
+	last := -1
+	for _, v := range d.Touched {
+		p := h.PartitionOfVertex(v)
+		if p != last {
+			out = append(out, p)
+			last = p
+		}
+	}
+	return out
 }
 
 // GraphFingerprint returns a content hash of g's CSR arrays. It is a thin

@@ -104,6 +104,25 @@ func NewSGStateArena(g *graph.Graph, hier *partition.Hierarchy, lay *layout.Layo
 	return s
 }
 
+// SetRanks replaces the initial uniform distribution with a warm-start rank
+// vector and re-establishes the iteration-zero dangling invariant for the
+// new ranks (flat, into partial 0 — pinned engines re-seed group-accurately
+// via SeedDangling afterwards, exactly as after the constructor). The slice
+// is copied; the caller's buffer is never retained.
+func (s *SGState) SetRanks(warm []float32) {
+	copy(s.Ranks, warm)
+	for i := range s.partials {
+		s.partials[i].V = 0
+	}
+	var dangling float64
+	for v, iv := range s.Inv {
+		if iv == 0 {
+			dangling += float64(s.Ranks[v])
+		}
+	}
+	s.partials[0].V = dangling
+}
+
 // SeedDangling re-seeds the iteration-zero dangling partials with the exact
 // per-thread, per-partition grouping the pinned gather phase will keep using
 // — each thread's partial is the ordered fold of its partitions' local sums,

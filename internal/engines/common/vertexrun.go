@@ -198,6 +198,9 @@ func ExecVertex(prep *Prepared, o Options, cfg VertexEngineConfig) (*Result, err
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	if o.Warm != nil {
+		return nil, fmt.Errorf("%s: warm starts are not supported — use HiPa or the delta engine for incremental re-ranking", cfg.Name)
+	}
 	g := prep.Graph()
 	n := g.NumVertices()
 	threads := o.Threads

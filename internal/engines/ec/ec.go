@@ -79,6 +79,9 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	if o.FCFS {
 		return nil, fmt.Errorf("ec: FCFS scheduling is not supported — partition pruning relies on the pinned thread-data mapping")
 	}
+	if o.Warm != nil {
+		return nil, fmt.Errorf("ec: warm starts are not supported — use HiPa or the delta engine for incremental re-ranking")
+	}
 	if o.PartitionBytes != prep.Key().PartitionBytes {
 		return nil, fmt.Errorf("ec: artifact was prepared with %dB partitions, not %dB", prep.Key().PartitionBytes, o.PartitionBytes)
 	}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"hipa/internal/engines/common"
+	"hipa/internal/engines/delta"
 	"hipa/internal/engines/ec"
 	"hipa/internal/engines/nb"
 	"hipa/internal/gen"
@@ -21,13 +22,14 @@ import (
 
 var updateFrontierGolden = flag.Bool("update-frontier", false, "rewrite testdata/golden_frontier.json from the current implementation")
 
-// frontierEngines are the two frontier-aware engines. They are deliberately
-// NOT part of allEngines(): neither reproduces the dense engines' bit-exact
-// rank vectors (pruning and asynchrony trade exactness for skipped work), so
-// they carry their own golden cases and convergence-quality gates instead of
-// joining the five-engine bit-exactness matrix.
+// frontierEngines are the frontier-aware engines. They are deliberately
+// NOT part of allEngines(): none reproduces the dense engines' bit-exact
+// rank vectors (pruning, asynchrony, and delta gating trade exactness for
+// skipped work), so they carry their own golden cases and
+// convergence-quality gates instead of joining the five-engine
+// bit-exactness matrix.
 func frontierEngines() []common.Engine {
-	return []common.Engine{ec.Engine{}, nb.Engine{}}
+	return []common.Engine{ec.Engine{}, nb.Engine{}, delta.Engine{}}
 }
 
 // frontierTol is the convergence tolerance the golden and quality cases run
@@ -81,8 +83,9 @@ func frontierGoldenCases() []struct {
 		engine common.Engine
 		opts   common.Options
 	}
-	// EC-HiPa is bit-deterministic at any thread count (serial per-partition
-	// dangling fold), so both presets pin full multithreaded runs.
+	// EC-HiPa and Delta-PR are bit-deterministic at any thread count
+	// (serial per-partition folds), so both presets pin full multithreaded
+	// runs.
 	for _, preset := range []struct {
 		name string
 		mk   func() *machine.Machine
@@ -95,6 +98,11 @@ func frontierGoldenCases() []struct {
 			engine common.Engine
 			opts   common.Options
 		}{preset.name + "/" + ec.Name, ec.Engine{}, base(preset.mk)})
+		cases = append(cases, struct {
+			key    string
+			engine common.Engine
+			opts   common.Options
+		}{preset.name + "/" + delta.Name, delta.Engine{}, base(preset.mk)})
 	}
 	// NB-PR is only deterministic with a single worker (the asynchrony
 	// disappears and the run is a fixed-order chaotic iteration).
@@ -381,6 +389,10 @@ func TestFrontierExecZeroAllocsPerIteration(t *testing.T) {
 	}{
 		{ec.Engine{}, 1e-30},
 		{nb.Engine{}, 0},
+		// Delta-PR with an unreachable tolerance keeps every vertex active
+		// (the gate eps = tol/16 never trips), so the differential spans
+		// full dense supersteps of the delta machinery.
+		{delta.Engine{}, 1e-30},
 	}
 	for _, pm := range presetMachines() {
 		for _, c := range cases {

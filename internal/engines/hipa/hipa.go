@@ -208,6 +208,15 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	arena := prep.AcquireArena()
 	defer prep.ReleaseArena(arena)
 	state := common.NewSGStateArena(g, hier, prep.Partition().Lay, prep.Partition().Inv, o.Damping, threads, arena)
+	if o.Warm != nil {
+		// Dense warm restart: start from the previous version's converged
+		// ranks instead of the uniform distribution. PinnedKernels re-seeds
+		// the dangling partials group-accurately from the warm ranks below.
+		if len(o.Warm.Ranks) != g.NumVertices() {
+			return nil, fmt.Errorf("hipa: warm-start ranks have %d entries, graph has %d vertices", len(o.Warm.Ranks), g.NumVertices())
+		}
+		state.SetRanks(o.Warm.Ranks)
+	}
 	kernels := common.PinnedKernels(state, hier.Groups)
 	if o.FCFS {
 		kernels = common.FCFSKernels(state)

@@ -143,6 +143,9 @@ func (Engine) Exec(prep *common.Prepared, o common.Options) (*common.Result, err
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
+	if o.Warm != nil {
+		return nil, fmt.Errorf("nb: warm starts are not supported — use HiPa or the delta engine for incremental re-ranking")
+	}
 	g := prep.Graph()
 	n := g.NumVertices()
 	threads := o.Threads

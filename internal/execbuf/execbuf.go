@@ -46,11 +46,12 @@ type Arena struct {
 	partials, residuals       []PadF64
 	// Frontier scratch (active-set engines): per-partition converged bitmap,
 	// active work list, residuals, iteration counts, and dangling masses.
-	bitmap    []uint64
-	worklist  []int32
-	partIters []int32
-	partRes   []float32
-	partDang  []float64
+	bitmap     []uint64
+	worklist   []int32
+	partIters  []int32
+	partCounts []int32
+	partRes    []float32
+	partDang   []float64
 	// Barrierless scratch: atomic rank bits and padded publication slots.
 	bits    []uint32
 	atomics []PadU64
@@ -151,6 +152,18 @@ func (a *Arena) PartIters(n int) []int32 {
 	return s
 }
 
+// PartCounts returns the per-partition active-vertex counters, zeroed —
+// scratch of the vertex-granular delta engine's frontier bookkeeping.
+func (a *Arena) PartCounts(n int) []int32 {
+	if cap(a.partCounts) < n {
+		a.partCounts = make([]int32, n)
+		a.grows++
+	}
+	s := a.partCounts[:n]
+	clear(s)
+	return s
+}
+
 // PartResiduals returns the per-partition L∞ residual buffer, zeroed.
 func (a *Arena) PartResiduals(n int) []float32 {
 	s := growF32(&a.partRes, n, &a.grows)
@@ -207,7 +220,7 @@ func (a *Arena) Grows() int { return a.grows }
 func (a *Arena) Footprint() int64 {
 	f32 := cap(a.ranks) + cap(a.acc) + cap(a.bins) + cap(a.contrib) + cap(a.partRes)
 	pad := cap(a.partials) + cap(a.residuals) + cap(a.atomics)
-	i32 := cap(a.worklist) + cap(a.partIters) + cap(a.bits)
+	i32 := cap(a.worklist) + cap(a.partIters) + cap(a.partCounts) + cap(a.bits)
 	i64 := cap(a.bitmap) + cap(a.partDang)
 	return int64(f32)*4 + int64(pad)*64 + int64(i32)*4 + int64(i64)*8
 }
@@ -305,6 +318,28 @@ func (p *Pool) Put(a *Arena) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.free = append(p.free, a)
+}
+
+// MoveTo drains p's free list into dst, preserving warm buffers across an
+// artifact transition (common.Prepared.Advance hands the pool of the old
+// version's artifact to the new one, so a dynamic replay's Execs keep
+// recycling one arena instead of re-allocating O(V) buffers per batch).
+// Traffic counters stay with their pools. Arenas held by running Execs are
+// unaffected — they return to whichever pool their Prepared releases into.
+func (p *Pool) MoveTo(dst *Pool) {
+	if p == dst || p == nil || dst == nil {
+		return
+	}
+	p.mu.Lock()
+	moved := p.free
+	p.free = nil
+	p.mu.Unlock()
+	if len(moved) == 0 {
+		return
+	}
+	dst.mu.Lock()
+	dst.free = append(dst.free, moved...)
+	dst.mu.Unlock()
 }
 
 // Stats returns a snapshot of the pool's traffic counters.

@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"hipa/internal/graph"
+)
+
+// MutationStream produces deterministic mutation batches against a versioned
+// graph for the dynamic-replay experiment: each batch mixes uniform-random
+// edge inserts with deletes of edges that exist in the current view, so a
+// replay exercises both overlay directions without ever degenerating into
+// no-ops on an empty adjacency. The stream is deterministic in (seed,
+// batchSize, graph history): two replays of the same seed over the same
+// versioned graph produce identical batches.
+type MutationStream struct {
+	vg        *graph.Versioned
+	rng       *rand.Rand
+	batchSize int
+	// deleteEvery controls the insert:delete mix — every deleteEvery-th
+	// mutation is a delete of an existing edge (default 4 → 25% deletes).
+	deleteEvery int
+}
+
+// NewMutationStream builds a stream over vg. batchSize is the mutation count
+// of each Next batch (must be positive); seed fixes the sequence.
+func NewMutationStream(vg *graph.Versioned, seed uint64, batchSize int) (*MutationStream, error) {
+	if vg == nil {
+		return nil, fmt.Errorf("gen: mutation stream needs a versioned graph")
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("gen: mutation batch size %d must be positive", batchSize)
+	}
+	if vg.NumVertices() == 0 {
+		return nil, fmt.Errorf("gen: mutation stream over an empty graph")
+	}
+	return &MutationStream{
+		vg:          vg,
+		rng:         rand.New(rand.NewPCG(seed, 0x9E3779B97F4A7C15)),
+		batchSize:   batchSize,
+		deleteEvery: 4,
+	}, nil
+}
+
+// Next generates the next mutation batch. The caller applies it
+// (vg.ApplyBatch) before calling Next again — deletes target edges that
+// exist in the view at generation time, so the stream reads the graph it is
+// mutating.
+func (s *MutationStream) Next() []graph.Mutation {
+	n := s.vg.NumVertices()
+	ver := s.vg.Version()
+	muts := make([]graph.Mutation, 0, s.batchSize)
+	for i := 0; i < s.batchSize; i++ {
+		if (i+1)%s.deleteEvery == 0 {
+			if m, ok := s.randomDelete(ver, n); ok {
+				muts = append(muts, m)
+				continue
+			}
+		}
+		muts = append(muts, graph.Mutation{
+			Op:  graph.InsertEdge,
+			Src: graph.VertexID(s.rng.IntN(n)),
+			Dst: graph.VertexID(s.rng.IntN(n)),
+		})
+	}
+	return muts
+}
+
+// randomDelete picks an existing edge of the current version by probing
+// random sources for a non-empty adjacency row (bounded probes so a sparse
+// graph cannot stall the stream).
+func (s *MutationStream) randomDelete(ver graph.Version, n int) (graph.Mutation, bool) {
+	for probe := 0; probe < 16; probe++ {
+		src := graph.VertexID(s.rng.IntN(n))
+		row, err := s.vg.OutNeighborsAt(src, ver)
+		if err != nil || len(row) == 0 {
+			continue
+		}
+		return graph.Mutation{
+			Op:  graph.DeleteEdge,
+			Src: src,
+			Dst: row[s.rng.IntN(len(row))],
+		}, true
+	}
+	return graph.Mutation{}, false
+}
+
+// Batches materialises k successive batches, applying each to the stream's
+// versioned graph — the convenience form used by hipabench -exp dynamic and
+// for writing replay files (graph.WriteMutationBatches). Returns the batches
+// and the version reached after each one.
+func (s *MutationStream) Batches(k int) ([][]graph.Mutation, []graph.Version, error) {
+	batches := make([][]graph.Mutation, 0, k)
+	versions := make([]graph.Version, 0, k)
+	for i := 0; i < k; i++ {
+		b := s.Next()
+		ver, err := s.vg.ApplyBatch(b)
+		if err != nil {
+			return nil, nil, fmt.Errorf("gen: applying mutation batch %d: %w", i, err)
+		}
+		batches = append(batches, b)
+		versions = append(versions, ver)
+	}
+	return batches, versions, nil
+}

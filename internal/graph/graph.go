@@ -247,9 +247,13 @@ func cursorsFromCounts(counts []int64, workers, n int, off []int64) {
 
 // FingerprintVersion identifies the fingerprint scheme. The version is mixed
 // into every fingerprint, so changing the scheme (as the chunked-parallel v2
-// rewrite did) changes all fingerprint values and thereby invalidates every
-// fingerprint-keyed cache, such as the engines' preprocessing-artifact cache.
-const FingerprintVersion = 2
+// rewrite did, and the v3 versioned-graph chain fingerprints do) changes all
+// fingerprint values and thereby invalidates every fingerprint-keyed cache,
+// such as the engines' preprocessing-artifact cache. v3 adds Versioned's
+// chain fingerprints: a version's fingerprint mixes the snapshot fingerprint
+// with the content hash of every mutation batch up to that version, so
+// artifact-cache keys distinguish graph versions without materializing them.
+const FingerprintVersion = 3
 
 // fpChunkElems is the fixed chunk length of the fingerprint. Chunking is
 // part of the hash definition — never derived from the worker count — so any
@@ -274,6 +278,16 @@ func (g *Graph) FingerprintWorkers(workers int) uint64 {
 		g.fp = fingerprintCSR(g.numVertices, g.numEdges, g.outOffsets, g.outEdges, workers)
 	})
 	return g.fp
+}
+
+// setFingerprint installs a precomputed fingerprint, defeating the content
+// hash. Versioned uses it when compaction folds a delta log into a fresh
+// snapshot: the new Graph keeps the chain fingerprint the same version had
+// before compaction, so artifact caches keyed by it (common.PrepCache) keep
+// hitting — compaction reuses the snapshot artifact instead of invalidating
+// it. Must only be called before the graph is shared.
+func (g *Graph) setFingerprint(fp uint64) {
+	g.fpOnce.Do(func() { g.fp = fp })
 }
 
 func fingerprintCSR(nv int, ne int64, off []int64, edges []VertexID, workers int) uint64 {

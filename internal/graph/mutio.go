@@ -1,0 +1,73 @@
+// Text serialization of mutation streams: one mutation per line ("+ src
+// dst" inserts, "- src dst" deletes), batches separated by lines containing
+// only "commit" (a trailing separator is optional). '#' and '%' start
+// comment lines, matching the edge-list reader. hipapr -mutations and
+// hipainfo -mutations replay files in this format.
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadMutationBatches parses a mutation-stream file into batches.
+func ReadMutationBatches(r io.Reader) ([][]Mutation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var batches [][]Mutation
+	var cur []Mutation
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' || text[0] == '%' {
+			continue
+		}
+		if text == "commit" {
+			batches = append(batches, cur)
+			cur = nil
+			continue
+		}
+		var opStr string
+		var src, dst VertexID
+		if _, err := fmt.Sscanf(text, "%s %d %d", &opStr, &src, &dst); err != nil {
+			return nil, fmt.Errorf("mutations: line %d: %q: %v", line, text, err)
+		}
+		var op MutOp
+		switch opStr {
+		case "+":
+			op = InsertEdge
+		case "-":
+			op = DeleteEdge
+		default:
+			return nil, fmt.Errorf("mutations: line %d: op %q, want + or -", line, opStr)
+		}
+		cur = append(cur, Mutation{Op: op, Src: src, Dst: dst})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		batches = append(batches, cur)
+	}
+	return batches, nil
+}
+
+// WriteMutationBatches writes batches in the format ReadMutationBatches
+// parses, each batch terminated by a "commit" line.
+func WriteMutationBatches(w io.Writer, batches [][]Mutation) error {
+	bw := bufio.NewWriter(w)
+	for _, batch := range batches {
+		for _, m := range batch {
+			if _, err := fmt.Fprintf(bw, "%s %d %d\n", m.Op, m.Src, m.Dst); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "commit"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

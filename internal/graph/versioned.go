@@ -1,0 +1,688 @@
+// Versioned graphs: an immutable CSR snapshot plus an append-only delta log
+// of edge mutations, the substrate of the incremental re-rank pipeline. Each
+// ApplyBatch call produces a new Version; overlay accessors answer adjacency
+// queries at any live version without materializing it, GraphAt folds a
+// version into a full immutable Graph on demand, and a compaction policy
+// folds the whole log into a fresh snapshot once it grows past a threshold.
+//
+// The versioned view treats the graph as an edge *set*: inserting an edge
+// that already exists and deleting one that does not are both no-ops (they
+// do not error and do not grow the log), and a delete removes every parallel
+// copy of the edge. Snapshot adjacency rows are expected in the sorted,
+// CSR-canonical form Builder.Build produces.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"hipa/internal/par"
+)
+
+// MutOp is the kind of one edge mutation.
+type MutOp uint8
+
+const (
+	// InsertEdge adds a directed edge (no-op if it already exists).
+	InsertEdge MutOp = iota
+	// DeleteEdge removes a directed edge (no-op if it does not exist).
+	DeleteEdge
+)
+
+func (op MutOp) String() string {
+	if op == InsertEdge {
+		return "+"
+	}
+	return "-"
+}
+
+// Mutation is one edge insert or delete.
+type Mutation struct {
+	Op  MutOp
+	Src VertexID
+	Dst VertexID
+}
+
+// Version numbers the states of a Versioned graph. Version 0 is the state
+// the Versioned was created with; every ApplyBatch increments it by one.
+type Version int
+
+// vertexOverlay is the cumulative per-vertex delta of the current version
+// relative to the snapshot: adds are in the current view but not in the
+// snapshot row, dels are in the snapshot row but not in the current view.
+// Both are sorted ascending.
+type vertexOverlay struct {
+	adds []VertexID
+	dels []VertexID
+}
+
+// mutBatch is one applied batch in the delta log.
+type mutBatch struct {
+	ver Version
+	// Effective mutations, sorted by (Src, Dst). Ineffective ones (duplicate
+	// inserts, deletes of absent edges, insert+delete pairs within the batch)
+	// are dropped at ApplyBatch time.
+	adds []Edge
+	dels []Edge
+	// touched lists the sorted, unique source vertices whose out-adjacency
+	// changed in this batch.
+	touched []VertexID
+	// edges is the total edge count at this batch's version.
+	edges int64
+	// chainFP is the version-aware fingerprint at this version: the snapshot
+	// fingerprint mixed with every batch content hash up to here. An empty
+	// batch inherits the previous version's fingerprint unchanged (the graph
+	// content is identical, so artifact caches should keep hitting).
+	chainFP uint64
+}
+
+// Versioned wraps an immutable snapshot Graph with an append-only mutation
+// log. All methods are safe for concurrent use; ApplyBatch serializes
+// writers.
+type Versioned struct {
+	// CompactThreshold is the log size (effective inserts + deletes since the
+	// snapshot) past which ApplyBatch folds the log into a fresh snapshot.
+	// 0 selects the default max(4096, snapshot edges / 8). Set it before the
+	// first ApplyBatch; it is read without synchronization afterwards.
+	CompactThreshold int
+
+	mu       sync.RWMutex
+	snap     *Graph
+	snapVer  Version
+	batches  []mutBatch
+	overlay  map[VertexID]*vertexOverlay // cumulative, current version
+	logSize  int                         // Σ |adds|+|dels| over batches
+	compacts int                         // compactions performed
+
+	// matCache memoizes GraphAt per version (the last few only); guarded by mu.
+	matCache map[Version]*Graph
+}
+
+// NewVersioned wraps g as version 0 of a versioned graph. g must be in
+// canonical CSR form (sorted adjacency rows); Builder.Build and the binary
+// loader produce it.
+func NewVersioned(g *Graph) *Versioned {
+	return &Versioned{
+		snap:     g,
+		overlay:  map[VertexID]*vertexOverlay{},
+		matCache: map[Version]*Graph{},
+	}
+}
+
+// Version returns the current (latest) version.
+func (vg *Versioned) Version() Version {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	return vg.curVersion()
+}
+
+func (vg *Versioned) curVersion() Version {
+	return vg.snapVer + Version(len(vg.batches))
+}
+
+// SnapshotVersion returns the oldest still-addressable version — the one the
+// current snapshot represents. Versions before it were folded away by
+// compaction.
+func (vg *Versioned) SnapshotVersion() Version {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	return vg.snapVer
+}
+
+// Snapshot returns the current immutable snapshot Graph.
+func (vg *Versioned) Snapshot() *Graph {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	return vg.snap
+}
+
+// NumVertices returns the (fixed) vertex count. Mutations never add or
+// remove vertices.
+func (vg *Versioned) NumVertices() int { return vg.snap.NumVertices() }
+
+// Compactions returns how many times the log has been folded into a fresh
+// snapshot.
+func (vg *Versioned) Compactions() int {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	return vg.compacts
+}
+
+// LogSize returns the number of effective mutations in the delta log since
+// the snapshot.
+func (vg *Versioned) LogSize() int {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	return vg.logSize
+}
+
+// VersionedStats summarises a Versioned graph for reporting (hipainfo).
+type VersionedStats struct {
+	Vertices        int     `json:"vertices"`
+	SnapshotVersion Version `json:"snapshot_version"`
+	SnapshotEdges   int64   `json:"snapshot_edges"`
+	Version         Version `json:"version"`
+	Edges           int64   `json:"edges"`
+	LogBatches      int     `json:"log_batches"`
+	LogMutations    int     `json:"log_mutations"`
+	Compactions     int     `json:"compactions"`
+}
+
+// Stats returns a snapshot of the versioned graph's bookkeeping.
+func (vg *Versioned) Stats() VersionedStats {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	return VersionedStats{
+		Vertices:        vg.snap.NumVertices(),
+		SnapshotVersion: vg.snapVer,
+		SnapshotEdges:   vg.snap.NumEdges(),
+		Version:         vg.curVersion(),
+		Edges:           vg.edgesLocked(vg.curVersion()),
+		LogBatches:      len(vg.batches),
+		LogMutations:    vg.logSize,
+		Compactions:     vg.compacts,
+	}
+}
+
+func (vg *Versioned) checkVersion(ver Version) error {
+	if ver < vg.snapVer || ver > vg.curVersion() {
+		return fmt.Errorf("graph: version %d out of range [%d, %d] (older versions were compacted away)",
+			ver, vg.snapVer, vg.curVersion())
+	}
+	return nil
+}
+
+// EdgesAt returns the edge count at ver.
+func (vg *Versioned) EdgesAt(ver Version) (int64, error) {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	if err := vg.checkVersion(ver); err != nil {
+		return 0, err
+	}
+	return vg.edgesLocked(ver), nil
+}
+
+func (vg *Versioned) edgesLocked(ver Version) int64 {
+	if ver == vg.snapVer {
+		return vg.snap.NumEdges()
+	}
+	return vg.batches[ver-vg.snapVer-1].edges
+}
+
+// FingerprintAt returns the version-aware fingerprint of ver: the snapshot's
+// content fingerprint chained with every batch's content hash up to ver.
+// Distinct versions get distinct fingerprints (so PrepCache keys tell them
+// apart), an empty batch inherits its predecessor's fingerprint (identical
+// content), and after compaction the new snapshot keeps the chain value, so
+// artifacts cached for the compacted version stay valid.
+func (vg *Versioned) FingerprintAt(ver Version) (uint64, error) {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	if err := vg.checkVersion(ver); err != nil {
+		return 0, err
+	}
+	return vg.fingerprintLocked(ver), nil
+}
+
+func (vg *Versioned) fingerprintLocked(ver Version) uint64 {
+	if ver == vg.snapVer {
+		return vg.snap.Fingerprint()
+	}
+	return vg.batches[ver-vg.snapVer-1].chainFP
+}
+
+// OutDegreeAt returns v's out-degree at ver.
+func (vg *Versioned) OutDegreeAt(v VertexID, ver Version) (int64, error) {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	if err := vg.checkVersion(ver); err != nil {
+		return 0, err
+	}
+	return int64(len(vg.neighborsLocked(v, ver, nil))), nil
+}
+
+// OutNeighborsAt returns v's out-neighbors at ver, sorted ascending. When v
+// was never touched by a logged batch the returned slice aliases the
+// snapshot's storage; otherwise it is freshly allocated. Either way it must
+// not be modified.
+func (vg *Versioned) OutNeighborsAt(v VertexID, ver Version) ([]VertexID, error) {
+	vg.mu.RLock()
+	defer vg.mu.RUnlock()
+	if err := vg.checkVersion(ver); err != nil {
+		return nil, err
+	}
+	return vg.neighborsLocked(v, ver, nil), nil
+}
+
+// neighborsLocked merges the snapshot row of v with the logged per-vertex
+// deltas of every batch up to ver. scratch, when non-nil, backs the merged
+// result to avoid allocation.
+func (vg *Versioned) neighborsLocked(v VertexID, ver Version, scratch []VertexID) []VertexID {
+	row := vg.snap.OutNeighbors(v)
+	upto := int(ver - vg.snapVer)
+	touched := false
+	for i := 0; i < upto; i++ {
+		if vg.batches[i].touches(v) {
+			touched = true
+			break
+		}
+	}
+	if !touched {
+		return row
+	}
+	// Build the merged set: start from the (deduplicated) snapshot row, then
+	// replay each batch's adds and dels for v in order. The set stays sorted
+	// throughout because each step rebuilds it by sorted merge.
+	cur := append(scratch[:0], row...)
+	cur = dedupSortedIDs(cur)
+	for i := 0; i < upto; i++ {
+		b := &vg.batches[i]
+		if !b.touches(v) {
+			continue
+		}
+		for _, d := range b.vertexEdges(b.dels, v) {
+			if j, ok := searchID(cur, d); ok {
+				cur = append(cur[:j], cur[j+1:]...)
+			}
+		}
+		for _, d := range b.vertexEdges(b.adds, v) {
+			if j, ok := searchID(cur, d); !ok {
+				cur = append(cur, 0)
+				copy(cur[j+1:], cur[j:])
+				cur[j] = d
+			}
+		}
+	}
+	return cur
+}
+
+// touches reports whether the batch changed v's out-adjacency.
+func (b *mutBatch) touches(v VertexID) bool {
+	_, ok := searchID(b.touched, v)
+	return ok
+}
+
+// vertexEdges returns the destinations of v's entries in a (Src,Dst)-sorted
+// effective-mutation list, as a view of the Dst column.
+func (b *mutBatch) vertexEdges(list []Edge, v VertexID) []VertexID {
+	lo := sort.Search(len(list), func(i int) bool { return list[i].Src >= v })
+	hi := sort.Search(len(list), func(i int) bool { return list[i].Src > v })
+	if lo == hi {
+		return nil
+	}
+	dsts := make([]VertexID, hi-lo)
+	for i := lo; i < hi; i++ {
+		dsts[i-lo] = list[i].Dst
+	}
+	return dsts
+}
+
+// searchID finds x in a sorted slice, returning its index and whether it is
+// present (when absent, the index is the insertion point).
+func searchID(s []VertexID, x VertexID) (int, bool) {
+	i := sort.Search(len(s), func(j int) bool { return s[j] >= x })
+	return i, i < len(s) && s[i] == x
+}
+
+// dedupSortedIDs removes adjacent duplicates in place from a sorted slice.
+func dedupSortedIDs(s []VertexID) []VertexID {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// inCurrentView reports whether edge (src,dst) exists in the current
+// version, combining the snapshot row with the cumulative overlay.
+func (vg *Versioned) inCurrentView(src, dst VertexID) bool {
+	if ov, ok := vg.overlay[src]; ok {
+		if _, hit := searchID(ov.adds, dst); hit {
+			return true
+		}
+		if _, hit := searchID(ov.dels, dst); hit {
+			return false
+		}
+	}
+	row := vg.snap.OutNeighbors(src)
+	_, hit := searchID(row, dst)
+	return hit
+}
+
+// ApplyBatch applies a batch of edge mutations as one new version and
+// returns it. Mutations are applied in order, against the batch's own
+// pending state — an insert followed by a delete of the same edge within one
+// batch cancels out. Ineffective mutations are dropped; an empty (or fully
+// cancelled) batch still produces a new version whose content and
+// fingerprint equal its predecessor's. ApplyBatch may trigger compaction,
+// after which versions older than the new snapshot are no longer
+// addressable.
+func (vg *Versioned) ApplyBatch(muts []Mutation) (Version, error) {
+	n := vg.snap.NumVertices()
+	for _, m := range muts {
+		if int(m.Src) >= n || int(m.Dst) >= n {
+			return 0, fmt.Errorf("graph: mutation %s(%d,%d) out of range for %d vertices", m.Op, m.Src, m.Dst, n)
+		}
+		if m.Op != InsertEdge && m.Op != DeleteEdge {
+			return 0, fmt.Errorf("graph: unknown mutation op %d", m.Op)
+		}
+	}
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+
+	// Net effect per edge within this batch: +1 the edge appears, -1 it
+	// disappears, absent/0 no change vs the current version.
+	pending := map[Edge]int8{}
+	for _, m := range muts {
+		e := Edge{m.Src, m.Dst}
+		base := vg.inCurrentView(e.Src, e.Dst)
+		exists := (base && pending[e] != -1) || pending[e] == +1
+		switch m.Op {
+		case InsertEdge:
+			if exists {
+				continue // duplicate insert: no-op
+			}
+			if base {
+				delete(pending, e) // re-insert of an edge deleted earlier in the batch
+			} else {
+				pending[e] = +1
+			}
+		case DeleteEdge:
+			if !exists {
+				continue // delete of a non-existent edge: no-op
+			}
+			if base {
+				pending[e] = -1
+			} else {
+				delete(pending, e) // delete of an edge inserted earlier in the batch
+			}
+		}
+	}
+
+	b := mutBatch{ver: vg.curVersion() + 1}
+	for e, s := range pending {
+		if s == +1 {
+			b.adds = append(b.adds, e)
+		} else if s == -1 {
+			b.dels = append(b.dels, e)
+		}
+	}
+	sortEdges(b.adds)
+	sortEdges(b.dels)
+	for _, e := range b.adds {
+		b.touched = append(b.touched, e.Src)
+	}
+	for _, e := range b.dels {
+		b.touched = append(b.touched, e.Src)
+	}
+	sort.Slice(b.touched, func(i, j int) bool { return b.touched[i] < b.touched[j] })
+	b.touched = dedupSortedIDs(b.touched)
+	b.edges = vg.edgesLocked(vg.curVersion()) + int64(len(b.adds)) - int64(len(b.dels))
+	b.chainFP = chainFingerprint(vg.fingerprintLocked(vg.curVersion()), b.ver, b.adds, b.dels)
+
+	// Fold the batch into the cumulative overlay.
+	for _, e := range b.dels {
+		ov := vg.overlayFor(e.Src)
+		if j, ok := searchID(ov.adds, e.Dst); ok {
+			ov.adds = append(ov.adds[:j], ov.adds[j+1:]...)
+		} else {
+			ov.dels = insertID(ov.dels, e.Dst)
+		}
+	}
+	for _, e := range b.adds {
+		ov := vg.overlayFor(e.Src)
+		if j, ok := searchID(ov.dels, e.Dst); ok {
+			ov.dels = append(ov.dels[:j], ov.dels[j+1:]...)
+		} else {
+			ov.adds = insertID(ov.adds, e.Dst)
+		}
+	}
+
+	vg.batches = append(vg.batches, b)
+	vg.logSize += len(b.adds) + len(b.dels)
+	ver := b.ver
+
+	if vg.logSize > vg.compactThreshold() {
+		vg.compactLocked()
+	}
+	return ver, nil
+}
+
+func (vg *Versioned) overlayFor(v VertexID) *vertexOverlay {
+	ov, ok := vg.overlay[v]
+	if !ok {
+		ov = &vertexOverlay{}
+		vg.overlay[v] = ov
+	}
+	return ov
+}
+
+func insertID(s []VertexID, x VertexID) []VertexID {
+	j, ok := searchID(s, x)
+	if ok {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[j+1:], s[j:])
+	s[j] = x
+	return s
+}
+
+func sortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Src != es[j].Src {
+			return es[i].Src < es[j].Src
+		}
+		return es[i].Dst < es[j].Dst
+	})
+}
+
+// chainFingerprint extends a version fingerprint with one batch's content.
+// An empty batch leaves the fingerprint unchanged: the graph content is
+// identical, so artifact caches keyed by it should keep hitting.
+func chainFingerprint(prev uint64, ver Version, adds, dels []Edge) uint64 {
+	if len(adds) == 0 && len(dels) == 0 {
+		return prev
+	}
+	h := prev
+	mix := func(x uint64) {
+		h ^= x
+		h *= fnvPrime64
+	}
+	mix(FingerprintVersion)
+	mix(uint64(ver))
+	mix(uint64(len(adds)))
+	for _, e := range adds {
+		mix(uint64(e.Src)<<32 | uint64(e.Dst))
+	}
+	mix(uint64(len(dels)))
+	for _, e := range dels {
+		mix(uint64(e.Src)<<32 | uint64(e.Dst) | 1<<63)
+	}
+	return h
+}
+
+func (vg *Versioned) compactThreshold() int {
+	if vg.CompactThreshold > 0 {
+		return vg.CompactThreshold
+	}
+	t := int(vg.snap.NumEdges() / 8)
+	if t < 4096 {
+		t = 4096
+	}
+	return t
+}
+
+// compactLocked folds the whole log into a fresh snapshot via a parallel
+// build of the current version, keeping the chain fingerprint so cached
+// preprocessing artifacts for the compacted version survive.
+func (vg *Versioned) compactLocked() {
+	cur := vg.curVersion()
+	g := vg.materializeLocked(cur)
+	vg.snap = g
+	vg.snapVer = cur
+	vg.batches = nil
+	vg.overlay = map[VertexID]*vertexOverlay{}
+	vg.logSize = 0
+	vg.compacts++
+	vg.matCache = map[Version]*Graph{cur: g}
+}
+
+// Compact folds the delta log into a fresh snapshot immediately, regardless
+// of the threshold. No-op when the log is empty.
+func (vg *Versioned) Compact() {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if len(vg.batches) == 0 {
+		return
+	}
+	vg.compactLocked()
+}
+
+// GraphAt materializes the full immutable Graph of ver. The snapshot version
+// returns the snapshot itself; other versions are built in parallel (rows of
+// untouched vertices are copied from the snapshot, touched rows are merged
+// from the log) and memoized, and carry ver's chain fingerprint.
+func (vg *Versioned) GraphAt(ver Version) (*Graph, error) {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if err := vg.checkVersion(ver); err != nil {
+		return nil, err
+	}
+	return vg.materializeLocked(ver), nil
+}
+
+func (vg *Versioned) materializeLocked(ver Version) *Graph {
+	if ver == vg.snapVer {
+		return vg.snap
+	}
+	if g, ok := vg.matCache[ver]; ok {
+		return g
+	}
+	n := vg.snap.NumVertices()
+	off := make([]int64, n+1)
+	// Degree pass: untouched vertices keep their snapshot degree; touched
+	// rows are merged serially first (their count is bounded by the log
+	// size, which compaction keeps small).
+	snapOff := vg.snap.OutOffsets()
+	touched := vg.touchedUpTo(ver)
+	rows := make(map[VertexID][]VertexID, len(touched))
+	for _, v := range touched {
+		rows[v] = vg.neighborsLocked(v, ver, nil)
+	}
+	par.Blocks(par.Fit(par.Workers(0), int64(n)), n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if row, ok := rows[VertexID(v)]; ok {
+				off[v+1] = int64(len(row))
+			} else {
+				off[v+1] = snapOff[v+1] - snapOff[v]
+			}
+		}
+	})
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	out := make([]VertexID, off[n])
+	snapAdj := vg.snap.OutEdges()
+	par.Blocks(par.Fit(par.Workers(0), off[n]), n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if row, ok := rows[VertexID(v)]; ok {
+				copy(out[off[v]:off[v+1]], row)
+			} else {
+				copy(out[off[v]:off[v+1]], snapAdj[snapOff[v]:snapOff[v+1]])
+			}
+		}
+	})
+	g := &Graph{
+		numVertices: n,
+		numEdges:    off[n],
+		outOffsets:  off,
+		outEdges:    out,
+	}
+	g.setFingerprint(vg.fingerprintLocked(ver))
+	// Keep the cache tiny: the replay loop only ever needs a version and its
+	// predecessor (graph.Delta's Prev/Next).
+	if len(vg.matCache) >= 2 {
+		oldest := ver
+		for v := range vg.matCache {
+			if v < oldest {
+				oldest = v
+			}
+		}
+		delete(vg.matCache, oldest)
+	}
+	vg.matCache[ver] = g
+	return g
+}
+
+// touchedUpTo returns the sorted union of touched vertices over all batches
+// up to ver.
+func (vg *Versioned) touchedUpTo(ver Version) []VertexID {
+	var all []VertexID
+	for i := 0; i < int(ver-vg.snapVer); i++ {
+		all = append(all, vg.batches[i].touched...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return dedupSortedIDs(all)
+}
+
+// Delta summarises the change between two versions, with both endpoints
+// materialized — the input of Prepared.Advance and of warm-started Exec.
+type Delta struct {
+	Prev, Next               *Graph
+	PrevVersion, NextVersion Version
+	// Fingerprint is the chain fingerprint of NextVersion.
+	Fingerprint uint64
+	// Touched lists the sorted, unique source vertices whose out-adjacency
+	// differs between the two versions.
+	Touched []VertexID
+	// Perturbed is Touched plus the destination endpoints of every inserted
+	// or deleted edge — the seed set of the per-vertex frontier.
+	Perturbed []VertexID
+	// Inserted and Deleted count effective mutations across the range.
+	Inserted, Deleted int
+}
+
+// DeltaBetween returns the Delta from version `from` to version `to`
+// (from <= to, both still addressable).
+func (vg *Versioned) DeltaBetween(from, to Version) (*Delta, error) {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if err := vg.checkVersion(from); err != nil {
+		return nil, err
+	}
+	if err := vg.checkVersion(to); err != nil {
+		return nil, err
+	}
+	if from > to {
+		return nil, fmt.Errorf("graph: delta range inverted (%d > %d)", from, to)
+	}
+	d := &Delta{
+		Prev:        vg.materializeLocked(from),
+		Next:        vg.materializeLocked(to),
+		PrevVersion: from,
+		NextVersion: to,
+		Fingerprint: vg.fingerprintLocked(to),
+	}
+	var touched, perturbed []VertexID
+	for i := int(from - vg.snapVer); i < int(to-vg.snapVer); i++ {
+		b := &vg.batches[i]
+		touched = append(touched, b.touched...)
+		d.Inserted += len(b.adds)
+		d.Deleted += len(b.dels)
+		for _, e := range b.adds {
+			perturbed = append(perturbed, e.Src, e.Dst)
+		}
+		for _, e := range b.dels {
+			perturbed = append(perturbed, e.Src, e.Dst)
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	d.Touched = dedupSortedIDs(touched)
+	sort.Slice(perturbed, func(i, j int) bool { return perturbed[i] < perturbed[j] })
+	d.Perturbed = dedupSortedIDs(perturbed)
+	return d, nil
+}

@@ -1,0 +1,422 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// buildVersionedTestGraph returns a small graph with a mix of fan-out, a dangling
+// vertex, and a self-loop-free ring:
+//
+//	0 -> 1,2   1 -> 2   2 -> 0   3 (dangling)   4 -> 0,3
+func buildVersionedTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(4, 0)
+	b.AddEdge(4, 3)
+	return b.Build()
+}
+
+// refAdj is the brute-force reference: adjacency as per-vertex sets.
+type refAdj map[VertexID]map[VertexID]bool
+
+func refFromGraph(g *Graph) refAdj {
+	r := refAdj{}
+	for v := 0; v < g.NumVertices(); v++ {
+		s := map[VertexID]bool{}
+		for _, d := range g.OutNeighbors(VertexID(v)) {
+			s[d] = true
+		}
+		r[VertexID(v)] = s
+	}
+	return r
+}
+
+func (r refAdj) apply(muts []Mutation) {
+	for _, m := range muts {
+		switch m.Op {
+		case InsertEdge:
+			r[m.Src][m.Dst] = true
+		case DeleteEdge:
+			delete(r[m.Src], m.Dst)
+		}
+	}
+}
+
+func (r refAdj) neighbors(v VertexID) []VertexID {
+	var out []VertexID
+	for d := range r[v] {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (r refAdj) edges() int64 {
+	var n int64
+	for _, s := range r {
+		n += int64(len(s))
+	}
+	return n
+}
+
+// checkVersionAgainstRef compares every overlay accessor and the
+// materialized graph of ver against the reference.
+func checkVersionAgainstRef(t *testing.T, vg *Versioned, ver Version, ref refAdj) {
+	t.Helper()
+	n := vg.NumVertices()
+	for v := 0; v < n; v++ {
+		got, err := vg.OutNeighborsAt(VertexID(v), ver)
+		if err != nil {
+			t.Fatalf("OutNeighborsAt(%d, %d): %v", v, ver, err)
+		}
+		want := ref.neighbors(VertexID(v))
+		if len(got) != len(want) {
+			t.Fatalf("version %d vertex %d: neighbors %v, want %v", ver, v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("version %d vertex %d: neighbors %v, want %v", ver, v, got, want)
+			}
+		}
+		deg, err := vg.OutDegreeAt(VertexID(v), ver)
+		if err != nil || deg != int64(len(want)) {
+			t.Fatalf("version %d vertex %d: degree %d (%v), want %d", ver, v, deg, err, len(want))
+		}
+	}
+	if e, err := vg.EdgesAt(ver); err != nil || e != ref.edges() {
+		t.Fatalf("version %d: edges %d (%v), want %d", ver, e, err, ref.edges())
+	}
+	g, err := vg.GraphAt(ver)
+	if err != nil {
+		t.Fatalf("GraphAt(%d): %v", ver, err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("GraphAt(%d).Validate: %v", ver, err)
+	}
+	for v := 0; v < n; v++ {
+		got := g.OutNeighbors(VertexID(v))
+		want := ref.neighbors(VertexID(v))
+		if len(got) != len(want) {
+			t.Fatalf("materialized version %d vertex %d: %v, want %v", ver, v, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("materialized version %d vertex %d: %v, want %v", ver, v, got, want)
+			}
+		}
+	}
+	fp, err := vg.FingerprintAt(ver)
+	if err != nil {
+		t.Fatalf("FingerprintAt(%d): %v", ver, err)
+	}
+	if g.Fingerprint() != fp {
+		t.Fatalf("version %d: materialized fingerprint %x != chain fingerprint %x", ver, g.Fingerprint(), fp)
+	}
+}
+
+func TestVersionedDuplicateInsertIsNoOp(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	v0 := vg.Version()
+	ver, err := vg.ApplyBatch([]Mutation{
+		{InsertEdge, 0, 1}, // already exists in the snapshot
+		{InsertEdge, 1, 3},
+		{InsertEdge, 1, 3}, // duplicate within the batch
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != v0+1 {
+		t.Fatalf("version %d, want %d", ver, v0+1)
+	}
+	if vg.LogSize() != 1 {
+		t.Fatalf("log size %d, want 1 (duplicate inserts must be dropped)", vg.LogSize())
+	}
+	ref := refFromGraph(buildVersionedTestGraph(t))
+	ref.apply([]Mutation{{InsertEdge, 1, 3}})
+	checkVersionAgainstRef(t, vg, ver, ref)
+}
+
+func TestVersionedDeleteNonExistentIsNoOp(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	ver, err := vg.ApplyBatch([]Mutation{
+		{DeleteEdge, 3, 0}, // 3 has no out-edges
+		{DeleteEdge, 0, 3}, // (0,3) never existed
+		{DeleteEdge, 0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vg.LogSize() != 1 {
+		t.Fatalf("log size %d, want 1 (deletes of absent edges must be dropped)", vg.LogSize())
+	}
+	ref := refFromGraph(buildVersionedTestGraph(t))
+	ref.apply([]Mutation{{DeleteEdge, 0, 1}})
+	checkVersionAgainstRef(t, vg, ver, ref)
+}
+
+func TestVersionedDanglingAndBack(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	// Delete both of 0's out-edges: 0 becomes dangling.
+	v1, err := vg.ApplyBatch([]Mutation{{DeleteEdge, 0, 1}, {DeleteEdge, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, _ := vg.GraphAt(v1)
+	if g1.OutDegree(0) != 0 {
+		t.Fatalf("vertex 0 should be dangling at version %d", v1)
+	}
+	if got, want := g1.DanglingCount(), 2; got != want { // 0 and 3
+		t.Fatalf("dangling count %d, want %d", got, want)
+	}
+	// Re-insert one edge: 0 is no longer dangling.
+	v2, err := vg.ApplyBatch([]Mutation{{InsertEdge, 0, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _ := vg.GraphAt(v2)
+	if g2.OutDegree(0) != 1 {
+		t.Fatalf("vertex 0 out-degree %d at version %d, want 1", g2.OutDegree(0), v2)
+	}
+	// The intermediate version must still answer correctly.
+	ref := refFromGraph(buildVersionedTestGraph(t))
+	ref.apply([]Mutation{{DeleteEdge, 0, 1}, {DeleteEdge, 0, 2}})
+	checkVersionAgainstRef(t, vg, v1, ref)
+}
+
+func TestVersionedEmptyBatchIsNoOpVersion(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	v0 := vg.Version()
+	fp0, _ := vg.FingerprintAt(v0)
+	// An empty batch, and a batch that fully cancels itself out.
+	for _, muts := range [][]Mutation{
+		nil,
+		{{InsertEdge, 1, 3}, {DeleteEdge, 1, 3}},
+	} {
+		ver, err := vg.ApplyBatch(muts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ver != vg.Version() {
+			t.Fatalf("ApplyBatch returned %d, current version %d", ver, vg.Version())
+		}
+		fp, _ := vg.FingerprintAt(ver)
+		if fp != fp0 {
+			t.Fatalf("no-op version %d changed the fingerprint: %x != %x", ver, fp, fp0)
+		}
+		e, _ := vg.EdgesAt(ver)
+		if e != buildVersionedTestGraph(t).NumEdges() {
+			t.Fatalf("no-op version %d changed the edge count: %d", ver, e)
+		}
+	}
+	if vg.LogSize() != 0 {
+		t.Fatalf("log size %d after no-op batches, want 0", vg.LogSize())
+	}
+}
+
+func TestVersionedFingerprintsDistinguishVersions(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	seen := map[uint64]Version{}
+	fp0, _ := vg.FingerprintAt(vg.Version())
+	seen[fp0] = vg.Version()
+	muts := [][]Mutation{
+		{{InsertEdge, 1, 3}},
+		{{DeleteEdge, 1, 3}}, // content equals version 0, fingerprint must not
+		{{InsertEdge, 3, 0}},
+	}
+	for _, m := range muts {
+		ver, err := vg.ApplyBatch(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp, _ := vg.FingerprintAt(ver)
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("version %d shares fingerprint %x with version %d", ver, fp, prev)
+		}
+		seen[fp] = ver
+	}
+}
+
+func TestVersionedCompaction(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	vg.CompactThreshold = 3
+	ref := refFromGraph(buildVersionedTestGraph(t))
+	batches := [][]Mutation{
+		{{InsertEdge, 1, 3}, {InsertEdge, 3, 2}},
+		{{DeleteEdge, 0, 1}, {InsertEdge, 3, 4}}, // pushes the log past 3 -> compaction
+	}
+	for _, m := range batches {
+		if _, err := vg.ApplyBatch(m); err != nil {
+			t.Fatal(err)
+		}
+		ref.apply(m)
+	}
+	if vg.Compactions() != 1 {
+		t.Fatalf("compactions %d, want 1", vg.Compactions())
+	}
+	if vg.LogSize() != 0 {
+		t.Fatalf("log size %d after compaction, want 0", vg.LogSize())
+	}
+	cur := vg.Version()
+	if vg.SnapshotVersion() != cur {
+		t.Fatalf("snapshot version %d, want %d", vg.SnapshotVersion(), cur)
+	}
+	// The compacted snapshot must keep the chain fingerprint, and the
+	// snapshot itself must be the materialization of the current version.
+	fp, _ := vg.FingerprintAt(cur)
+	if got := vg.Snapshot().Fingerprint(); got != fp {
+		t.Fatalf("compacted snapshot fingerprint %x, want chain fingerprint %x", got, fp)
+	}
+	checkVersionAgainstRef(t, vg, cur, ref)
+	// Old versions are gone.
+	if _, err := vg.OutNeighborsAt(0, cur-1); err == nil {
+		t.Fatal("expected an error for a compacted-away version")
+	}
+	// Mutations keep working after compaction.
+	v, err := vg.ApplyBatch([]Mutation{{InsertEdge, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.apply([]Mutation{{InsertEdge, 2, 4}})
+	checkVersionAgainstRef(t, vg, v, ref)
+}
+
+func TestVersionedDeltaBetween(t *testing.T) {
+	vg := NewVersioned(buildVersionedTestGraph(t))
+	v0 := vg.Version()
+	v1, err := vg.ApplyBatch([]Mutation{{InsertEdge, 1, 3}, {DeleteEdge, 4, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := vg.DeltaBetween(v0, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserted != 1 || d.Deleted != 1 {
+		t.Fatalf("inserted %d deleted %d, want 1/1", d.Inserted, d.Deleted)
+	}
+	if want := []VertexID{1, 4}; !reflect.DeepEqual(d.Touched, want) {
+		t.Fatalf("touched %v, want %v", d.Touched, want)
+	}
+	if want := []VertexID{0, 1, 3, 4}; !reflect.DeepEqual(d.Perturbed, want) {
+		t.Fatalf("perturbed %v, want %v", d.Perturbed, want)
+	}
+	if d.Prev.NumEdges() != 6 || d.Next.NumEdges() != 6 {
+		t.Fatalf("edge counts %d/%d, want 6/6", d.Prev.NumEdges(), d.Next.NumEdges())
+	}
+	if d.Prev.Fingerprint() == d.Next.Fingerprint() {
+		t.Fatal("prev and next fingerprints must differ")
+	}
+}
+
+// TestBuilderReuseAfterBuild is the regression test for the builder-reuse
+// footgun: AddEdge after Build must start a fresh edge buffer — it must
+// neither corrupt the already-built graph nor leak the first build's edges
+// into the second.
+func TestBuilderReuseAfterBuild(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g1 := b.Build()
+	if b.NumPendingEdges() != 0 {
+		t.Fatalf("builder holds %d edges after Build, want 0", b.NumPendingEdges())
+	}
+	wantG1 := [][]VertexID{{1}, {}, {3}, {}}
+	snapshot := func(g *Graph) [][]VertexID {
+		out := make([][]VertexID, g.NumVertices())
+		for v := range out {
+			out[v] = append([]VertexID{}, g.OutNeighbors(VertexID(v))...)
+		}
+		return out
+	}
+	if got := snapshot(g1); !reflect.DeepEqual(got, wantG1) {
+		t.Fatalf("first build: %v, want %v", got, wantG1)
+	}
+	// Reuse: new edges only.
+	b.AddEdge(3, 0)
+	b.AddEdge(1, 2)
+	g2 := b.Build()
+	if got, want := snapshot(g2), [][]VertexID{{}, {2}, {}, {0}}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("second build: %v, want %v (first build's edges leaked)", got, want)
+	}
+	// The first graph must be untouched by the second build.
+	if got := snapshot(g1); !reflect.DeepEqual(got, wantG1) {
+		t.Fatalf("first graph mutated by builder reuse: %v, want %v", got, wantG1)
+	}
+	if err := g1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutationBatchRoundTrip(t *testing.T) {
+	batches := [][]Mutation{
+		{{InsertEdge, 0, 1}, {DeleteEdge, 2, 3}},
+		nil, // an empty batch survives the round trip
+		{{InsertEdge, 4, 0}},
+	}
+	var buf bytes.Buffer
+	if err := WriteMutationBatches(&buf, batches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMutationBatches(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batches) {
+		t.Fatalf("round trip: %v, want %v", got, batches)
+	}
+}
+
+// FuzzApplyBatch drives the delta-log overlay with arbitrary mutation
+// streams and checks every live version against the brute-force reference.
+func FuzzApplyBatch(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 3, 0, 4, 0})
+	f.Add([]byte{1, 0, 1, 0, 0, 1, 255, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 8
+		b := NewBuilder(n)
+		b.AddEdge(0, 1)
+		b.AddEdge(1, 2)
+		b.AddEdge(2, 0)
+		b.AddEdge(5, 6)
+		g := b.Build()
+		vg := NewVersioned(g)
+		vg.CompactThreshold = 6 // exercise compaction under fuzzing
+		ref := refFromGraph(g)
+
+		// Decode: 3 bytes per mutation, 4 mutations per batch.
+		var muts []Mutation
+		flush := func() {
+			ver, err := vg.ApplyBatch(muts)
+			if err != nil {
+				t.Fatalf("ApplyBatch(%v): %v", muts, err)
+			}
+			ref.apply(muts)
+			muts = nil
+			checkVersionAgainstRef(t, vg, ver, ref)
+		}
+		for i := 0; i+2 < len(data); i += 3 {
+			m := Mutation{
+				Op:  MutOp(data[i] % 2),
+				Src: VertexID(data[i+1] % n),
+				Dst: VertexID(data[i+2] % n),
+			}
+			muts = append(muts, m)
+			if len(muts) == 4 {
+				flush()
+			}
+		}
+		if len(muts) > 0 {
+			flush()
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
 
 	"hipa/internal/platform"
 )
@@ -13,8 +14,10 @@ import (
 // allocation baselines. Bump it when the measurement protocol or the field
 // meanings change; Compare refuses to diff across versions. v2 added the
 // frontier-aware engines (EC-HiPa, NB-PR) and the per-engine
-// frontier-effectiveness fields.
-const AllocBaselineVersion = 2
+// frontier-effectiveness fields; v3 added Delta-PR to the engine set and
+// the dynamic-replay section (per-batch warm vs cold convergence
+// iterations).
+const AllocBaselineVersion = 3
 
 // Baseline iteration counts of the differential measurement: per-iteration
 // cost is (allocs at iterLong - allocs at iterShort) / (iterLong -
@@ -48,6 +51,18 @@ type AllocMeasurement struct {
 	PartitionsSkipped  int64   `json:"partitions_skipped,omitempty"`
 }
 
+// DynamicBatch is one mutation batch of the dynamic-replay profile: how
+// many iterations the sparse warm path (Delta-PR seeded from the graph
+// delta on an Advance-patched artifact) spent converging against a cold
+// HiPa re-rank of the same version, and how much of the graph the batch
+// perturbed. The replay is deterministic (fixed stream seed), so the
+// trajectory is stable enough to gate with slack.
+type DynamicBatch struct {
+	WarmIterations    int     `json:"warm_iterations"`
+	ColdIterations    int     `json:"cold_iterations"`
+	PerturbedFraction float64 `json:"perturbed_fraction"`
+}
+
 // AllocBaseline is the committed allocation-trajectory schema
 // (BENCH_pagerank.json). Regenerate with:
 //
@@ -64,6 +79,16 @@ type AllocBaseline struct {
 	// only, never compared.
 	Go      string                      `json:"go"`
 	Engines map[string]AllocMeasurement `json:"engines"`
+	// Dynamic is the warm-vs-cold convergence trajectory of the dynamic
+	// mutation replay on the same dataset — the incremental re-rank claim
+	// (sparse warm starts converge in ≥2× fewer iterations) pinned per batch.
+	Dynamic []DynamicBatch `json:"dynamic,omitempty"`
+}
+
+// median returns the middle value of xs (xs is sorted in place).
+func median(xs []int64) int64 {
+	slices.Sort(xs)
+	return xs[len(xs)/2]
 }
 
 // measureAllocs mirrors testing.AllocsPerRun (warm-up call, GOMAXPROCS(1),
@@ -121,13 +146,28 @@ func (c *Config) MeasureAllocBaseline(dataset string) (*AllocBaseline, error) {
 				}
 			}
 		}
+		// The differential is repeated and the median taken: the hot loop's
+		// allocations are deterministic, but TotalAlloc also sees the
+		// runtime's own background allocations (timers, GC bookkeeping),
+		// which can tip a 0-bytes/iteration engine to ±1 in a single trial.
 		const runs = 10
-		shortAllocs, shortBytes := measureAllocs(runs, exec(allocIterShort))
-		longAllocs, longBytes := measureAllocs(runs, exec(allocIterLong))
+		const trials = 3
 		span := int64(allocIterLong - allocIterShort)
+		perIterAllocs := make([]int64, trials)
+		perIterBytes := make([]int64, trials)
+		var shortAllocs, shortBytes int64
+		for trial := 0; trial < trials; trial++ {
+			sa, sb := measureAllocs(runs, exec(allocIterShort))
+			la, lb := measureAllocs(runs, exec(allocIterLong))
+			perIterAllocs[trial] = (la - sa) / span
+			perIterBytes[trial] = (lb - sb) / span
+			if trial == 0 {
+				shortAllocs, shortBytes = sa, sb
+			}
+		}
 		meas := AllocMeasurement{
-			AllocsPerIter: (longAllocs - shortAllocs) / span,
-			BytesPerIter:  (longBytes - shortBytes) / span,
+			AllocsPerIter: median(perIterAllocs),
+			BytesPerIter:  median(perIterBytes),
 			ExecAllocs:    shortAllocs,
 			ExecBytes:     shortBytes,
 		}
@@ -145,6 +185,19 @@ func (c *Config) MeasureAllocBaseline(dataset string) (*AllocBaseline, error) {
 			meas.PartitionsSkipped = rep.PartitionsSkipped
 		}
 		b.Engines[e.Name()] = meas
+	}
+	// Dynamic-replay profile: the warm-vs-cold iteration trajectory of the
+	// incremental re-rank experiment on the same dataset.
+	rows, _, err := Dynamic(c, dataset)
+	if err != nil {
+		return nil, fmt.Errorf("dynamic replay: %w", err)
+	}
+	for _, r := range rows {
+		b.Dynamic = append(b.Dynamic, DynamicBatch{
+			WarmIterations:    r.DeltaIterations,
+			ColdIterations:    r.ColdIterations,
+			PerturbedFraction: r.PerturbedFraction,
+		})
 	}
 	return b, nil
 }
@@ -200,6 +253,28 @@ func (b *AllocBaseline) Compare(measured *AllocBaseline) []string {
 			}
 			if want.PartitionsSkipped > 0 && got.PartitionsSkipped == 0 {
 				fail("%s: baseline skipped %d partition-iterations, measurement skipped none — pruning stopped engaging", name, want.PartitionsSkipped)
+			}
+		}
+	}
+	// Dynamic-replay gates: warm must beat cold strictly in every batch, and
+	// the trajectory may drift only within slack (±25%+1 iterations, ±0.1
+	// perturbed fraction) of the committed baseline.
+	if len(b.Dynamic) != len(measured.Dynamic) {
+		fail("dynamic replay: baseline has %d batches, measurement has %d", len(b.Dynamic), len(measured.Dynamic))
+	} else {
+		for i, want := range b.Dynamic {
+			got := measured.Dynamic[i]
+			if got.WarmIterations >= got.ColdIterations {
+				fail("dynamic batch %d: warm path spent %d iterations, cold %d — warm starts stopped paying off", i+1, got.WarmIterations, got.ColdIterations)
+			}
+			if lo, hi := want.WarmIterations*3/4-1, want.WarmIterations*5/4+1; got.WarmIterations < lo || got.WarmIterations > hi {
+				fail("dynamic batch %d: warm iterations %d outside baseline %d ±25%%+1", i+1, got.WarmIterations, want.WarmIterations)
+			}
+			if lo, hi := want.ColdIterations*3/4-1, want.ColdIterations*5/4+1; got.ColdIterations < lo || got.ColdIterations > hi {
+				fail("dynamic batch %d: cold iterations %d outside baseline %d ±25%%+1", i+1, got.ColdIterations, want.ColdIterations)
+			}
+			if d := got.PerturbedFraction - want.PerturbedFraction; d < -0.1 || d > 0.1 {
+				fail("dynamic batch %d: perturbed fraction %.3f drifted from baseline %.3f by more than 0.1", i+1, got.PerturbedFraction, want.PerturbedFraction)
 			}
 		}
 	}

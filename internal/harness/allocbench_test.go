@@ -30,7 +30,7 @@ func TestMeasureAllocBaselineZeroPerIteration(t *testing.T) {
 	}
 	// The frontier-aware engines carry an effectiveness profile; the dense
 	// five must not.
-	for _, name := range []string{"EC-HiPa", "NB-PR"} {
+	for _, name := range []string{"EC-HiPa", "NB-PR", "Delta-PR"} {
 		if m := b.Engines[name]; m.IterationsExecuted <= 0 || m.ActiveFraction <= 0 {
 			t.Errorf("%s: frontier profile missing: %+v", name, m)
 		}
@@ -38,6 +38,20 @@ func TestMeasureAllocBaselineZeroPerIteration(t *testing.T) {
 	for _, e := range Engines() {
 		if m := b.Engines[e.Name()]; m.IterationsExecuted != 0 || m.ActiveFraction != 0 || m.PartitionsSkipped != 0 {
 			t.Errorf("%s: dense engine has a frontier profile: %+v", e.Name(), m)
+		}
+	}
+
+	// The dynamic-replay profile must be present with warm beating cold in
+	// every batch — the incremental re-rank claim the baseline pins.
+	if len(b.Dynamic) != dynamicBatches {
+		t.Fatalf("dynamic profile has %d batches, want %d", len(b.Dynamic), dynamicBatches)
+	}
+	for i, batch := range b.Dynamic {
+		if batch.WarmIterations >= batch.ColdIterations {
+			t.Errorf("dynamic batch %d: warm %d vs cold %d iterations — warm start did not pay off", i+1, batch.WarmIterations, batch.ColdIterations)
+		}
+		if batch.PerturbedFraction <= 0 {
+			t.Errorf("dynamic batch %d: perturbed fraction %g, want > 0", i+1, batch.PerturbedFraction)
 		}
 	}
 
@@ -63,6 +77,7 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 			"HiPa":    {AllocsPerIter: 0, BytesPerIter: 0, ExecAllocs: 30, ExecBytes: 30000},
 			"EC-HiPa": {ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 12, ActiveFraction: 0.8, PartitionsSkipped: 40},
 		},
+		Dynamic: []DynamicBatch{{WarmIterations: 4, ColdIterations: 10, PerturbedFraction: 0.004}},
 	}
 	clone := func(mutate func(*AllocBaseline)) *AllocBaseline {
 		c := *base
@@ -70,6 +85,7 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 		for k, v := range base.Engines {
 			c.Engines[k] = v
 		}
+		c.Dynamic = append([]DynamicBatch(nil), base.Dynamic...)
 		mutate(&c)
 		return &c
 	}
@@ -101,6 +117,21 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 		}, true},
 		{"pruning stopped engaging", func(b *AllocBaseline) {
 			b.Engines["EC-HiPa"] = AllocMeasurement{ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 12, ActiveFraction: 0.8, PartitionsSkipped: 0}
+		}, true},
+		{"dynamic drift within slack", func(b *AllocBaseline) {
+			b.Dynamic[0] = DynamicBatch{WarmIterations: 5, ColdIterations: 11, PerturbedFraction: 0.05}
+		}, false},
+		{"dynamic warm stopped paying off", func(b *AllocBaseline) {
+			b.Dynamic[0] = DynamicBatch{WarmIterations: 10, ColdIterations: 10, PerturbedFraction: 0.004}
+		}, true},
+		{"dynamic warm-iteration blowup", func(b *AllocBaseline) {
+			b.Dynamic[0] = DynamicBatch{WarmIterations: 8, ColdIterations: 10, PerturbedFraction: 0.004}
+		}, true},
+		{"dynamic perturbed-fraction drift", func(b *AllocBaseline) {
+			b.Dynamic[0] = DynamicBatch{WarmIterations: 4, ColdIterations: 10, PerturbedFraction: 0.2}
+		}, true},
+		{"dynamic batch-count mismatch", func(b *AllocBaseline) {
+			b.Dynamic = append(b.Dynamic, DynamicBatch{WarmIterations: 4, ColdIterations: 10})
 		}, true},
 	}
 	for _, tc := range cases {

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"hipa/internal/engines/common"
+	"hipa/internal/engines/delta"
 	"hipa/internal/engines/ec"
 	"hipa/internal/engines/gpop"
 	"hipa/internal/engines/hipa"
@@ -145,15 +146,16 @@ func Engines() []common.Engine {
 }
 
 // AllEngines returns every registered engine: the paper five followed by
-// the frontier-aware additions (EC-HiPa, NB-PR).
+// the frontier-aware additions (EC-HiPa, NB-PR, Delta-PR).
 func AllEngines() []common.Engine {
-	return append(Engines(), ec.Engine{}, nb.Engine{})
+	return append(Engines(), ec.Engine{}, nb.Engine{}, delta.Engine{})
 }
 
 // engineAliases maps short -engine spellings to registry names.
 var engineAliases = map[string]string{
-	"ec": ec.Name,
-	"nb": nb.Name,
+	"ec":    ec.Name,
+	"nb":    nb.Name,
+	"delta": delta.Name,
 }
 
 // EngineNames returns every accepted -engine value: the registry names in
@@ -163,11 +165,11 @@ func EngineNames() []string {
 	for _, e := range AllEngines() {
 		names = append(names, e.Name())
 	}
-	return append(names, "ec", "nb")
+	return append(names, "ec", "nb", "delta")
 }
 
 // EngineByName looks an engine up by its registry name (case-insensitive)
-// or a short alias ("ec", "nb"). The error of an unknown name lists every
+// or a short alias ("ec", "nb", "delta"). The error of an unknown name lists every
 // accepted value.
 func EngineByName(name string) (common.Engine, error) {
 	if full, ok := engineAliases[strings.ToLower(name)]; ok {
@@ -197,9 +199,10 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 		o.Platform = platform.NewNative(m)
 	}
 	switch strings.ToLower(engineName) {
-	case "hipa", "ec-hipa", "ec":
-		// EC-HiPa shares HiPa's execution shape and tuning; its pruning
-		// tolerance defaults inside the engine when Tolerance is zero.
+	case "hipa", "ec-hipa", "ec", "delta-pr", "delta":
+		// EC-HiPa and Delta-PR share HiPa's execution shape and tuning;
+		// their pruning/propagation tolerances default inside the engines
+		// when Tolerance is zero.
 		o.Threads = m.LogicalCores()
 		o.PartitionBytes = c.PartBytes(256 << 10)
 	case "p-pr":

@@ -498,3 +498,42 @@ func TestRenderCSV(t *testing.T) {
 		}
 	}
 }
+
+// TestDynamicExperiment runs the incremental re-rank replay and gates the
+// headline claim: the sparse warm path converges in at least 2× fewer
+// iterations than cold re-ranking, at cold-level accuracy, with modelled
+// traffic savings to match.
+func TestDynamicExperiment(t *testing.T) {
+	cfg := testConfig()
+	rows, tbl, err := Dynamic(cfg, "journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != dynamicBatches || len(tbl.Rows) != dynamicBatches {
+		t.Fatalf("rows = %d, want %d", len(rows), dynamicBatches)
+	}
+	var cold, warm, delta int
+	for _, r := range rows {
+		if r.Inserted == 0 && r.Deleted == 0 {
+			t.Errorf("batch %d applied no effective mutations", r.Batch)
+		}
+		if r.PerturbedFraction <= 0 || r.PerturbedFraction > 1 {
+			t.Errorf("batch %d: perturbed fraction %g out of range", r.Batch, r.PerturbedFraction)
+		}
+		if r.MaxAbsDiff > 10*FrontierTolerance {
+			t.Errorf("batch %d: warm delta drifted %g from cold (limit %g)", r.Batch, r.MaxAbsDiff, 10*FrontierTolerance)
+		}
+		if r.ColdBytes > 0 && r.DeltaBytes >= r.ColdBytes {
+			t.Errorf("batch %d: sparse warm run modelled %d bytes, cold %d — no traffic saved", r.Batch, r.DeltaBytes, r.ColdBytes)
+		}
+		cold += r.ColdIterations
+		warm += r.WarmIterations
+		delta += r.DeltaIterations
+	}
+	if 2*delta > cold {
+		t.Errorf("sparse warm path spent %d iterations vs %d cold — want at least 2× fewer", delta, cold)
+	}
+	if warm >= cold {
+		t.Errorf("dense warm path spent %d iterations vs %d cold — warm starts should converge faster", warm, cold)
+	}
+}

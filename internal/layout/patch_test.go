@@ -1,0 +1,133 @@
+package layout
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"hipa/internal/graph"
+	"hipa/internal/partition"
+)
+
+// randomVersioned builds a random graph, applies a few random mutation
+// batches, and returns the versioned wrapper.
+func randomVersioned(t *testing.T, seed uint64, n, edges int) *graph.Versioned {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := graph.NewBuilder(n)
+	b.Dedup = true
+	for i := 0; i < edges; i++ {
+		b.AddEdge(graph.VertexID(rng.IntN(n)), graph.VertexID(rng.IntN(n)))
+	}
+	return graph.NewVersioned(b.Build())
+}
+
+func randomBatch(rng *rand.Rand, n, size int) []graph.Mutation {
+	muts := make([]graph.Mutation, size)
+	for i := range muts {
+		muts[i] = graph.Mutation{
+			Op:  graph.MutOp(rng.IntN(2)),
+			Src: graph.VertexID(rng.IntN(n)),
+			Dst: graph.VertexID(rng.IntN(n)),
+		}
+	}
+	return muts
+}
+
+// touchedPartitions maps a delta's touched vertices to sorted partition IDs.
+func touchedPartitions(d *graph.Delta, h *partition.Hierarchy) []int {
+	seen := map[int]bool{}
+	for _, v := range d.Touched {
+		seen[h.PartitionOfVertex(v)] = true
+	}
+	out := make([]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestPatchEqualsBuild replays random mutation batches and checks that the
+// spliced layout is bit-identical to a cold Build at every version, for both
+// compressed and uncompressed layouts and several partition sizes.
+func TestPatchEqualsBuild(t *testing.T) {
+	const n, edges = 600, 3000
+	for _, compress := range []bool{true, false} {
+		for _, partBytes := range []int{256, 1024} {
+			vg := randomVersioned(t, 42, n, edges)
+			rng := rand.New(rand.NewPCG(7, 0))
+			cfg := partition.Config{PartitionBytes: partBytes, BytesPerVertex: 4, NumNodes: 2, GroupsPerNode: 2}
+
+			prevVer := vg.Version()
+			prevG := vg.Snapshot()
+			prevH, err := partition.Build(prevG, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prevL, err := Build(prevG, prevH, compress)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for batch := 0; batch < 5; batch++ {
+				ver, err := vg.ApplyBatch(randomBatch(rng, n, 40))
+				if err != nil {
+					t.Fatal(err)
+				}
+				d, err := vg.DeltaBetween(prevVer, ver)
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := partition.Advance(prevH, d.Next, touchedPartitions(d, prevH))
+				if err != nil {
+					t.Fatal(err)
+				}
+				coldH, err := partition.Build(d.Next, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(h, coldH) {
+					t.Fatalf("compress=%v partBytes=%d batch %d: advanced hierarchy differs from cold build", compress, partBytes, batch)
+				}
+				got, err := Patch(prevL, d.Next, h, touchedPartitions(d, prevH))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := Build(d.Next, h, compress)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("compress=%v partBytes=%d batch %d: patched layout differs from cold build", compress, partBytes, batch)
+				}
+				if err := got.Validate(d.Next, h); err != nil {
+					t.Fatal(err)
+				}
+				prevVer, prevG, prevH, prevL = ver, d.Next, h, got
+			}
+			_ = prevG
+		}
+	}
+}
+
+// TestPatchRejectsBadInput covers the error paths.
+func TestPatchRejectsBadInput(t *testing.T) {
+	vg := randomVersioned(t, 1, 100, 300)
+	g := vg.Snapshot()
+	cfg := partition.Config{PartitionBytes: 64, BytesPerVertex: 4, NumNodes: 2}
+	h, err := partition.Build(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g, h, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Patch(l, g, h, []int{3, 1}); err == nil {
+		t.Fatal("unsorted touched list must be rejected")
+	}
+	if _, err := Patch(l, g, h, []int{h.NumPartitions()}); err == nil {
+		t.Fatal("out-of-range partition must be rejected")
+	}
+}

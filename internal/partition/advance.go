@@ -1,0 +1,52 @@
+package partition
+
+import (
+	"fmt"
+
+	"hipa/internal/graph"
+)
+
+// Advance returns a fresh Hierarchy for g, reusing h's fixed partition
+// geometry and recomputing only what a mutation batch can change: the edge
+// counts of the touched partitions (an O(1) offset difference each), the
+// edge-balanced node assignment, and the thread groups. Partition vertex
+// ranges never move — mutations are edge-only, so |V| and the fixed-size
+// cache partitions are invariant — which is what makes the patch equal to a
+// cold Build on g: Build derives everything downstream of the partition
+// array from the per-partition edge counts, and those are recomputed here
+// from the same offsets a cold Build would read.
+//
+// touched lists the partition IDs whose vertices' out-adjacency changed;
+// IDs outside [0, len(h.Partitions)) are rejected.
+func Advance(h *Hierarchy, g *graph.Graph, touched []int) (*Hierarchy, error) {
+	if g.NumVertices() != h.NumVertices {
+		return nil, fmt.Errorf("partition: advance graph has %d vertices, hierarchy %d", g.NumVertices(), h.NumVertices)
+	}
+	nh := &Hierarchy{
+		Config:               h.Config,
+		NumVertices:          h.NumVertices,
+		NumEdges:             g.NumEdges(),
+		VerticesPerPartition: h.VerticesPerPartition,
+		Partitions:           append([]Partition(nil), h.Partitions...),
+	}
+	off := g.OutOffsets()
+	for _, p := range touched {
+		if p < 0 || p >= len(nh.Partitions) {
+			return nil, fmt.Errorf("partition: advance touched partition %d out of range [0,%d)", p, len(nh.Partitions))
+		}
+		part := &nh.Partitions[p]
+		part.EdgeCount = off[part.VertexEnd] - off[part.VertexStart]
+	}
+	nh.Nodes = assignNodes(nh.Partitions, nh.Config, nh.NumEdges, nh.NumVertices)
+	if nh.Config.GroupsPerNode > 0 {
+		nh.Groups = assignGroups(nh.Partitions, nh.Nodes, nh.Config.GroupsPerNode)
+	} else {
+		for _, na := range nh.Nodes {
+			nh.Groups = append(nh.Groups, Group{
+				Node: na.Node, IndexInNode: 0, ThreadID: na.Node,
+				PartStart: na.PartStart, PartEnd: na.PartEnd, EdgeCount: na.EdgeCount,
+			})
+		}
+	}
+	return nh, nil
+}
