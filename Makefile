@@ -6,7 +6,7 @@ BENCH_BASELINE ?= BENCH_pagerank.json
 BENCH_DIVISOR  ?= 1024
 BENCH_DATASET  ?= journal
 
-.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke dynamic-smoke telemetry-smoke clean
+.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke dynamic-smoke telemetry-smoke serve-smoke clean
 
 all: build
 
@@ -46,7 +46,7 @@ race-prep:
 bench-prep:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare' -benchtime 1x ./internal/graph/ .
 
-ci: vet staticcheck build race race-prep bench-prep bench smoke dynamic-smoke telemetry-smoke bench-gate
+ci: vet staticcheck build race race-prep bench-prep bench smoke dynamic-smoke telemetry-smoke serve-smoke bench-gate
 
 # One-iteration pass over the root benchmarks (compile-and-run validation of
 # every benchmark body; not a timing run). `smoke` used to duplicate this —
@@ -72,6 +72,14 @@ dynamic-smoke:
 # Set TELEMETRY_SMOKE_OUT=path to keep the final scrape (CI uploads it).
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# Serving smoke: hipaserve on a catalog graph under loadgen's closed-loop
+# zipfian traffic with mid-load reloads — zero query errors, per-endpoint
+# latency histograms live on /metrics (promcheck), recompute coalescing
+# counter-asserted, served-version gauge tracking the reloads. Set
+# SERVE_SMOKE_OUT=path to keep the final scrape (CI uploads it).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Allocation gate: measure the Exec allocation profile of every registered
 # engine plus the dynamic-replay warm-vs-cold convergence trajectory, and

@@ -1,0 +1,264 @@
+// Command loadgen drives a running hipaserve with closed-loop query
+// traffic and reports throughput and latency percentiles.
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-graph wiki] [-duration 5s]
+//	        [-workers 8] [-zipf 1.2] [-seed 1]
+//	        [-rank 6 -topk 2 -neighbors 2]
+//	loadgen -url ... -coalesce-probe 16
+//
+// The default mode runs -workers closed-loop workers (each sends its next
+// request as soon as the previous response is read) for -duration, mixing
+// GET /v1/rank, /v1/topk, and /v1/neighbors in the given integer weights.
+// Vertex IDs are drawn from a zipfian distribution over the graph's vertex
+// range — hot vertices dominate, like real query traffic. The report
+// prints per-endpoint and overall request counts, error counts, and
+// p50/p95/p99 latency, plus a one-line machine-readable summary:
+//
+//	loadgen: total=12345 errors=0 qps=2469.0 p50ms=2.1 p95ms=5.0 p99ms=7.9
+//
+// The exit status is nonzero when any request failed, so smoke scripts can
+// gate on a clean run.
+//
+// -coalesce-probe K instead fires K barrier-synchronized identical
+// recompute requests (GET /v1/rank?recompute=1): all K are released at
+// once, so a correctly coalescing server runs one Exec and joins the other
+// K-1 onto it — visible in hipa_serve_exec_coalesced_total. The probe
+// reports the K latencies and the same summary line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "", "hipaserve base URL (required), e.g. http://127.0.0.1:8080")
+		graph    = flag.String("graph", "", "graph name (default: the server's only graph)")
+		duration = flag.Duration("duration", 5*time.Second, "how long to run the closed loop")
+		workers  = flag.Int("workers", 8, "closed-loop worker count")
+		zipfS    = flag.Float64("zipf", 1.2, "zipfian skew for vertex picks (s > 1)")
+		seed     = flag.Int64("seed", 1, "vertex-pick RNG seed")
+		wRank    = flag.Int("rank", 6, "mix weight of /v1/rank")
+		wTopK    = flag.Int("topk", 2, "mix weight of /v1/topk")
+		wNb      = flag.Int("neighbors", 2, "mix weight of /v1/neighbors")
+		probe    = flag.Int("coalesce-probe", 0, "fire K synchronized identical recompute requests instead of the closed loop")
+	)
+	flag.Parse()
+	if *baseURL == "" {
+		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
+		os.Exit(2)
+	}
+	if err := run(*baseURL, *graph, *duration, *workers, *zipfS, *seed, [3]int{*wRank, *wTopK, *wNb}, *probe); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one completed request.
+type sample struct {
+	endpoint string
+	latency  time.Duration
+	ok       bool
+}
+
+func run(baseURL, graphName string, duration time.Duration, workers int, zipfS float64, seed int64, weights [3]int, probe int) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	vertices, err := discoverGraph(client, baseURL, &graphName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: target %s graph=%s vertices=%d\n", baseURL, graphName, vertices)
+
+	var samples []sample
+	var elapsed time.Duration
+	if probe > 0 {
+		samples, elapsed = runProbe(client, baseURL, graphName, probe)
+	} else {
+		samples, elapsed = runClosedLoop(client, baseURL, graphName, vertices, duration, workers, zipfS, seed, weights)
+	}
+	return report(samples, elapsed)
+}
+
+// discoverGraph asks /v1/graphs for the target graph's vertex count,
+// defaulting the name when the server has exactly one graph.
+func discoverGraph(client *http.Client, baseURL string, name *string) (int, error) {
+	var doc struct {
+		Graphs []struct {
+			Name     string `json:"name"`
+			Vertices int    `json:"vertices"`
+		} `json:"graphs"`
+	}
+	if err := getJSON(client, baseURL+"/v1/graphs", &doc); err != nil {
+		return 0, fmt.Errorf("discovering graphs: %w", err)
+	}
+	if len(doc.Graphs) == 0 {
+		return 0, fmt.Errorf("server lists no graphs")
+	}
+	if *name == "" {
+		if len(doc.Graphs) > 1 {
+			return 0, fmt.Errorf("server has %d graphs; pick one with -graph", len(doc.Graphs))
+		}
+		*name = doc.Graphs[0].Name
+	}
+	for _, g := range doc.Graphs {
+		if g.Name == *name {
+			return g.Vertices, nil
+		}
+	}
+	return 0, fmt.Errorf("graph %q not served", *name)
+}
+
+// runClosedLoop runs the worker pool for the configured duration.
+func runClosedLoop(client *http.Client, baseURL, graphName string, vertices int, duration time.Duration, workers int, zipfS float64, seed int64, weights [3]int) ([]sample, time.Duration) {
+	wTotal := weights[0] + weights[1] + weights[2]
+	if wTotal <= 0 {
+		weights, wTotal = [3]int{1, 0, 0}, 1
+	}
+	results := make(chan []sample, workers)
+	start := time.Now()
+	deadline := start.Add(duration)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			zipf := rand.NewZipf(rng, zipfS, 1, uint64(vertices-1))
+			var out []sample
+			for time.Now().Before(deadline) {
+				var url, endpoint string
+				switch pick := rng.Intn(wTotal); {
+				case pick < weights[0]:
+					endpoint = "rank"
+					url = fmt.Sprintf("%s/v1/rank?graph=%s&vertex=%d", baseURL, graphName, zipf.Uint64())
+				case pick < weights[0]+weights[1]:
+					endpoint = "topk"
+					url = fmt.Sprintf("%s/v1/topk?graph=%s&k=10", baseURL, graphName)
+				default:
+					endpoint = "neighbors"
+					url = fmt.Sprintf("%s/v1/neighbors?graph=%s&vertex=%d&limit=32", baseURL, graphName, zipf.Uint64())
+				}
+				t0 := time.Now()
+				ok := getOK(client, url)
+				out = append(out, sample{endpoint, time.Since(t0), ok})
+			}
+			results <- out
+		}(w)
+	}
+	var samples []sample
+	for w := 0; w < workers; w++ {
+		samples = append(samples, <-results...)
+	}
+	return samples, time.Since(start)
+}
+
+// runProbe releases K identical recompute requests through a barrier so
+// they arrive together; a coalescing server runs one Exec for all of them.
+func runProbe(client *http.Client, baseURL, graphName string, k int) ([]sample, time.Duration) {
+	url := fmt.Sprintf("%s/v1/rank?graph=%s&vertex=0&recompute=1", baseURL, graphName)
+	release := make(chan struct{})
+	results := make(chan sample, k)
+	var ready sync.WaitGroup
+	ready.Add(k)
+	for i := 0; i < k; i++ {
+		go func() {
+			ready.Done()
+			<-release
+			t0 := time.Now()
+			ok := getOK(client, url)
+			results <- sample{"rank-recompute", time.Since(t0), ok}
+		}()
+	}
+	ready.Wait()
+	start := time.Now()
+	close(release)
+	samples := make([]sample, 0, k)
+	for i := 0; i < k; i++ {
+		samples = append(samples, <-results)
+	}
+	return samples, time.Since(start)
+}
+
+func getOK(client *http.Client, url string) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func getJSON(client *http.Client, url string, out any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// report prints per-endpoint and overall latency percentiles plus the
+// machine-readable summary line; the error return is non-nil when any
+// request failed.
+func report(samples []sample, elapsed time.Duration) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	byEndpoint := map[string][]time.Duration{}
+	var all []time.Duration
+	errors := 0
+	for _, s := range samples {
+		if !s.ok {
+			errors++
+			continue
+		}
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s.latency)
+		all = append(all, s.latency)
+	}
+	names := make([]string, 0, len(byEndpoint))
+	for name := range byEndpoint {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-16s %8s %10s %10s %10s\n", "endpoint", "count", "p50", "p95", "p99")
+	for _, name := range names {
+		lat := byEndpoint[name]
+		fmt.Printf("%-16s %8d %10s %10s %10s\n", name, len(lat),
+			percentile(lat, 0.50).Round(time.Microsecond),
+			percentile(lat, 0.95).Round(time.Microsecond),
+			percentile(lat, 0.99).Round(time.Microsecond))
+	}
+	qps := float64(len(samples)) / elapsed.Seconds()
+	fmt.Printf("loadgen: total=%d errors=%d qps=%.1f p50ms=%.3f p95ms=%.3f p99ms=%.3f\n",
+		len(samples), errors, qps,
+		ms(percentile(all, 0.50)), ms(percentile(all, 0.95)), ms(percentile(all, 0.99)))
+	if errors > 0 {
+		return fmt.Errorf("%d/%d requests failed", errors, len(samples))
+	}
+	return nil
+}
+
+// percentile returns the p-quantile of lat (nearest-rank); lat is sorted in
+// place.
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	i := int(p * float64(len(lat)-1))
+	return lat[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

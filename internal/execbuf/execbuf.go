@@ -15,6 +15,7 @@
 package execbuf
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -56,6 +57,12 @@ type Arena struct {
 	bits    []uint32
 	atomics []PadU64
 	grows   int
+	// owner is the Pool that checked this arena out (nil while free or
+	// never pooled). Put settles the checkout with the owner, so an arena
+	// released into a different pool — a dynamic reload moving work between
+	// artifacts mid-flight — decrements the pool that issued it, and a
+	// double Put cannot drive any counter negative.
+	owner *Pool
 }
 
 func growF32(buf *[]float32, n int, grows *int) []float32 {
@@ -278,15 +285,53 @@ type PoolStats struct {
 	Created int64
 	// Reused is the number of Get calls served from the free list.
 	Reused int64
+	// Outstanding is the number of arenas this pool has checked out to
+	// running Execs and not yet seen returned (to any pool).
+	Outstanding int64
+	// Freed is the number of arenas dropped for garbage collection because
+	// a Put or MoveTo found the free list already at its cap.
+	Freed int64
 }
 
 // Pool is a free list of Arenas, one per Prepared artifact. Get/Put are
 // safe for concurrent use; sequential Execs against one artifact recycle a
 // single arena, concurrent Execs fan out to as many arenas as run at once.
+//
+// The free list is bounded: once a concurrency burst subsides, Put drops
+// arenas beyond the cap (SetCap; default GOMAXPROCS) instead of pinning the
+// burst's peak memory for the artifact's lifetime.
 type Pool struct {
 	mu    sync.Mutex
 	free  []*Arena
+	cap   int // 0 = default (GOMAXPROCS at Put time)
 	stats PoolStats
+}
+
+// SetCap bounds the pool's free list to n warm arenas; excess arenas are
+// dropped on Put/MoveTo. n <= 0 restores the default bound, GOMAXPROCS —
+// the most Execs the runtime can actually run at once, so steady-state
+// serving never allocates, while burst overshoot is returned to the GC.
+func (p *Pool) SetCap(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	p.cap = n
+}
+
+// Cap reports the pool's effective free-list bound.
+func (p *Pool) Cap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.capLocked()
+}
+
+func (p *Pool) capLocked() int {
+	if p.cap > 0 {
+		return p.cap
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Get pops a warm arena, or creates one when the free list is empty.
@@ -295,37 +340,57 @@ func (p *Pool) Get() *Arena {
 	outstandingGauge.Add(1)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.stats.Outstanding++
+	var a *Arena
 	if n := len(p.free); n > 0 {
-		a := p.free[n-1]
+		a = p.free[n-1]
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 		p.stats.Reused++
 		reusedCounter.Inc()
-		return a
+	} else {
+		a = &Arena{}
+		p.stats.Created++
+		createdCounter.Inc()
 	}
-	p.stats.Created++
-	createdCounter.Inc()
-	return &Arena{}
+	a.owner = p
+	return a
 }
 
-// Put returns an arena to the free list for the next Exec.
+// Put returns an arena to the free list for the next Exec, dropping it
+// instead when the free list is already at the pool's cap. The checkout is
+// settled with the pool that issued the arena (its Get may have come from a
+// previous artifact's pool when a reload swapped artifacts mid-flight), so
+// per-pool Outstanding and the process gauge stay exact; an arena that is
+// not checked out (double Put) adjusts no counter.
 func (p *Pool) Put(a *Arena) {
 	if a == nil {
 		return
 	}
 	initMetrics()
-	outstandingGauge.Add(-1)
+	if owner := a.owner; owner != nil {
+		a.owner = nil
+		outstandingGauge.Add(-1)
+		owner.mu.Lock()
+		owner.stats.Outstanding--
+		owner.mu.Unlock()
+	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.free = append(p.free, a)
+	if len(p.free) < p.capLocked() {
+		p.free = append(p.free, a)
+	} else {
+		p.stats.Freed++
+	}
+	p.mu.Unlock()
 }
 
 // MoveTo drains p's free list into dst, preserving warm buffers across an
 // artifact transition (common.Prepared.Advance hands the pool of the old
 // version's artifact to the new one, so a dynamic replay's Execs keep
 // recycling one arena instead of re-allocating O(V) buffers per batch).
-// Traffic counters stay with their pools. Arenas held by running Execs are
-// unaffected — they return to whichever pool their Prepared releases into.
+// Arenas beyond dst's cap are dropped. Traffic counters stay with their
+// pools; arenas held by running Execs are unaffected — they settle their
+// checkout with p whenever and wherever they are Put.
 func (p *Pool) MoveTo(dst *Pool) {
 	if p == dst || p == nil || dst == nil {
 		return
@@ -338,7 +403,15 @@ func (p *Pool) MoveTo(dst *Pool) {
 		return
 	}
 	dst.mu.Lock()
-	dst.free = append(dst.free, moved...)
+	room := dst.capLocked() - len(dst.free)
+	if room < 0 {
+		room = 0
+	}
+	if room > len(moved) {
+		room = len(moved)
+	}
+	dst.free = append(dst.free, moved[:room]...)
+	dst.stats.Freed += int64(len(moved) - room)
 	dst.mu.Unlock()
 }
 

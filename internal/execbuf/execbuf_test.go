@@ -1,6 +1,7 @@
 package execbuf
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -158,5 +159,147 @@ func TestGlobalStatsTrackPoolTraffic(t *testing.T) {
 	p.Put(nil)
 	if got := Outstanding(); got != baseOut {
 		t.Errorf("outstanding after Put(nil) = %d, want %d", got, baseOut)
+	}
+}
+
+// TestPoolCapBoundsFreeList: a concurrency burst must not pin its peak arena
+// memory forever — Put drops arenas beyond the cap.
+func TestPoolCapBoundsFreeList(t *testing.T) {
+	var p Pool
+	p.SetCap(2)
+	if got := p.Cap(); got != 2 {
+		t.Fatalf("cap = %d, want 2", got)
+	}
+	const burst = 6
+	arenas := make([]*Arena, burst)
+	for i := range arenas {
+		arenas[i] = p.Get()
+	}
+	for _, a := range arenas {
+		p.Put(a)
+	}
+	p.mu.Lock()
+	free := len(p.free)
+	p.mu.Unlock()
+	if free != 2 {
+		t.Errorf("free list holds %d arenas after the burst, want cap 2", free)
+	}
+	s := p.Stats()
+	if s.Freed != burst-2 {
+		t.Errorf("freed = %d, want %d", s.Freed, burst-2)
+	}
+	if s.Outstanding != 0 {
+		t.Errorf("outstanding = %d after all Puts, want 0", s.Outstanding)
+	}
+}
+
+func TestPoolDefaultCapIsGOMAXPROCS(t *testing.T) {
+	var p Pool
+	if got, want := p.Cap(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("default cap = %d, want GOMAXPROCS = %d", got, want)
+	}
+	p.SetCap(5)
+	p.SetCap(0) // restore default
+	if got, want := p.Cap(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("cap after SetCap(0) = %d, want GOMAXPROCS = %d", got, want)
+	}
+}
+
+// TestPoolCrossPoolPutSettlesWithOwner: an arena drawn from one pool and
+// released into another (an Exec spanning a reload's artifact swap) must
+// settle its checkout with the issuing pool — neither pool's Outstanding may
+// go negative, and the global gauge stays balanced.
+func TestPoolCrossPoolPutSettlesWithOwner(t *testing.T) {
+	baseOut := Outstanding()
+	var p1, p2 Pool
+	a := p1.Get()
+	if s := p1.Stats(); s.Outstanding != 1 {
+		t.Fatalf("p1 outstanding = %d after Get, want 1", s.Outstanding)
+	}
+	p2.Put(a)
+	if s := p1.Stats(); s.Outstanding != 0 {
+		t.Errorf("p1 outstanding = %d after cross-pool Put, want 0", s.Outstanding)
+	}
+	if s := p2.Stats(); s.Outstanding != 0 {
+		t.Errorf("p2 outstanding = %d after receiving a foreign arena, want 0", s.Outstanding)
+	}
+	if got := Outstanding(); got != baseOut {
+		t.Errorf("global outstanding = %d, want %d", got, baseOut)
+	}
+	// The arena now serves p2's next Get.
+	if b := p2.Get(); b != a {
+		t.Error("cross-pool Put did not land the arena on p2's free list")
+	} else {
+		p2.Put(b)
+	}
+}
+
+// TestPoolDoublePutCannotGoNegative: a second Put of the same arena is a
+// caller bug, but it must not corrupt the accounting.
+func TestPoolDoublePutCannotGoNegative(t *testing.T) {
+	baseOut := Outstanding()
+	var p Pool
+	p.SetCap(8)
+	a := p.Get()
+	p.Put(a)
+	p.Put(a)
+	if got := Outstanding(); got != baseOut {
+		t.Errorf("global outstanding = %d after double Put, want %d", got, baseOut)
+	}
+	if s := p.Stats(); s.Outstanding != 0 {
+		t.Errorf("pool outstanding = %d after double Put, want 0", s.Outstanding)
+	}
+}
+
+// TestPoolMoveToRespectsDstCap: migrating a free list across an artifact
+// transition must not overshoot the destination's bound.
+func TestPoolMoveToRespectsDstCap(t *testing.T) {
+	var src, dst Pool
+	src.SetCap(8)
+	dst.SetCap(2)
+	arenas := make([]*Arena, 5)
+	for i := range arenas {
+		arenas[i] = src.Get()
+	}
+	for _, a := range arenas {
+		src.Put(a)
+	}
+	src.MoveTo(&dst)
+	dst.mu.Lock()
+	free := len(dst.free)
+	dst.mu.Unlock()
+	if free != 2 {
+		t.Errorf("dst free list = %d after MoveTo, want cap 2", free)
+	}
+	if s := dst.Stats(); s.Freed != 3 {
+		t.Errorf("dst freed = %d, want 3", s.Freed)
+	}
+	src.mu.Lock()
+	srcFree := len(src.free)
+	src.mu.Unlock()
+	if srcFree != 0 {
+		t.Errorf("src free list = %d after MoveTo, want 0", srcFree)
+	}
+}
+
+// TestPoolMoveToMidFlight: arenas checked out across a MoveTo settle
+// correctly no matter which pool they are returned to.
+func TestPoolMoveToMidFlight(t *testing.T) {
+	baseOut := Outstanding()
+	var old, next Pool
+	held := old.Get() // in-flight Exec on the old artifact
+	warm := old.Get()
+	old.Put(warm) // one warm arena on the old free list
+	old.MoveTo(&next)
+	// The in-flight arena returns into the *new* artifact's pool.
+	next.Put(held)
+	if s := old.Stats(); s.Outstanding != 0 {
+		t.Errorf("old outstanding = %d, want 0", s.Outstanding)
+	}
+	if s := next.Stats(); s.Outstanding != 0 {
+		t.Errorf("next outstanding = %d, want 0", s.Outstanding)
+	}
+	if got := Outstanding(); got != baseOut {
+		t.Errorf("global outstanding = %d, want %d", got, baseOut)
 	}
 }

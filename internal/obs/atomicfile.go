@@ -7,11 +7,19 @@ import (
 	"path/filepath"
 )
 
+// renameFile is swapped by tests to inject commit failures; production code
+// always goes through os.Rename.
+var renameFile = os.Rename
+
 // WriteFileAtomic writes the output of write to path atomically: the
-// content goes to a temporary file in path's directory, which is renamed
-// over path only after a successful write and close. An interrupted or
-// failing export can therefore never leave a truncated file at path — the
-// old content (or absence) survives, and the temporary file is removed.
+// content goes to a temporary file in path's directory, which is fsynced,
+// closed, and renamed over path only after a successful write. An
+// interrupted or failing export can therefore never leave a truncated file
+// at path — the old content (or absence) survives, and the temporary file
+// is removed on every failure path, including a failed rename. The fsync
+// before the rename keeps the atomicity guarantee across a crash: without
+// it, a power loss shortly after the rename could commit the name to a file
+// whose data blocks never reached the disk.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir, base := filepath.Split(path)
 	tmp, err := os.CreateTemp(dir, base+".tmp*")
@@ -27,12 +35,15 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := write(tmp); err != nil {
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
 	name := tmp.Name()
 	tmp = nil // committed past the cleanup path
-	if err := os.Rename(name, path); err != nil {
+	if err := renameFile(name, path); err != nil {
 		os.Remove(name)
 		return fmt.Errorf("obs: commit %s: %w", path, err)
 	}

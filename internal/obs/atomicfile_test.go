@@ -62,6 +62,41 @@ func TestWriteFileAtomicFailedWritePreservesOldContent(t *testing.T) {
 	}
 }
 
+// TestWriteFileAtomicFailedRenameCleansUp injects a failure into the commit
+// rename: the old content must survive, the error must surface, and the
+// temporary file must not be leaked into the directory.
+func TestWriteFileAtomicFailedRenamePreservesOldAndRemovesTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("rename boom")
+	orig := renameFile
+	renameFile = func(oldpath, newpath string) error { return boom }
+	defer func() { renameFile = orig }()
+
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new content that never lands")
+		return err
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected rename failure", err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "precious" {
+		t.Errorf("failed rename clobbered the old file: %q", b)
+	}
+	entries, derr := os.ReadDir(dir)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.json" {
+			t.Errorf("leaked temp file %q after failed rename", e.Name())
+		}
+	}
+}
+
 func TestTraceWriteJSONFile(t *testing.T) {
 	tr := NewTrace()
 	tr.SetLane(0, "worker-0")

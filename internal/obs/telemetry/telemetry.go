@@ -98,7 +98,8 @@ func (l *RunLog) entries() []runEntry {
 }
 
 // Options configures a Server. The zero value serves obs.Default() with a
-// fresh DefaultRunLogSize run log.
+// fresh DefaultRunLogSize run log and drains in-flight requests fully on
+// Close.
 type Options struct {
 	// Registry is the metrics registry /metrics exposes; obs.Default()
 	// when nil.
@@ -107,15 +108,24 @@ type Options struct {
 	Runs *RunLog
 	// RunLogSize sizes the fresh ring when Runs is nil.
 	RunLogSize int
+	// ShutdownTimeout bounds how long Close waits for connections to go
+	// idle before giving up on the graceful path. 0 waits indefinitely —
+	// a slow scraper mid-/metrics always receives its full response.
+	// Regardless of the timeout, Close and Shutdown return only after
+	// every in-flight handler has finished (responses are drained, never
+	// cut off mid-write).
+	ShutdownTimeout time.Duration
 }
 
 // Server is a live telemetry HTTP server. Create with Start, stop with
-// Close.
+// Close (or Shutdown for caller-controlled deadlines).
 type Server struct {
-	reg  *obs.Registry
-	runs *RunLog
-	ln   net.Listener
-	srv  *http.Server
+	reg     *obs.Registry
+	runs    *RunLog
+	ln      net.Listener
+	srv     *http.Server
+	timeout time.Duration
+	active  sync.WaitGroup // in-flight handlers
 
 	done chan struct{}
 	err  error
@@ -137,8 +147,8 @@ func Start(addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, runs: runs, ln: ln, done: make(chan struct{})}
-	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s := &Server{reg: reg, runs: runs, ln: ln, timeout: opts.ShutdownTimeout, done: make(chan struct{})}
+	s.srv = &http.Server{Handler: s.track(s.Handler()), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		defer close(s.done)
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
@@ -158,11 +168,39 @@ func (s *Server) URL() string { return "http://" + s.Addr() }
 // complete.
 func (s *Server) Runs() *RunLog { return s.runs }
 
-// Close shuts the server down, waiting briefly for in-flight requests.
+// track counts in-flight handlers so Shutdown can drain them: the stdlib
+// Shutdown only waits for connections to go *idle* within its context, so a
+// response still being written when the deadline fires would otherwise be
+// abandoned mid-flight.
+func (s *Server) track(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.active.Add(1)
+		defer s.active.Done()
+		h.ServeHTTP(w, r)
+	})
+}
+
+// Close shuts the server down gracefully: the listener stops accepting, the
+// graceful idle wait is bounded by Options.ShutdownTimeout (unbounded when
+// 0), and in-flight handlers are always drained to completion before Close
+// returns — a scrape racing the shutdown receives its full exposition.
 func (s *Server) Close() error {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
+	ctx := context.Background()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	return s.Shutdown(ctx)
+}
+
+// Shutdown is Close with a caller-supplied context bounding the graceful
+// idle-connection wait. Even when ctx expires first, Shutdown returns only
+// after every in-flight handler has completed, so no scrape response is
+// dropped; only keep-alive connections sitting idle are abandoned early.
+func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.srv.Shutdown(ctx)
+	s.active.Wait()
 	<-s.done
 	if err == nil {
 		err = s.err
@@ -170,23 +208,44 @@ func (s *Server) Close() error {
 	return err
 }
 
-// Handler returns the telemetry routing table. It is exported so a future
-// hipaserve can mount the same endpoints on its own server.
+// Handler returns the telemetry routing table (NewMux over the server's
+// registry and run ring), so hipaserve can mount the same endpoints on its
+// own server.
 func (s *Server) Handler() http.Handler {
+	return NewMux(s.reg, s.runs)
+}
+
+// NewMux builds the telemetry routing table over an arbitrary registry and
+// run ring: /metrics, /healthz, /runs, /debug/pprof/*, and a plain-text
+// index at /. reg nil selects obs.Default(); runs may be nil (the /runs
+// document is then empty). hipaserve mounts this beside its query
+// endpoints, so one listener serves both traffic and introspection.
+func NewMux(reg *obs.Registry, runs *RunLog) *http.ServeMux {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	h := &muxHandlers{reg: reg, runs: runs}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/runs", h.handleRuns)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/", h.handleIndex)
 	return mux
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// muxHandlers backs NewMux: the endpoint implementations over a registry
+// and a run ring, with no server lifecycle attached.
+type muxHandlers struct {
+	reg  *obs.Registry
+	runs *RunLog
+}
+
+func (s *muxHandlers) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", obs.ExpositionContentType)
 	if err := s.reg.WritePrometheus(w); err != nil {
 		// Headers are already sent; nothing useful left to report.
@@ -194,12 +253,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *muxHandlers) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
 
-func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+func (s *muxHandlers) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -210,7 +269,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+func (s *muxHandlers) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hipa/internal/obs"
 )
@@ -145,6 +148,130 @@ func TestRunLogRingAndNilSafety(t *testing.T) {
 	nilLog.Add("ignored") // must not panic
 	if nilLog.Len() != 0 || nilLog.entries() != nil {
 		t.Error("nil RunLog not inert")
+	}
+}
+
+// slowReport is a run report whose JSON marshalling stalls — a stand-in for
+// a scraper on a slow link, letting the shutdown-drain contract be tested
+// without a large payload. started is closed when marshalling begins.
+type slowReport struct {
+	delay   time.Duration
+	started chan struct{}
+	once    *atomic.Bool
+}
+
+func (r slowReport) MarshalJSON() ([]byte, error) {
+	if r.once.CompareAndSwap(false, true) {
+		close(r.started)
+	}
+	time.Sleep(r.delay)
+	return []byte(`"slow"`), nil
+}
+
+// TestCloseDrainsSlowScrape is the regression test for the shutdown path
+// dropping in-flight responses: a scrape that is mid-response when Close is
+// called must receive its complete body, and Close must not return before
+// the handler has finished.
+func TestCloseDrainsSlowScrape(t *testing.T) {
+	rep := slowReport{delay: 300 * time.Millisecond, started: make(chan struct{}), once: new(atomic.Bool)}
+	runs := NewRunLog(4)
+	runs.Add(rep)
+	// A short timeout: the graceful idle wait expires while the handler is
+	// still marshalling, which is exactly when the old code abandoned the
+	// response.
+	s, err := Start("127.0.0.1:0", Options{Registry: obs.NewRegistry(), Runs: runs, ShutdownTimeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get(s.URL() + "/runs")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- scrape{body: string(b), err: err}
+	}()
+
+	<-rep.started // the handler is now inside the slow marshal
+	closed := make(chan error, 1)
+	start := time.Now()
+	go func() { closed <- s.Close() }()
+
+	select {
+	case err := <-closed:
+		if waited := time.Since(start); waited < rep.delay/2 {
+			t.Errorf("Close returned after %v with a %v handler in flight (err=%v) — in-flight response not drained", waited, rep.delay, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return")
+	}
+
+	select {
+	case sc := <-got:
+		if sc.err != nil {
+			t.Fatalf("slow scrape failed across shutdown: %v", sc.err)
+		}
+		if !strings.Contains(sc.body, `"slow"`) {
+			t.Errorf("slow scrape body truncated: %q", sc.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow scrape never completed")
+	}
+}
+
+// TestShutdownNoTimeoutWaitsForHandlers: the default configuration (zero
+// ShutdownTimeout) must wait for in-flight work with no deadline at all.
+func TestShutdownNoTimeoutWaitsForHandlers(t *testing.T) {
+	rep := slowReport{delay: 150 * time.Millisecond, started: make(chan struct{}), once: new(atomic.Bool)}
+	runs := NewRunLog(4)
+	runs.Add(rep)
+	s, err := Start("127.0.0.1:0", Options{Registry: obs.NewRegistry(), Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(s.URL() + "/runs")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-rep.started
+	if err := s.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request did not complete")
+	}
+}
+
+// TestNewMuxStandalone: the exported mux serves the telemetry endpoints
+// without a Server lifecycle — the shape hipaserve mounts beside its query
+// handlers.
+func TestNewMuxStandalone(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("mux_total").Add(7)
+	srv := httptest.NewServer(NewMux(reg, nil))
+	defer srv.Close()
+	code, body, _ := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "mux_total 7") {
+		t.Errorf("/metrics via standalone mux = %d %q", code, body)
+	}
+	code, body, _ = get(t, srv.URL+"/runs")
+	if code != http.StatusOK || !strings.Contains(body, `"runs"`) {
+		t.Errorf("/runs with a nil ring = %d %q, want an empty runs document", code, body)
 	}
 }
 

@@ -1,0 +1,309 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hipa/internal/graph"
+	"hipa/internal/obs/telemetry"
+)
+
+// Handler returns the service's full routing table: the /v1 query and admin
+// endpoints plus the telemetry surface (/metrics, /healthz, /runs,
+// /debug/pprof/) on the same listener, every endpoint wrapped in the
+// latency/status instrumentation.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/rank", s.instrument("rank", s.handleRank))
+	mux.Handle("/v1/topk", s.instrument("topk", s.handleTopK))
+	mux.Handle("/v1/neighbors", s.instrument("neighbors", s.handleNeighbors))
+	mux.Handle("/v1/graphs", s.instrument("graphs", s.handleGraphs))
+	mux.Handle("/v1/admin/reload", s.instrument("reload", s.handleReload))
+
+	tele := telemetry.NewMux(s.metrics.reg, nil)
+	mux.Handle("/metrics", s.instrument("metrics", tele.ServeHTTP))
+	mux.Handle("/healthz", tele)
+	mux.Handle("/runs", tele)
+	mux.Handle("/debug/pprof/", tele)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// statusWriter captures the response code for the request counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the per-endpoint latency histogram, the
+// per-status request counter, and the in-flight gauge.
+func (s *Service) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.httpSeconds(endpoint).Observe(time.Since(start).Seconds())
+		s.metrics.httpRequests(endpoint, strconv.Itoa(sw.code)).Inc()
+	})
+}
+
+// httpError replies with a JSON error document.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+// writeJSON replies 200 with an indented JSON document.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// requestGraph resolves the ?graph= parameter, defaulting to the registry's
+// only entry when the config serves exactly one graph.
+func (s *Service) requestGraph(r *http.Request) (*servingGraph, error) {
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		if names := s.graphNames(); len(names) == 1 {
+			name = names[0]
+		} else {
+			return nil, fmt.Errorf("?graph= is required (serving %d graphs)", len(names))
+		}
+	}
+	return s.graph(name)
+}
+
+// parseVertex parses the ?vertex= parameter and bounds-checks it against g.
+func parseVertex(r *http.Request, g *graph.Graph) (graph.VertexID, error) {
+	raw := r.URL.Query().Get("vertex")
+	if raw == "" {
+		return 0, fmt.Errorf("?vertex= is required")
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q", raw)
+	}
+	if v < 0 || v >= int64(g.NumVertices()) {
+		return 0, fmt.Errorf("vertex %d out of range [0, %d)", v, g.NumVertices())
+	}
+	return graph.VertexID(v), nil
+}
+
+// handleRank serves GET /v1/rank?graph=NAME&vertex=V: one vertex's PageRank
+// under the snapshot current at arrival. ?recompute=1 forces a fresh Exec
+// (still coalescing with any identical in-flight run) — the knob the smoke
+// test leans on to demonstrate Exec coalescing under load.
+func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sg, err := s.requestGraph(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	snap := sg.cur.Load()
+	v, err := parseVertex(r, snap.g)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	recompute := r.URL.Query().Get("recompute") == "1"
+	res, err := s.ranksFor(sg, snap, recompute)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "exec: %v", err)
+		return
+	}
+	writeJSON(w, struct {
+		Graph      string        `json:"graph"`
+		Version    graph.Version `json:"version"`
+		Vertex     int64         `json:"vertex"`
+		Rank       float64       `json:"rank"`
+		Iterations int           `json:"iterations"`
+	}{sg.name, snap.ver, int64(v), float64(res.Ranks[v]), res.Iterations})
+}
+
+// handleTopK serves GET /v1/topk?graph=NAME&k=K: the K highest-ranked
+// vertices with their scores, highest first.
+func (s *Service) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sg, err := s.requestGraph(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if k, err = strconv.Atoi(raw); err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, "bad k %q", raw)
+			return
+		}
+	}
+	snap := sg.cur.Load()
+	res, err := s.ranksFor(sg, snap, false)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "exec: %v", err)
+		return
+	}
+	type entry struct {
+		Vertex int32   `json:"vertex"`
+		Rank   float64 `json:"rank"`
+	}
+	ids := topKOf(res.Ranks, k)
+	top := make([]entry, len(ids))
+	for i, id := range ids {
+		top[i] = entry{id, float64(res.Ranks[id])}
+	}
+	writeJSON(w, struct {
+		Graph      string        `json:"graph"`
+		Version    graph.Version `json:"version"`
+		K          int           `json:"k"`
+		Iterations int           `json:"iterations"`
+		Top        []entry       `json:"top"`
+	}{sg.name, snap.ver, len(top), res.Iterations, top})
+}
+
+// handleNeighbors serves GET /v1/neighbors?graph=NAME&vertex=V&dir=out: one
+// vertex's adjacency under the current snapshot (dir out|in, default out;
+// ?limit= truncates the listing, degree always reports the full count).
+func (s *Service) handleNeighbors(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sg, err := s.requestGraph(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	snap := sg.cur.Load()
+	v, err := parseVertex(r, snap.g)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var adj []graph.VertexID
+	dir := r.URL.Query().Get("dir")
+	switch dir {
+	case "", "out":
+		dir = "out"
+		adj = snap.g.OutNeighbors(v)
+	case "in":
+		adj = snap.g.InNeighbors(v)
+	default:
+		httpError(w, http.StatusBadRequest, "bad dir %q (want out or in)", dir)
+		return
+	}
+	degree := len(adj)
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err := strconv.Atoi(raw)
+		if err != nil || limit < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit %q", raw)
+			return
+		}
+		if limit < len(adj) {
+			adj = adj[:limit]
+		}
+	}
+	writeJSON(w, struct {
+		Graph     string           `json:"graph"`
+		Version   graph.Version    `json:"version"`
+		Vertex    int64            `json:"vertex"`
+		Dir       string           `json:"dir"`
+		Degree    int              `json:"degree"`
+		Neighbors []graph.VertexID `json:"neighbors"`
+	}{sg.name, snap.ver, int64(v), dir, degree, adj})
+}
+
+// handleGraphs serves GET /v1/graphs: the registry listing with per-graph
+// size, version, and reload count.
+func (s *Service) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	type entry struct {
+		Name     string        `json:"name"`
+		Version  graph.Version `json:"version"`
+		Vertices int           `json:"vertices"`
+		Edges    int64         `json:"edges"`
+		Reloads  int64         `json:"reloads"`
+		Ranked   bool          `json:"ranked"`
+	}
+	var out []entry
+	for _, name := range s.graphNames() {
+		sg, err := s.graph(name)
+		if err != nil {
+			continue
+		}
+		snap := sg.cur.Load()
+		snap.mu.Lock()
+		ranked := snap.ranks != nil
+		snap.mu.Unlock()
+		out = append(out, entry{name, snap.ver, snap.g.NumVertices(), snap.g.NumEdges(), sg.reloads.Load(), ranked})
+	}
+	writeJSON(w, struct {
+		Engine string  `json:"engine"`
+		Graphs []entry `json:"graphs"`
+	}{s.engine.Name(), out})
+}
+
+// handleReload serves POST /v1/admin/reload?graph=NAME with a mutation
+// stream body ("+ src dst" / "- src dst" / "commit" lines): the versioned
+// graph advances, the artifact is patched, and the serving snapshot swaps
+// atomically. In-flight queries complete on the snapshot they started with.
+func (s *Service) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a mutation stream")
+		return
+	}
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		if names := s.graphNames(); len(names) == 1 {
+			name = names[0]
+		} else {
+			httpError(w, http.StatusBadRequest, "?graph= is required")
+			return
+		}
+	}
+	rep, err := s.Reload(name, r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reload: %v", err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *Service) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "hipaserve (%s engine, up %s)\n", s.engine.Name(), time.Since(s.started).Round(time.Second))
+	fmt.Fprintln(w, "  GET  /v1/rank?graph=&vertex=[&recompute=1]  one vertex's PageRank")
+	fmt.Fprintln(w, "  GET  /v1/topk?graph=&k=                     highest-ranked vertices")
+	fmt.Fprintln(w, "  GET  /v1/neighbors?graph=&vertex=[&dir=]    adjacency listing")
+	fmt.Fprintln(w, "  GET  /v1/graphs                             serving registry")
+	fmt.Fprintln(w, "  POST /v1/admin/reload?graph=                apply a mutation stream")
+	fmt.Fprintln(w, "  /metrics /healthz /runs /debug/pprof/       telemetry")
+}

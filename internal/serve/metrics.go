@@ -1,0 +1,77 @@
+package serve
+
+import "hipa/internal/obs"
+
+// Registry metric families exported by the serving layer. The hipa_serve_*
+// families describe the compute side (Execs, coalescing, reloads); the
+// hipa_http_* families describe the transport side per endpoint.
+const (
+	MetricExecs         = "hipa_serve_execs_total"
+	MetricExecCoalesced = "hipa_serve_exec_coalesced_total"
+	MetricRankCacheHits = "hipa_serve_rank_cache_hits_total"
+	MetricExecWait      = "hipa_serve_exec_wait_seconds"
+	MetricReloads       = "hipa_serve_reloads_total"
+	MetricReloadSecs    = "hipa_serve_reload_seconds"
+	MetricGraphVersion  = "hipa_serve_graph_version"
+
+	MetricHTTPSeconds  = "hipa_http_request_seconds"
+	MetricHTTPRequests = "hipa_http_requests_total"
+	MetricHTTPInflight = "hipa_http_inflight"
+)
+
+// serveMetrics holds the service's registry handles. Per-graph and
+// per-endpoint series are materialized on first touch through the registry's
+// own interning, so the accessor methods are cheap enough for request paths.
+type serveMetrics struct {
+	reg           *obs.Registry
+	execWait      *obs.Histogram
+	reloadSeconds *obs.Histogram
+	inflight      *obs.Gauge
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	reg.SetHelp(MetricExecs, "Engine Execs run by the serving layer.")
+	reg.SetHelp(MetricExecCoalesced, "Rank requests coalesced onto an in-flight Exec.")
+	reg.SetHelp(MetricRankCacheHits, "Rank requests served from a snapshot's cached vector.")
+	reg.SetHelp(MetricExecWait, "Seconds rank computations waited for an Exec slot.")
+	reg.SetHelp(MetricReloads, "Mutation-stream reloads applied per graph.")
+	reg.SetHelp(MetricReloadSecs, "Seconds spent applying a reload (prep patch + warm re-rank).")
+	reg.SetHelp(MetricGraphVersion, "Currently served graph version.")
+	reg.SetHelp(MetricHTTPSeconds, "HTTP request latency per endpoint.")
+	reg.SetHelp(MetricHTTPRequests, "HTTP requests per endpoint and status code.")
+	reg.SetHelp(MetricHTTPInflight, "HTTP requests currently being handled.")
+	return &serveMetrics{
+		reg:           reg,
+		execWait:      reg.Histogram(MetricExecWait),
+		reloadSeconds: reg.Histogram(MetricReloadSecs),
+		inflight:      reg.Gauge(MetricHTTPInflight),
+	}
+}
+
+func (m *serveMetrics) execs(graph string) *obs.Counter {
+	return m.reg.Counter(MetricExecs, "graph", graph)
+}
+
+func (m *serveMetrics) execCoalesced(graph string) *obs.Counter {
+	return m.reg.Counter(MetricExecCoalesced, "graph", graph)
+}
+
+func (m *serveMetrics) rankCacheHits(graph string) *obs.Counter {
+	return m.reg.Counter(MetricRankCacheHits, "graph", graph)
+}
+
+func (m *serveMetrics) reloads(graph string) *obs.Counter {
+	return m.reg.Counter(MetricReloads, "graph", graph)
+}
+
+func (m *serveMetrics) version(graph string) *obs.Gauge {
+	return m.reg.Gauge(MetricGraphVersion, "graph", graph)
+}
+
+func (m *serveMetrics) httpSeconds(endpoint string) *obs.Histogram {
+	return m.reg.Histogram(MetricHTTPSeconds, "endpoint", endpoint)
+}
+
+func (m *serveMetrics) httpRequests(endpoint, code string) *obs.Counter {
+	return m.reg.Counter(MetricHTTPRequests, "endpoint", endpoint, "code", code)
+}
