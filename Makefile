@@ -6,7 +6,7 @@ BENCH_BASELINE ?= BENCH_pagerank.json
 BENCH_DIVISOR  ?= 1024
 BENCH_DATASET  ?= journal
 
-.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke dynamic-smoke telemetry-smoke serve-smoke clean
+.PHONY: all build test vet staticcheck race race-prep bench-prep ci bench bench-gate bench-baseline smoke dynamic-smoke telemetry-smoke serve-smoke batch-smoke clean
 
 all: build
 
@@ -46,7 +46,7 @@ race-prep:
 bench-prep:
 	$(GO) test -run '^$$' -bench 'BenchmarkPrepare' -benchtime 1x ./internal/graph/ .
 
-ci: vet staticcheck build race race-prep bench-prep bench smoke dynamic-smoke telemetry-smoke serve-smoke bench-gate
+ci: vet staticcheck build race race-prep bench-prep bench smoke dynamic-smoke telemetry-smoke serve-smoke batch-smoke bench-gate
 
 # One-iteration pass over the root benchmarks (compile-and-run validation of
 # every benchmark body; not a timing run). `smoke` used to duplicate this —
@@ -64,7 +64,8 @@ smoke:
 # artifacts, warm execs — with the headline claim enforced (exit 1 unless
 # the sparse warm path converges in at least 2x fewer iterations than cold).
 dynamic-smoke:
-	$(GO) run ./cmd/hipabench -exp dynamic -dynamic-check 		-divisor $(BENCH_DIVISOR) > /dev/null
+	$(GO) run ./cmd/hipabench -exp dynamic -dynamic-check \
+		-divisor $(BENCH_DIVISOR) > /dev/null
 
 # Live-telemetry smoke: start the CLIs with -metrics-addr, curl /metrics and
 # /healthz mid-run, and validate the Prometheus exposition (all five engines'
@@ -80,6 +81,16 @@ telemetry-smoke:
 # SERVE_SMOKE_OUT=path to keep the final scrape (CI uploads it).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Batched-PPR smoke: the modelled bytes-moved-per-query sweep with its 4x
+# amortization check (hipabench -exp batch -batch-check), then a
+# barrier-synchronized loadgen burst against a live hipaserve /v1/ppr queue
+# asserting multi-query batches actually form — from the client's batch
+# widths, the hipa_serve_ppr_batch_size histogram, and promcheck over the
+# ppr metric families. Set BATCH_SMOKE_OUT=path to keep the final scrape
+# (CI uploads it).
+batch-smoke:
+	BATCH_SMOKE_DIVISOR=$(BENCH_DIVISOR) sh scripts/batch_smoke.sh
 
 # Allocation gate: measure the Exec allocation profile of every registered
 # engine plus the dynamic-replay warm-vs-cold convergence trajectory, and

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|frontier|ablation]
+//	hipabench [-exp all|table1|table2|overhead|fig5|fig6|fig7|table3|singlenode|nodescaling|frontier|dynamic|batch|ablation]
 //	          [-divisor N] [-iters N] [-datasets a,b,c] [-seed N]
 //	          [-repeat N] [-format text|csv|json] [-platform skylake]
 //	          [-metrics-addr 127.0.0.1:0]
@@ -63,19 +63,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, frontier, dynamic, ablation")
+		exp      = flag.String("exp", "all", "experiment: all, table1, table2, overhead, fig5, fig6, fig7, table3, singlenode, nodescaling, frontier, dynamic, batch, ablation")
 		divisor  = flag.Int("divisor", gen.DefaultDivisor, "scale divisor for datasets and machine capacities")
 		iters    = flag.Int("iters", 20, "PageRank iterations per timed run")
 		datasets = flag.String("datasets", "", "comma-separated dataset subset (default: full catalog)")
 		seed     = flag.Uint64("seed", 0xC0FFEE, "simulated OS scheduler seed")
-		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation, node-scaling, and frontier experiments")
+		ablGraph = flag.String("ablation-graph", "journal", "dataset for the ablation, node-scaling, frontier, dynamic, and batch experiments")
 		format   = flag.String("format", "text", "output format: text, csv, or json")
 		repeat   = flag.Int("repeat", 1, "run each experiment N times (render the last); later runs reuse cached prep artifacts")
 		pfName   = flag.String("platform", "skylake", "execution platform: skylake, haswell (modelled), or native (wall-clock only)")
 		prepPar  = flag.Int("prep-parallelism", 0, "Prepare-pipeline worker count (0 = all cores, 1 = serial); artifacts are identical at any setting")
 		metrics  = flag.String("metrics-addr", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address for the whole invocation; 127.0.0.1:0 picks a free port")
 
-		dynCheck = flag.Bool("dynamic-check", false, "with -exp dynamic: exit 1 unless the sparse warm path converges in at least 2x fewer total iterations than cold re-ranking")
+		dynCheck   = flag.Bool("dynamic-check", false, "with -exp dynamic: exit 1 unless the sparse warm path converges in at least 2x fewer total iterations than cold re-ranking")
+		batchCheck = flag.Bool("batch-check", false, "with -exp batch: exit 1 unless modelled bytes-moved-per-query at B=16 is at least 4x lower than at B=1")
 
 		baseline      = flag.String("baseline", "", "allocation-baseline mode: compare measured Exec allocation profiles against this BENCH_*.json file (exit 1 on regression) instead of running experiments")
 		baselineWrite = flag.Bool("baseline-write", false, "with -baseline: (re)write the file from the current measurement instead of comparing")
@@ -127,6 +128,7 @@ func main() {
 		run  func() (*harness.Table, error)
 	}
 	var dynamicRows []harness.DynamicRow
+	var batchRows []harness.BatchRow
 	experiments := []experiment{
 		{"table1", func() (*harness.Table, error) { _, t, err := harness.Table1(cfg); return t, err }},
 		{"table2", func() (*harness.Table, error) { _, t, err := harness.Table2(cfg); return t, err }},
@@ -141,6 +143,11 @@ func main() {
 		{"dynamic", func() (*harness.Table, error) {
 			r, t, err := harness.Dynamic(cfg, *ablGraph)
 			dynamicRows = r
+			return t, err
+		}},
+		{"batch", func() (*harness.Table, error) {
+			r, t, err := harness.Batch(cfg, *ablGraph)
+			batchRows = r
 			return t, err
 		}},
 		{"ablation", func() (*harness.Table, error) { _, t, err := harness.Ablations(cfg, *ablGraph); return t, err }},
@@ -202,6 +209,30 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "hipabench: dynamic check passed: %d warm vs %d cold iterations (%.2fx)\n", warm, cold, float64(cold)/float64(warm))
+	}
+	if *batchCheck {
+		if batchRows == nil {
+			fmt.Fprintln(os.Stderr, "hipabench: -batch-check requires the batch experiment to run (-exp batch or -exp all)")
+			os.Exit(2)
+		}
+		var b1, b16 float64
+		for _, r := range batchRows {
+			switch r.B {
+			case 1:
+				b1 = r.BytesPerQuery
+			case 16:
+				b16 = r.BytesPerQuery
+			}
+		}
+		if b1 == 0 || b16 == 0 {
+			fmt.Fprintln(os.Stderr, "hipabench: batch check needs modelled traffic for B=1 and B=16 (run on a modelled platform)")
+			os.Exit(2)
+		}
+		if 4*b16 > b1 {
+			fmt.Fprintf(os.Stderr, "hipabench: batch check FAILED: %.0f bytes/query at B=16 vs %.0f at B=1 (%.2fx, want at least 4x)\n", b16, b1, b1/b16)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hipabench: batch check passed: %.0f bytes/query at B=16 vs %.0f at B=1 (%.2fx)\n", b16, b1, b1/b16)
 	}
 	if s := cfg.Prep.Stats(); s.Hits+s.Misses > 0 {
 		fmt.Fprintf(os.Stderr, "hipabench: prep cache: %d builds, %d hits (%d coalesced), %d evictions\n",

@@ -16,7 +16,7 @@
 // as "hipaserve: serving http://HOST:PORT" before the first request is
 // accepted, so scripts can scrape it.
 //
-// Endpoints: GET /v1/rank, /v1/topk, /v1/neighbors, /v1/graphs; POST
+// Endpoints: GET /v1/rank, /v1/ppr, /v1/topk, /v1/neighbors, /v1/graphs; POST
 // /v1/admin/reload with a mutation-stream body ("+/-/commit" lines) applies
 // graph updates and atomically swaps the serving artifact — in-flight
 // queries finish on the version they started with. /metrics, /healthz,
@@ -95,6 +95,7 @@ func run(configPath, graphPath, dataset string, divisor int, name, engine, liste
 	if err != nil {
 		return err
 	}
+	defer svc.Close()
 	fmt.Printf("hipaserve: %d graph(s) prepared in %.2fs (engine %s)\n", len(cfg.Graphs), time.Since(start).Seconds(), svc.EngineName())
 
 	ln, err := net.Listen("tcp", cfg.Listen)

@@ -7,6 +7,7 @@
 //	        [-workers 8] [-zipf 1.2] [-seed 1]
 //	        [-rank 6 -topk 2 -neighbors 2]
 //	loadgen -url ... -coalesce-probe 16
+//	loadgen -url ... -ppr-burst 32
 //
 // The default mode runs -workers closed-loop workers (each sends its next
 // request as soon as the previous response is read) for -duration, mixing
@@ -26,6 +27,16 @@
 // once, so a correctly coalescing server runs one Exec and joins the other
 // K-1 onto it — visible in hipa_serve_exec_coalesced_total. The probe
 // reports the K latencies and the same summary line.
+//
+// -ppr-burst K fires K barrier-synchronized personalized-PageRank queries
+// (GET /v1/ppr) with distinct seed vertices: the server's request queue
+// should coalesce them into a few batched Execs rather than K singles.
+// Each response carries the width of the batch it rode in; the probe
+// reports the distribution and a machine-readable line:
+//
+//	loadgen: ppr_queries=32 errors=0 max_batch=16 mean_batch=10.7
+//
+// so smoke scripts can assert max_batch > 1 (batching actually engaged).
 package main
 
 import (
@@ -53,13 +64,14 @@ func main() {
 		wTopK    = flag.Int("topk", 2, "mix weight of /v1/topk")
 		wNb      = flag.Int("neighbors", 2, "mix weight of /v1/neighbors")
 		probe    = flag.Int("coalesce-probe", 0, "fire K synchronized identical recompute requests instead of the closed loop")
+		pprBurst = flag.Int("ppr-burst", 0, "fire K synchronized personalized-PageRank queries instead of the closed loop")
 	)
 	flag.Parse()
 	if *baseURL == "" {
 		fmt.Fprintln(os.Stderr, "loadgen: -url is required")
 		os.Exit(2)
 	}
-	if err := run(*baseURL, *graph, *duration, *workers, *zipfS, *seed, [3]int{*wRank, *wTopK, *wNb}, *probe); err != nil {
+	if err := run(*baseURL, *graph, *duration, *workers, *zipfS, *seed, [3]int{*wRank, *wTopK, *wNb}, *probe, *pprBurst); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
@@ -72,7 +84,7 @@ type sample struct {
 	ok       bool
 }
 
-func run(baseURL, graphName string, duration time.Duration, workers int, zipfS float64, seed int64, weights [3]int, probe int) error {
+func run(baseURL, graphName string, duration time.Duration, workers int, zipfS float64, seed int64, weights [3]int, probe, pprBurst int) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	vertices, err := discoverGraph(client, baseURL, &graphName)
 	if err != nil {
@@ -82,9 +94,12 @@ func run(baseURL, graphName string, duration time.Duration, workers int, zipfS f
 
 	var samples []sample
 	var elapsed time.Duration
-	if probe > 0 {
+	switch {
+	case pprBurst > 0:
+		samples, elapsed = runPPRBurst(client, baseURL, graphName, vertices, pprBurst)
+	case probe > 0:
 		samples, elapsed = runProbe(client, baseURL, graphName, probe)
-	} else {
+	default:
 		samples, elapsed = runClosedLoop(client, baseURL, graphName, vertices, duration, workers, zipfS, seed, weights)
 	}
 	return report(samples, elapsed)
@@ -184,6 +199,59 @@ func runProbe(client *http.Client, baseURL, graphName string, k int) ([]sample, 
 	for i := 0; i < k; i++ {
 		samples = append(samples, <-results)
 	}
+	return samples, time.Since(start)
+}
+
+// runPPRBurst releases K personalized-PageRank queries with distinct seed
+// vertices through a barrier so they hit the server's request queue
+// together; a batching server coalesces them into a few wide Execs. Each
+// response reports the width of the batch that served it, which the probe
+// aggregates into the ppr summary line.
+func runPPRBurst(client *http.Client, baseURL, graphName string, vertices, k int) ([]sample, time.Duration) {
+	release := make(chan struct{})
+	type pprResult struct {
+		s     sample
+		batch int
+	}
+	results := make(chan pprResult, k)
+	var ready sync.WaitGroup
+	ready.Add(k)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			url := fmt.Sprintf("%s/v1/ppr?graph=%s&seeds=%d&k=5", baseURL, graphName, i%vertices)
+			ready.Done()
+			<-release
+			var doc struct {
+				Batch int `json:"batch"`
+			}
+			t0 := time.Now()
+			err := getJSON(client, url, &doc)
+			results <- pprResult{sample{"ppr", time.Since(t0), err == nil}, doc.Batch}
+		}(i)
+	}
+	ready.Wait()
+	start := time.Now()
+	close(release)
+	samples := make([]sample, 0, k)
+	maxBatch, batchSum, errors := 0, 0, 0
+	for i := 0; i < k; i++ {
+		r := <-results
+		samples = append(samples, r.s)
+		if !r.s.ok {
+			errors++
+			continue
+		}
+		batchSum += r.batch
+		if r.batch > maxBatch {
+			maxBatch = r.batch
+		}
+	}
+	mean := 0.0
+	if ok := k - errors; ok > 0 {
+		mean = float64(batchSum) / float64(ok)
+	}
+	fmt.Printf("loadgen: ppr_queries=%d errors=%d max_batch=%d mean_batch=%.1f\n",
+		k, errors, maxBatch, mean)
 	return samples, time.Since(start)
 }
 

@@ -56,7 +56,20 @@ type Arena struct {
 	// Barrierless scratch: atomic rank bits and padded publication slots.
 	bits    []uint32
 	atomics []PadU64
-	grows   int
+	// Blocked (rank-B) scratch of the batched PPR engine: two vertex-
+	// interleaved rank blocks (double-buffered), the B-wide accumulator
+	// block, the sparse per-column teleport addends, the per-partition
+	// per-column dangling buffer, the per-thread per-column residual lanes,
+	// and the active-column bookkeeping.
+	ranksBlockA []float32
+	ranksBlockB []float32
+	accBlock    []float32
+	seedAdd     []float32
+	partDangB   []float64
+	colLanes    []float64
+	cols        []int32
+	colIters    []int32
+	grows       int
 	// owner is the Pool that checked this arena out (nil while free or
 	// never pooled). Put settles the checkout with the owner, so an arena
 	// released into a different pool — a dynamic reload moving work between
@@ -191,6 +204,81 @@ func (a *Arena) PartDangling(n int) []float64 {
 	return s
 }
 
+// RanksBlockPair returns the two n-element vertex-interleaved rank blocks
+// of the batched engine (vertex v's B columns live at [v*B, v*B+B)); the
+// gather phase reads one and writes the other, swapping between iterations.
+// Contents are unspecified; the caller seeds every column's restart
+// distribution before the first iteration.
+func (a *Arena) RanksBlockPair(n int) (cur, next []float32) {
+	return growF32(&a.ranksBlockA, n, &a.grows), growF32(&a.ranksBlockB, n, &a.grows)
+}
+
+// AccBlock returns the n-element B-wide accumulator block, zeroed — like
+// Acc, the scatter/decode passes add into it and the rank recompute
+// re-zeroes it, so a zero start is the loop invariant.
+func (a *Arena) AccBlock(n int) []float32 {
+	s := growF32(&a.accBlock, n, &a.grows)
+	clear(s)
+	return s
+}
+
+// SeedAdd returns the n-element per-vertex per-column teleport addend
+// block, zeroed: non-zero only at seed vertices of personalized columns,
+// refreshed sparsely each iteration by the dangling reduce.
+func (a *Arena) SeedAdd(n int) []float32 {
+	s := growF32(&a.seedAdd, n, &a.grows)
+	clear(s)
+	return s
+}
+
+// PartDanglingBlock returns the per-partition per-column dangling buffer
+// (partitions × B entries), zeroed. A frozen column's entries stay at their
+// last written values — exactly that column's dangling contribution under
+// its frozen ranks.
+func (a *Arena) PartDanglingBlock(n int) []float64 {
+	if cap(a.partDangB) < n {
+		a.partDangB = make([]float64, n)
+		a.grows++
+	}
+	s := a.partDangB[:n]
+	clear(s)
+	return s
+}
+
+// ColLanes returns the per-thread per-column L∞ residual lanes (threads ×
+// stride entries, the caller padding the stride to a cache-line multiple so
+// neighbouring threads never false-share), zeroed.
+func (a *Arena) ColLanes(n int) []float64 {
+	if cap(a.colLanes) < n {
+		a.colLanes = make([]float64, n)
+		a.grows++
+	}
+	s := a.colLanes[:n]
+	clear(s)
+	return s
+}
+
+// Cols returns the n-element active-column list. Contents are unspecified;
+// the caller fills it with the initially dense column set.
+func (a *Arena) Cols(n int) []int32 {
+	if cap(a.cols) < n {
+		a.cols = make([]int32, n)
+		a.grows++
+	}
+	return a.cols[:n]
+}
+
+// ColIters returns the per-column executed-iteration counters, zeroed.
+func (a *Arena) ColIters(n int) []int32 {
+	if cap(a.colIters) < n {
+		a.colIters = make([]int32, n)
+		a.grows++
+	}
+	s := a.colIters[:n]
+	clear(s)
+	return s
+}
+
 // RankBits returns the n-element atomic rank buffer of the barrierless
 // engine: uint32 views of float32 ranks, published with atomic stores and
 // pulled with atomic loads. Contents are unspecified; the caller seeds the
@@ -225,10 +313,12 @@ func (a *Arena) Grows() int { return a.grows }
 
 // Footprint returns the arena's total buffer capacity in bytes.
 func (a *Arena) Footprint() int64 {
-	f32 := cap(a.ranks) + cap(a.acc) + cap(a.bins) + cap(a.contrib) + cap(a.partRes)
+	f32 := cap(a.ranks) + cap(a.acc) + cap(a.bins) + cap(a.contrib) + cap(a.partRes) +
+		cap(a.ranksBlockA) + cap(a.ranksBlockB) + cap(a.accBlock) + cap(a.seedAdd)
 	pad := cap(a.partials) + cap(a.residuals) + cap(a.atomics)
-	i32 := cap(a.worklist) + cap(a.partIters) + cap(a.partCounts) + cap(a.bits)
-	i64 := cap(a.bitmap) + cap(a.partDang)
+	i32 := cap(a.worklist) + cap(a.partIters) + cap(a.partCounts) + cap(a.bits) +
+		cap(a.cols) + cap(a.colIters)
+	i64 := cap(a.bitmap) + cap(a.partDang) + cap(a.partDangB) + cap(a.colLanes)
 	return int64(f32)*4 + int64(pad)*64 + int64(i32)*4 + int64(i64)*8
 }
 

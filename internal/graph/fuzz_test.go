@@ -38,6 +38,50 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzReadMutationBatches exercises the mutation-stream parser with
+// arbitrary text: it must never panic, and any stream it accepts must
+// round-trip through WriteMutationBatches without changing a single batch
+// or mutation — the property the reload endpoint and the dynamic-replay
+// harness rely on.
+func FuzzReadMutationBatches(f *testing.F) {
+	f.Add("+ 0 1\n- 1 2\ncommit\n+ 3 4\ncommit\n")
+	f.Add("# comment\n% other\n\n+ 5 5\n")
+	f.Add("commit\ncommit\n")
+	f.Add("+ 1 2\n")
+	f.Add("* 1 2\n")
+	f.Add("+ -1 4\n")
+	f.Add("+ 4294967295 0\n")
+	f.Add("+ 99999999999999999999 1\n")
+	f.Add("+ 1 2 extra tokens are fine\ncommit\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		batches, err := ReadMutationBatches(bytes.NewBufferString(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMutationBatches(&buf, batches); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadMutationBatches(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(batches) {
+			t.Fatalf("round trip changed batch count: %d -> %d", len(batches), len(again))
+		}
+		for i := range batches {
+			if len(again[i]) != len(batches[i]) {
+				t.Fatalf("batch %d changed size: %d -> %d", i, len(batches[i]), len(again[i]))
+			}
+			for j, m := range batches[i] {
+				if again[i][j] != m {
+					t.Fatalf("batch %d mutation %d changed: %+v -> %+v", i, j, m, again[i][j])
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadBinary exercises the binary loader with arbitrary bytes: it must
 // reject malformed input with an error, never panic or accept an invalid
 // graph.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"slices"
 
+	"hipa/internal/engines/bppr"
 	"hipa/internal/platform"
 )
 
@@ -16,8 +17,11 @@ import (
 // frontier-aware engines (EC-HiPa, NB-PR) and the per-engine
 // frontier-effectiveness fields; v3 added Delta-PR to the engine set and
 // the dynamic-replay section (per-batch warm vs cold convergence
-// iterations).
-const AllocBaselineVersion = 3
+// iterations); v4 added B-PPR to the engine set, the batched-PPR traffic
+// section (modelled bytes-moved-per-query per batch width, with the 4x
+// amortization gate at B=16), and the batched path's own steady-state
+// allocation differential.
+const AllocBaselineVersion = 4
 
 // Baseline iteration counts of the differential measurement: per-iteration
 // cost is (allocs at iterLong - allocs at iterShort) / (iterLong -
@@ -63,6 +67,15 @@ type DynamicBatch struct {
 	PerturbedFraction float64 `json:"perturbed_fraction"`
 }
 
+// BatchPoint is one width of the batched-PPR amortization profile: the
+// modelled DRAM traffic per query when width-B batches share each
+// superstep's structure stream. The query workload is deterministic
+// (BatchQueries), so the trajectory is stable enough to gate with slack.
+type BatchPoint struct {
+	B             int     `json:"b"`
+	BytesPerQuery float64 `json:"bytes_per_query"`
+}
+
 // AllocBaseline is the committed allocation-trajectory schema
 // (BENCH_pagerank.json). Regenerate with:
 //
@@ -83,6 +96,15 @@ type AllocBaseline struct {
 	// mutation replay on the same dataset — the incremental re-rank claim
 	// (sparse warm starts converge in ≥2× fewer iterations) pinned per batch.
 	Dynamic []DynamicBatch `json:"dynamic,omitempty"`
+	// Batch is the modelled bytes-moved-per-query sweep of the batched
+	// multi-source PPR engine over BatchWidths — the amortization claim
+	// (B=16 at least 4× cheaper per query than B=1) pinned per width.
+	Batch []BatchPoint `json:"batch,omitempty"`
+	// BatchAllocsPerIter/BatchBytesPerIter are the steady-state
+	// per-superstep heap costs of the batched (width-16) ExecBatch path —
+	// zero by design, gated exactly like the per-engine figures.
+	BatchAllocsPerIter int64 `json:"batch_allocs_per_iter"`
+	BatchBytesPerIter  int64 `json:"batch_bytes_per_iter"`
 }
 
 // median returns the middle value of xs (xs is sorted in place).
@@ -199,6 +221,51 @@ func (c *Config) MeasureAllocBaseline(dataset string) (*AllocBaseline, error) {
 			PerturbedFraction: r.PerturbedFraction,
 		})
 	}
+	// Batched-PPR traffic profile: the modelled bytes-moved-per-query sweep
+	// on the same dataset (zero traffic when the config is native-only).
+	batchRows, _, err := Batch(c, dataset)
+	if err != nil {
+		return nil, fmt.Errorf("batch sweep: %w", err)
+	}
+	for _, r := range batchRows {
+		b.Batch = append(b.Batch, BatchPoint{B: r.B, BytesPerQuery: r.BytesPerQuery})
+	}
+	// Batched-path allocation differential: a width-16 ExecBatch measured
+	// exactly like the scalar engines. The retirement tolerance is pushed
+	// out of reach so the short and long runs execute exactly the requested
+	// superstep counts and the differential spans a known distance.
+	bo := c.PaperOptions(bppr.Name, m)
+	bo.Platform = platform.NewNative(m)
+	bo.Tolerance = 1e-30
+	bprep, err := (bppr.Engine{}).Prepare(g, bo)
+	if err != nil {
+		return nil, fmt.Errorf("batched prepare: %w", err)
+	}
+	bq := BatchQueries(g, 16)
+	bexec := func(iters int) func() {
+		oo := bo
+		oo.Iterations = iters
+		return func() {
+			if _, err := bppr.ExecBatch(bprep, oo, bq); err != nil {
+				panic(fmt.Sprintf("batched Exec: %v", err))
+			}
+		}
+	}
+	{
+		const runs = 10
+		const trials = 3
+		span := int64(allocIterLong - allocIterShort)
+		perIterAllocs := make([]int64, trials)
+		perIterBytes := make([]int64, trials)
+		for trial := 0; trial < trials; trial++ {
+			sa, sb := measureAllocs(runs, bexec(allocIterShort))
+			la, lb := measureAllocs(runs, bexec(allocIterLong))
+			perIterAllocs[trial] = (la - sa) / span
+			perIterBytes[trial] = (lb - sb) / span
+		}
+		b.BatchAllocsPerIter = median(perIterAllocs)
+		b.BatchBytesPerIter = median(perIterBytes)
+	}
 	return b, nil
 }
 
@@ -276,6 +343,41 @@ func (b *AllocBaseline) Compare(measured *AllocBaseline) []string {
 			if d := got.PerturbedFraction - want.PerturbedFraction; d < -0.1 || d > 0.1 {
 				fail("dynamic batch %d: perturbed fraction %.3f drifted from baseline %.3f by more than 0.1", i+1, got.PerturbedFraction, want.PerturbedFraction)
 			}
+		}
+	}
+	// Batched-PPR gates: the hot loop of the batched path stays
+	// allocation-free (exact, like the per-engine figures), the per-width
+	// traffic drifts at most ±25% from the committed trajectory, and the
+	// amortization claim holds absolutely — bytes-moved-per-query at B=16 at
+	// least 4× lower than at B=1.
+	if measured.BatchAllocsPerIter != b.BatchAllocsPerIter {
+		fail("batched path: allocs/iteration %d, baseline %d (exact gate)", measured.BatchAllocsPerIter, b.BatchAllocsPerIter)
+	}
+	if measured.BatchBytesPerIter != b.BatchBytesPerIter {
+		fail("batched path: bytes/iteration %d, baseline %d (exact gate)", measured.BatchBytesPerIter, b.BatchBytesPerIter)
+	}
+	if len(b.Batch) != len(measured.Batch) {
+		fail("batch sweep: baseline has %d widths, measurement has %d", len(b.Batch), len(measured.Batch))
+	} else {
+		var q1, q16 float64
+		for i, want := range b.Batch {
+			got := measured.Batch[i]
+			if got.B != want.B {
+				fail("batch sweep point %d: width %d, baseline %d", i, got.B, want.B)
+				continue
+			}
+			if got.BytesPerQuery < want.BytesPerQuery*0.75 || got.BytesPerQuery > want.BytesPerQuery*1.25 {
+				fail("batch B=%d: %.0f bytes/query outside baseline %.0f ±25%%", got.B, got.BytesPerQuery, want.BytesPerQuery)
+			}
+			switch got.B {
+			case 1:
+				q1 = got.BytesPerQuery
+			case 16:
+				q16 = got.BytesPerQuery
+			}
+		}
+		if q1 > 0 && 4*q16 > q1 {
+			fail("batch amortization: %.0f bytes/query at B=16 vs %.0f at B=1 (%.2fx, want at least 4x)", q16, q1, q1/q16)
 		}
 	}
 	return regressions

@@ -55,6 +55,20 @@ func TestMeasureAllocBaselineZeroPerIteration(t *testing.T) {
 		}
 	}
 
+	// The batched-PPR profile: one point per width, monotone amortization
+	// down to B=16, and an allocation-free batched hot loop.
+	if len(b.Batch) != len(BatchWidths) {
+		t.Fatalf("batch profile has %d widths, want %d", len(b.Batch), len(BatchWidths))
+	}
+	for i, p := range b.Batch {
+		if p.B != BatchWidths[i] || p.BytesPerQuery <= 0 {
+			t.Errorf("batch point %d = %+v, want width %d with positive traffic", i, p, BatchWidths[i])
+		}
+	}
+	if b.BatchAllocsPerIter != 0 || b.BatchBytesPerIter != 0 {
+		t.Errorf("batched path: %d allocs (%d B) per steady-state iteration, want 0", b.BatchAllocsPerIter, b.BatchBytesPerIter)
+	}
+
 	// Round-trip through the on-disk format.
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := b.WriteJSONFile(path); err != nil {
@@ -78,6 +92,12 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 			"EC-HiPa": {ExecAllocs: 30, ExecBytes: 30000, IterationsExecuted: 12, ActiveFraction: 0.8, PartitionsSkipped: 40},
 		},
 		Dynamic: []DynamicBatch{{WarmIterations: 4, ColdIterations: 10, PerturbedFraction: 0.004}},
+		Batch: []BatchPoint{
+			{B: 1, BytesPerQuery: 48_000_000},
+			{B: 4, BytesPerQuery: 16_000_000},
+			{B: 16, BytesPerQuery: 7_400_000},
+			{B: 64, BytesPerQuery: 7_600_000},
+		},
 	}
 	clone := func(mutate func(*AllocBaseline)) *AllocBaseline {
 		c := *base
@@ -86,6 +106,7 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 			c.Engines[k] = v
 		}
 		c.Dynamic = append([]DynamicBatch(nil), base.Dynamic...)
+		c.Batch = append([]BatchPoint(nil), base.Batch...)
 		mutate(&c)
 		return &c
 	}
@@ -132,6 +153,25 @@ func TestAllocBaselineCompareGates(t *testing.T) {
 		}, true},
 		{"dynamic batch-count mismatch", func(b *AllocBaseline) {
 			b.Dynamic = append(b.Dynamic, DynamicBatch{WarmIterations: 4, ColdIterations: 10})
+		}, true},
+		{"batch traffic drift within slack", func(b *AllocBaseline) {
+			b.Batch[2] = BatchPoint{B: 16, BytesPerQuery: 8_000_000}
+		}, false},
+		{"batch traffic blowup", func(b *AllocBaseline) {
+			b.Batch[2] = BatchPoint{B: 16, BytesPerQuery: 11_000_000}
+		}, true},
+		{"batch amortization regression", func(b *AllocBaseline) {
+			// Every width drifts within per-point slack, but B=1 slides down
+			// and B=16 up until the absolute 4x claim no longer holds.
+			b.Batch[0] = BatchPoint{B: 1, BytesPerQuery: 36_100_000}
+			b.Batch[2] = BatchPoint{B: 16, BytesPerQuery: 9_200_000}
+		}, true},
+		{"batch width-count mismatch", func(b *AllocBaseline) {
+			b.Batch = b.Batch[:3]
+		}, true},
+		{"batched path allocates", func(b *AllocBaseline) {
+			b.BatchAllocsPerIter = 2
+			b.BatchBytesPerIter = 128
 		}, true},
 	}
 	for _, tc := range cases {

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 
+	"hipa/internal/engines/bppr"
 	"hipa/internal/engines/common"
 	"hipa/internal/engines/delta"
 	"hipa/internal/engines/ec"
@@ -146,9 +147,10 @@ func Engines() []common.Engine {
 }
 
 // AllEngines returns every registered engine: the paper five followed by
-// the frontier-aware additions (EC-HiPa, NB-PR, Delta-PR).
+// the frontier-aware additions (EC-HiPa, NB-PR, Delta-PR) and the batched
+// personalized-PageRank engine (B-PPR).
 func AllEngines() []common.Engine {
-	return append(Engines(), ec.Engine{}, nb.Engine{}, delta.Engine{})
+	return append(Engines(), ec.Engine{}, nb.Engine{}, delta.Engine{}, bppr.Engine{})
 }
 
 // engineAliases maps short -engine spellings to registry names.
@@ -156,6 +158,7 @@ var engineAliases = map[string]string{
 	"ec":    ec.Name,
 	"nb":    nb.Name,
 	"delta": delta.Name,
+	"bppr":  bppr.Name,
 }
 
 // EngineNames returns every accepted -engine value: the registry names in
@@ -165,7 +168,7 @@ func EngineNames() []string {
 	for _, e := range AllEngines() {
 		names = append(names, e.Name())
 	}
-	return append(names, "ec", "nb", "delta")
+	return append(names, "ec", "nb", "delta", "bppr")
 }
 
 // EngineByName looks an engine up by its registry name (case-insensitive)
@@ -199,10 +202,10 @@ func (c *Config) PaperOptions(engineName string, m *machine.Machine) common.Opti
 		o.Platform = platform.NewNative(m)
 	}
 	switch strings.ToLower(engineName) {
-	case "hipa", "ec-hipa", "ec", "delta-pr", "delta":
-		// EC-HiPa and Delta-PR share HiPa's execution shape and tuning;
-		// their pruning/propagation tolerances default inside the engines
-		// when Tolerance is zero.
+	case "hipa", "ec-hipa", "ec", "delta-pr", "delta", "b-ppr", "bppr":
+		// EC-HiPa, Delta-PR, and B-PPR share HiPa's execution shape and
+		// tuning; their pruning/retirement tolerances default inside the
+		// engines when Tolerance is zero.
 		o.Threads = m.LogicalCores()
 		o.PartitionBytes = c.PartBytes(256 << 10)
 	case "p-pr":

@@ -339,6 +339,147 @@ func (a *Accounting) AddPartitionRun(s PartitionRun) error {
 	return nil
 }
 
+// BatchRun describes a blocked (rank-B) partition-centric scatter-gather
+// run — the batched personalized-PageRank engine — for aggregate
+// accounting. Its traffic shape differs structurally from PartitionRun:
+// there is no bins array (the gather decodes messages by reading source
+// rank blocks directly), graph structure is streamed once per superstep
+// regardless of the batch width, and all per-rank traffic scales with the
+// *active* column count, which per-column convergence shrinks over time.
+type BatchRun struct {
+	Hier   *partition.Hierarchy
+	Lay    *layout.Layout
+	Lookup *partition.LookupTable
+
+	// PartThread[p] is the pinned thread of partition p.
+	PartThread []int32
+	// NUMAAware marks data placed on the owning node (the batched engine
+	// always pins; the field mirrors PartitionRun for symmetry).
+	NUMAAware bool
+
+	// Supersteps is the number of driver iterations executed (structure
+	// streams and barriers scale with it).
+	Batch      int
+	Supersteps int
+	// ColSteps is Σ over supersteps of the active column count — the factor
+	// of all per-column streamed traffic and compute.
+	ColSteps int64
+	// LineSteps is Σ over supersteps of ceil(active*4/64) — how many 64-byte
+	// lines one vertex's rank block spans at the active width, the factor of
+	// all line-granular (random and message-payload) traffic.
+	LineSteps int64
+}
+
+// AddBatchRun classifies the memory events of a blocked scatter-gather run
+// into the accumulators, plus the barrier count (three per superstep).
+// Event counts are exact (driven by the real layout and the kernel's
+// measured ColSteps/LineSteps); placement mirrors AddPartitionRun.
+//
+// The gather phase's message decode reads the source vertex's rank block —
+// a vertex-random access into the *source* partition's rank array, the
+// access the scalar engine's bins exist to avoid. It is charged as line
+// fills at full cost (LineSteps × 64 bytes per message, remote when the
+// source partition lives on another node): at paper scale the rank block
+// array dwarfs every cache, so the no-reuse regime is the honest one, and
+// it keeps the B=1 batched path priced worse than scalar HiPa — which is
+// exactly the amortization the batch width exists to buy (one line carries
+// up to 16 columns of the same source vertex).
+func (a *Accounting) AddBatchRun(s BatchRun) error {
+	if a.m == nil {
+		return nil
+	}
+	if len(a.nodes) == 0 {
+		return fmt.Errorf("platform: no threads in accounting")
+	}
+	if len(s.PartThread) != s.Hier.NumPartitions() {
+		return fmt.Errorf("platform: PartThread has %d entries for %d partitions", len(s.PartThread), s.Hier.NumPartitions())
+	}
+	if s.Batch < 1 {
+		return fmt.Errorf("platform: batch width %d < 1", s.Batch)
+	}
+	nThreads := len(a.nodes)
+	m := a.m
+	active := make([]bool, nThreads)
+	for _, t := range s.PartThread {
+		if int(t) >= 0 && int(t) < nThreads {
+			active[t] = true
+		}
+	}
+	threadsOnNode := make([]int, m.NUMANodes)
+	for t, nd := range a.nodes {
+		if active[t] {
+			threadsOnNode[nd]++
+		}
+	}
+
+	// Per-partition aggregates from the layout (gather side only — the
+	// blocked scatter does no message work).
+	P := s.Hier.NumPartitions()
+	msgsIn := make([]int64, P)
+	dstsIn := make([]int64, P)
+	for _, b := range s.Lay.Blocks {
+		msgsIn[b.DstPart] += b.Messages()
+		dstsIn[b.DstPart] += s.Lay.MsgDstOff[b.MsgEnd] - s.Lay.MsgDstOff[b.MsgStart]
+	}
+
+	// Random-access classification context: the cached working set is the
+	// partition's rank-block rows, B columns wide.
+	vb := int64(s.Hier.Config.BytesPerVertex)
+	a.partBytes = int64(s.Hier.VerticesPerPartition) * vb * int64(s.Batch)
+	a.slack = WorkingSetSlack
+	a.capBytes = int64(s.Hier.NumVertices) * vb * int64(s.Batch) * 2 / int64(m.NUMANodes)
+	a.threadsOnNode = threadsOnNode
+
+	steps := int64(s.Supersteps)
+	for p := 0; p < P; p++ {
+		t := int(s.PartThread[p])
+		if t < 0 || t >= nThreads {
+			return fmt.Errorf("platform: partition %d assigned to thread %d of %d", p, t, nThreads)
+		}
+		part := s.Hier.Partitions[p]
+		vp := int64(part.Vertices())
+		intra := s.Lay.IntraOff[part.VertexEnd] - s.Lay.IntraOff[part.VertexStart]
+
+		dataNode := -1
+		if s.NUMAAware {
+			dataNode = int(s.Lookup.PartNode[p])
+		}
+
+		// Structure streams, once per superstep whatever the width: intra
+		// CSR (scatter), message sources and destination lists (gather).
+		a.stream(t, dataNode, steps*(intra*4+msgsIn[p]*4+dstsIn[p]*4))
+
+		// Per-column rank streams: scatter's rank-block read plus gather's
+		// accumulator read and rank write, 4 bytes per vertex per active
+		// column.
+		a.stream(t, dataNode, s.ColSteps*vp*vb*3)
+
+		// Message payload: the gather reads each message's source rank block
+		// from the node the source partition lives on — line fills at the
+		// active width (see the doc comment on the no-reuse regime).
+		if s.NUMAAware {
+			for _, bi := range s.Lay.DstBlocks[p] {
+				b := s.Lay.Blocks[bi]
+				a.stream(t, int(s.Lookup.PartNode[b.SrcPart]), s.LineSteps*b.Messages()*64)
+			}
+		} else {
+			a.stream(t, -1, s.LineSteps*msgsIn[p]*64)
+		}
+
+		// Random accumulator updates inside the cached partition block: one
+		// line-granular access per intra edge / decoded destination per
+		// rank-block line.
+		a.random(t, dataNode, s.LineSteps*(intra+dstsIn[p]))
+
+		// Compute scales with the active column count.
+		a.costs[t].ComputeCycles += float64(s.ColSteps) * (CyclesPerEdge*float64(intra+dstsIn[p]) +
+			CyclesPerVertex*2*float64(vp) +
+			CyclesPerMessage*float64(msgsIn[p]))
+	}
+	a.barriers += steps * 3
+	return nil
+}
+
 // VertexRun describes a vertex-centric pull run (v-PR, Polymer) for
 // aggregate accounting.
 type VertexRun struct {

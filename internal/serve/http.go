@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"hipa/internal/graph"
@@ -18,6 +19,7 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/rank", s.instrument("rank", s.handleRank))
+	mux.Handle("/v1/ppr", s.instrument("ppr", s.handlePPR))
 	mux.Handle("/v1/topk", s.instrument("topk", s.handleTopK))
 	mux.Handle("/v1/neighbors", s.instrument("neighbors", s.handleNeighbors))
 	mux.Handle("/v1/graphs", s.instrument("graphs", s.handleGraphs))
@@ -137,6 +139,102 @@ func (s *Service) handleRank(w http.ResponseWriter, r *http.Request) {
 		Rank       float64       `json:"rank"`
 		Iterations int           `json:"iterations"`
 	}{sg.name, snap.ver, int64(v), float64(res.Ranks[v]), res.Iterations})
+}
+
+// parseSeeds parses the ?seeds= parameter (comma-separated vertex IDs,
+// empty = the uniform restart vector) and validates against g: in range,
+// duplicate-free — ExecBatch would reject the whole batch otherwise, so a
+// malformed query must never reach its batch-mates.
+func parseSeeds(r *http.Request, g *graph.Graph) ([]graph.VertexID, error) {
+	raw := r.URL.Query().Get("seeds")
+	if raw == "" {
+		return nil, nil
+	}
+	parts := strings.Split(raw, ",")
+	seeds := make([]graph.VertexID, 0, len(parts))
+	seen := make(map[graph.VertexID]struct{}, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", p)
+		}
+		if v < 0 || v >= int64(g.NumVertices()) {
+			return nil, fmt.Errorf("seed %d out of range [0, %d)", v, g.NumVertices())
+		}
+		id := graph.VertexID(v)
+		if _, dup := seen[id]; dup {
+			return nil, fmt.Errorf("duplicate seed %d", v)
+		}
+		seen[id] = struct{}{}
+		seeds = append(seeds, id)
+	}
+	return seeds, nil
+}
+
+// handlePPR serves GET /v1/ppr?graph=NAME&seeds=1,2,3&k=K: the K
+// highest-ranked vertices of a personalized PageRank restarted at the seed
+// set (empty seeds = plain PageRank). Requests enqueue on the graph's
+// batching queue and are served as one batched B-PPR Exec per flush; a full
+// queue replies 503 immediately. The response reports the version the query
+// pinned at arrival and the width of the batch that served it.
+func (s *Service) handlePPR(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	sg, err := s.requestGraph(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	snap := sg.cur.Load()
+	seeds, err := parseSeeds(r, snap.g)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		if k, err = strconv.Atoi(raw); err != nil || k <= 0 {
+			httpError(w, http.StatusBadRequest, "bad k %q", raw)
+			return
+		}
+	}
+	req := &pprReq{seeds: seeds, k: k, snap: snap, resp: make(chan pprResp, 1)}
+	if !s.enqueuePPR(sg, req) {
+		httpError(w, http.StatusServiceUnavailable, "ppr queue full (depth %d)", cap(sg.pprCh))
+		return
+	}
+	s.metrics.pprQueries(sg.name).Inc()
+	var resp pprResp
+	select {
+	case resp = <-req.resp:
+	case <-s.done:
+		httpError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	}
+	if resp.err != nil {
+		httpError(w, http.StatusInternalServerError, "exec: %v", resp.err)
+		return
+	}
+	type entry struct {
+		Vertex int32   `json:"vertex"`
+		Rank   float64 `json:"rank"`
+	}
+	ids := topKOf(resp.ranks, k)
+	top := make([]entry, len(ids))
+	for i, id := range ids {
+		top[i] = entry{id, float64(resp.ranks[id])}
+	}
+	writeJSON(w, struct {
+		Graph      string           `json:"graph"`
+		Version    graph.Version    `json:"version"`
+		Seeds      []graph.VertexID `json:"seeds"`
+		K          int              `json:"k"`
+		Batch      int              `json:"batch"`
+		Iterations int              `json:"iterations"`
+		Top        []entry          `json:"top"`
+	}{sg.name, snap.ver, seeds, len(top), resp.batch, resp.iterations, top})
 }
 
 // handleTopK serves GET /v1/topk?graph=NAME&k=K: the K highest-ranked
@@ -301,6 +399,7 @@ func (s *Service) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "hipaserve (%s engine, up %s)\n", s.engine.Name(), time.Since(s.started).Round(time.Second))
 	fmt.Fprintln(w, "  GET  /v1/rank?graph=&vertex=[&recompute=1]  one vertex's PageRank")
+	fmt.Fprintln(w, "  GET  /v1/ppr?graph=&seeds=1,2,3&k=          batched personalized PageRank")
 	fmt.Fprintln(w, "  GET  /v1/topk?graph=&k=                     highest-ranked vertices")
 	fmt.Fprintln(w, "  GET  /v1/neighbors?graph=&vertex=[&dir=]    adjacency listing")
 	fmt.Fprintln(w, "  GET  /v1/graphs                             serving registry")

@@ -17,16 +17,27 @@ const (
 	MetricHTTPSeconds  = "hipa_http_request_seconds"
 	MetricHTTPRequests = "hipa_http_requests_total"
 	MetricHTTPInflight = "hipa_http_inflight"
+
+	// The hipa_serve_ppr_* families describe the /v1/ppr batching queue.
+	MetricPPRQueries    = "hipa_serve_ppr_queries_total"
+	MetricPPRBatches    = "hipa_serve_ppr_batches_total"
+	MetricPPRExecs      = "hipa_serve_ppr_execs_total"
+	MetricPPRRejected   = "hipa_serve_ppr_rejected_total"
+	MetricPPRQueueDepth = "hipa_serve_ppr_queue_depth"
+	MetricPPRBatchSize  = "hipa_serve_ppr_batch_size"
+	MetricPPRFlushSecs  = "hipa_serve_ppr_flush_seconds"
 )
 
 // serveMetrics holds the service's registry handles. Per-graph and
 // per-endpoint series are materialized on first touch through the registry's
 // own interning, so the accessor methods are cheap enough for request paths.
 type serveMetrics struct {
-	reg           *obs.Registry
-	execWait      *obs.Histogram
-	reloadSeconds *obs.Histogram
-	inflight      *obs.Gauge
+	reg             *obs.Registry
+	execWait        *obs.Histogram
+	reloadSeconds   *obs.Histogram
+	inflight        *obs.Gauge
+	pprBatchSize    *obs.Histogram
+	pprFlushSeconds *obs.Histogram
 }
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
@@ -40,11 +51,20 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	reg.SetHelp(MetricHTTPSeconds, "HTTP request latency per endpoint.")
 	reg.SetHelp(MetricHTTPRequests, "HTTP requests per endpoint and status code.")
 	reg.SetHelp(MetricHTTPInflight, "HTTP requests currently being handled.")
+	reg.SetHelp(MetricPPRQueries, "Personalized-PageRank queries accepted by the batching queue.")
+	reg.SetHelp(MetricPPRBatches, "Batches flushed by the /v1/ppr collector.")
+	reg.SetHelp(MetricPPRExecs, "Batched B-PPR Execs completed.")
+	reg.SetHelp(MetricPPRRejected, "Queries rejected because the /v1/ppr queue was full.")
+	reg.SetHelp(MetricPPRQueueDepth, "Queued /v1/ppr requests awaiting collection.")
+	reg.SetHelp(MetricPPRBatchSize, "Width of flushed /v1/ppr batches.")
+	reg.SetHelp(MetricPPRFlushSecs, "Seconds from batch flush to responses fanned out.")
 	return &serveMetrics{
-		reg:           reg,
-		execWait:      reg.Histogram(MetricExecWait),
-		reloadSeconds: reg.Histogram(MetricReloadSecs),
-		inflight:      reg.Gauge(MetricHTTPInflight),
+		reg:             reg,
+		execWait:        reg.Histogram(MetricExecWait),
+		reloadSeconds:   reg.Histogram(MetricReloadSecs),
+		inflight:        reg.Gauge(MetricHTTPInflight),
+		pprBatchSize:    reg.Histogram(MetricPPRBatchSize),
+		pprFlushSeconds: reg.Histogram(MetricPPRFlushSecs),
 	}
 }
 
@@ -66,6 +86,26 @@ func (m *serveMetrics) reloads(graph string) *obs.Counter {
 
 func (m *serveMetrics) version(graph string) *obs.Gauge {
 	return m.reg.Gauge(MetricGraphVersion, "graph", graph)
+}
+
+func (m *serveMetrics) pprQueries(graph string) *obs.Counter {
+	return m.reg.Counter(MetricPPRQueries, "graph", graph)
+}
+
+func (m *serveMetrics) pprBatches(graph string) *obs.Counter {
+	return m.reg.Counter(MetricPPRBatches, "graph", graph)
+}
+
+func (m *serveMetrics) pprExecs(graph string) *obs.Counter {
+	return m.reg.Counter(MetricPPRExecs, "graph", graph)
+}
+
+func (m *serveMetrics) pprRejected(graph string) *obs.Counter {
+	return m.reg.Counter(MetricPPRRejected, "graph", graph)
+}
+
+func (m *serveMetrics) pprQueueDepth(graph string) *obs.Gauge {
+	return m.reg.Gauge(MetricPPRQueueDepth, "graph", graph)
 }
 
 func (m *serveMetrics) httpSeconds(endpoint string) *obs.Histogram {

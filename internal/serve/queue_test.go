@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"hipa/internal/gen"
+	"hipa/internal/graph"
+	"hipa/internal/obs"
+)
+
+type pprDoc struct {
+	Graph      string        `json:"graph"`
+	Version    graph.Version `json:"version"`
+	Seeds      []int32       `json:"seeds"`
+	K          int           `json:"k"`
+	Batch      int           `json:"batch"`
+	Iterations int           `json:"iterations"`
+	Top        []struct {
+		Vertex int32   `json:"vertex"`
+		Rank   float64 `json:"rank"`
+	} `json:"top"`
+}
+
+// TestPPRDeadlineFlush: a lone request must not wait for batch-mates beyond
+// the flush deadline — it comes back as a width-1 batch.
+func TestPPRDeadlineFlush(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.BatchFlushMs = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var doc pprDoc
+	if code := getJSON(t, srv.URL+"/v1/ppr?seeds=3&k=5", &doc); code != http.StatusOK {
+		t.Fatalf("/v1/ppr = %d", code)
+	}
+	if doc.Graph != "wiki" || doc.Batch != 1 || doc.K != 5 || len(doc.Top) != 5 || doc.Iterations == 0 {
+		t.Errorf("ppr doc = %+v", doc)
+	}
+	// Personalization sanity: the seed dominates its own restart vector.
+	if doc.Top[0].Vertex != 3 {
+		t.Errorf("seed 3 is not the top-ranked vertex: %+v", doc.Top)
+	}
+	if got := reg.Counter(MetricPPRBatches, "graph", "wiki").Value(); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricPPRQueries, "graph", "wiki").Value(); got != 1 {
+		t.Errorf("queries = %d, want 1", got)
+	}
+}
+
+// TestPPRFullBatchFlush: with a flush deadline far beyond the test's
+// patience, a burst of BatchMaxSize requests must flush on width alone, and
+// every response must report the full batch width.
+func TestPPRFullBatchFlush(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.BatchMaxSize = 4
+	cfg.BatchFlushMs = 60_000 // only a width-triggered flush can finish in time
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	docs := make([]pprDoc, 4)
+	codes := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = getJSON(t, fmt.Sprintf("%s/v1/ppr?seeds=%d&k=3", srv.URL, i), &docs[i])
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("burst did not flush on batch width (deadline flush is 60s away)")
+	}
+	for i := range docs {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d = %d", i, codes[i])
+		}
+		if docs[i].Batch != 4 {
+			t.Errorf("request %d served in a width-%d batch, want 4", i, docs[i].Batch)
+		}
+		if docs[i].Top[0].Vertex != int32(i) {
+			t.Errorf("request %d: top vertex %d, want its seed %d", i, docs[i].Top[0].Vertex, i)
+		}
+	}
+	if got := reg.Counter(MetricPPRBatches, "graph", "wiki").Value(); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+}
+
+// TestPPRQueueFullRejects: with the collector never started and a depth-1
+// queue pre-filled, the endpoint must shed load with 503 instead of
+// blocking.
+func TestPPRQueueFullRejects(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.BatchQueueDepth = 1
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sg, err := s.graph("wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn the collector's Once so nothing drains the queue, then fill it.
+	sg.pprOnce.Do(func() {})
+	if !s.enqueuePPR(sg, &pprReq{snap: sg.cur.Load(), k: 1, resp: make(chan pprResp, 1)}) {
+		t.Fatal("first enqueue rejected on an empty depth-1 queue")
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if code := getJSON(t, srv.URL+"/v1/ppr?seeds=1", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("full queue = %d, want 503", code)
+	}
+	if got := reg.Counter(MetricPPRRejected, "graph", "wiki").Value(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestPPRReloadMidBatchKeepsPinnedSnapshot: a request collected before a
+// reload must be served on the snapshot it pinned at arrival, and a request
+// arriving after the swap must flush the stale batch rather than join it.
+func TestPPRReloadMidBatchKeepsPinnedSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.BatchMaxSize = 8
+	cfg.BatchFlushMs = 60_000 // batches only flush on width or snapshot change
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	sg, err := s.graph("wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var oldDoc pprDoc
+	oldCode := 0
+	oldDone := make(chan struct{})
+	go func() {
+		defer close(oldDone)
+		oldCode = getJSON(t, srv.URL+"/v1/ppr?seeds=2&k=3", &oldDoc)
+	}()
+	// Wait until the collector holds the request in its open batch.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counter(MetricPPRQueries, "graph", "wiki").Value() < 1 || len(sg.pprCh) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never reached the collector")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	mirror := graph.NewVersioned(sg.cur.Load().g)
+	stream, err := gen.NewMutationStream(mirror, 42, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/admin/reload?graph=wiki", "text/plain", reloadBody(t, mirror, stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d", resp.StatusCode)
+	}
+
+	// The newcomer pins version 1, which must flush the version-0 batch.
+	var newDoc pprDoc
+	newCode := 0
+	newDone := make(chan struct{})
+	go func() {
+		defer close(newDone)
+		newCode = getJSON(t, srv.URL+"/v1/ppr?seeds=5&k=3", &newDoc)
+	}()
+	select {
+	case <-oldDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pre-reload request was not flushed by the snapshot change")
+	}
+	if oldCode != http.StatusOK || oldDoc.Version != 0 || oldDoc.Batch != 1 {
+		t.Fatalf("pre-reload request = %d %+v, want 200 on version 0 in a width-1 batch", oldCode, oldDoc)
+	}
+
+	// The new batch has no width or snapshot trigger left; a burst of
+	// batch-mates on the new snapshot fills it to the flush width.
+	var wg sync.WaitGroup
+	for i := 0; i < 7; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			getJSON(t, fmt.Sprintf("%s/v1/ppr?seeds=%d", srv.URL, 10+i), nil)
+		}(i)
+	}
+	wg.Wait()
+	<-newDone
+	if newCode != http.StatusOK || newDoc.Version != 1 {
+		t.Fatalf("post-reload request = %d version %d, want 200 on version 1", newCode, newDoc.Version)
+	}
+}
+
+// TestPPRValidationAndErrors: malformed queries must be rejected before they
+// can poison a batch.
+func TestPPRValidationAndErrors(t *testing.T) {
+	s := newTestService(t, nil)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{"/v1/ppr?graph=nope", http.StatusNotFound},
+		{"/v1/ppr?seeds=abc", http.StatusBadRequest},
+		{"/v1/ppr?seeds=1,1", http.StatusBadRequest},
+		{"/v1/ppr?seeds=-1", http.StatusBadRequest},
+		{"/v1/ppr?seeds=99999999", http.StatusBadRequest},
+		{"/v1/ppr?seeds=1&k=0", http.StatusBadRequest},
+		{"/v1/ppr?seeds=1&k=x", http.StatusBadRequest},
+	} {
+		if code := getJSON(t, srv.URL+tc.url, nil); code != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.url, code, tc.want)
+		}
+	}
+	if resp, err := http.Post(srv.URL+"/v1/ppr?seeds=1", "text/plain", nil); err == nil {
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST /v1/ppr = %d, want 405", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestPPRUnderReloadHammer drives concurrent personalized queries while
+// reloads swap the snapshot underneath: every accepted query must complete,
+// accounting must balance, and (with -race) the queue must be data-race
+// free.
+func TestPPRUnderReloadHammer(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(reg)
+	cfg.BatchMaxSize = 4
+	cfg.BatchFlushMs = 5
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	sg, err := s.graph("wiki")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker, reloads = 4, 12, 3
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var doc pprDoc
+				url := fmt.Sprintf("%s/v1/ppr?seeds=%d&k=2", srv.URL, (w*perWorker+i)%50)
+				if code := getJSON(t, url, &doc); code != http.StatusOK {
+					errs <- fmt.Sprintf("%s = %d", url, code)
+				} else if doc.Batch < 1 || doc.Iterations < 1 {
+					errs <- fmt.Sprintf("%s: bad doc %+v", url, doc)
+				}
+			}
+		}(w)
+	}
+	mirror := graph.NewVersioned(sg.cur.Load().g)
+	stream, err := gen.NewMutationStream(mirror, 7, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reloads; i++ {
+		resp, err := http.Post(srv.URL+"/v1/admin/reload", "text/plain", reloadBody(t, mirror, stream))
+		if err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reload %d = %d", i, resp.StatusCode)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	queries := reg.Counter(MetricPPRQueries, "graph", "wiki").Value()
+	batches := reg.Counter(MetricPPRBatches, "graph", "wiki").Value()
+	if queries != workers*perWorker {
+		t.Errorf("query counter = %d, want %d", queries, workers*perWorker)
+	}
+	if batches < 1 || batches > queries {
+		t.Errorf("batch counter = %d for %d queries", batches, queries)
+	}
+}

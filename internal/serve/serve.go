@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hipa/internal/engines/bppr"
 	"hipa/internal/engines/common"
 	"hipa/internal/gen"
 	"hipa/internal/graph"
@@ -104,6 +105,16 @@ type Config struct {
 	// GOMAXPROCS). Queued Execs wait; their wait time is observed on
 	// hipa_serve_exec_wait_seconds.
 	MaxConcurrentExecs int `json:"max_concurrent_execs,omitempty"`
+	// BatchMaxSize flushes a /v1/ppr batch at this width (default
+	// DefaultBatchMaxSize, clamped to bppr.MaxBatch).
+	BatchMaxSize int `json:"batch_max_size,omitempty"`
+	// BatchFlushMs is the /v1/ppr flush deadline in milliseconds: how long
+	// the first request of a batch waits for batch-mates (default
+	// DefaultBatchFlushMs).
+	BatchFlushMs int `json:"batch_flush_ms,omitempty"`
+	// BatchQueueDepth bounds queued /v1/ppr requests per graph; a full queue
+	// rejects with 503 (default DefaultBatchQueueDepth).
+	BatchQueueDepth int `json:"batch_queue_depth,omitempty"`
 	// PrepCacheCapacity bounds the shared preprocessing-artifact cache.
 	PrepCacheCapacity int `json:"prep_cache_capacity,omitempty"`
 	// Graphs is the serving registry. At least one entry is required.
@@ -139,6 +150,18 @@ func (c Config) withDefaults() Config {
 	if c.PrepCacheCapacity == 0 {
 		c.PrepCacheCapacity = DefaultPrepCacheCapacity
 	}
+	if c.BatchMaxSize == 0 {
+		c.BatchMaxSize = DefaultBatchMaxSize
+	}
+	if c.BatchMaxSize > bppr.MaxBatch {
+		c.BatchMaxSize = bppr.MaxBatch
+	}
+	if c.BatchFlushMs == 0 {
+		c.BatchFlushMs = DefaultBatchFlushMs
+	}
+	if c.BatchQueueDepth == 0 {
+		c.BatchQueueDepth = DefaultBatchQueueDepth
+	}
 	return c
 }
 
@@ -150,12 +173,23 @@ type Service struct {
 	prep   *common.PrepCache
 	sem    chan struct{}
 
+	// done stops the per-graph batching collectors; closed by Close.
+	done      chan struct{}
+	closeOnce sync.Once
+
 	mu     sync.Mutex
 	order  []string // registry listing order = config order
 	graphs map[string]*servingGraph
 
 	metrics *serveMetrics
 	started time.Time
+}
+
+// Close stops the service's background goroutines (the /v1/ppr batching
+// collectors); pending queued requests fail with an error. Safe to call more
+// than once. The HTTP server's lifecycle is the caller's concern.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
 }
 
 // servingGraph is one registry entry: a versioned graph and the atomically
@@ -166,6 +200,11 @@ type servingGraph struct {
 	opts common.Options
 	vg   *graph.Versioned
 	cur  atomic.Pointer[snapshot]
+
+	// pprCh feeds the graph's /v1/ppr batching collector, started on first
+	// use by pprOnce (see queue.go).
+	pprCh   chan *pprReq
+	pprOnce sync.Once
 
 	reloadMu sync.Mutex
 	reloads  atomic.Int64
@@ -187,6 +226,12 @@ type snapshot struct {
 	mu     sync.Mutex
 	ranks  *rankResult
 	flight *rankFlight
+
+	// pprPrep is the B-PPR artifact of this snapshot's version, built at
+	// most once on first /v1/ppr demand (see queue.go).
+	pprOnce sync.Once
+	pprPrep *common.Prepared
+	pprErr  error
 }
 
 // rankResult is one completed Exec's outcome, shared by every request that
@@ -225,6 +270,7 @@ func New(cfg Config) (*Service, error) {
 		engine:  eng,
 		prep:    common.NewPrepCache(cfg.PrepCacheCapacity),
 		sem:     make(chan struct{}, cfg.MaxConcurrentExecs),
+		done:    make(chan struct{}),
 		graphs:  map[string]*servingGraph{},
 		metrics: newServeMetrics(reg),
 		started: time.Now(),
@@ -293,7 +339,10 @@ func (s *Service) loadGraph(spec GraphSpec) (*servingGraph, error) {
 	if err != nil {
 		return nil, err
 	}
-	sg := &servingGraph{name: spec.Name, spec: spec, opts: opts, vg: graph.NewVersioned(g)}
+	sg := &servingGraph{
+		name: spec.Name, spec: spec, opts: opts, vg: graph.NewVersioned(g),
+		pprCh: make(chan *pprReq, s.cfg.BatchQueueDepth),
+	}
 	sg.cur.Store(&snapshot{ver: sg.vg.Version(), g: g, prep: prep})
 	return sg, nil
 }
